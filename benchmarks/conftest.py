@@ -1,0 +1,9 @@
+"""Benchmark harness configuration.
+
+Each paper table/figure has a regeneration benchmark in
+``test_experiments_bench.py`` (fast mode: trimmed workload sets), and the
+core primitives have micro-benchmarks in ``test_micro_bench.py``.
+
+Run with:
+    pytest benchmarks/ --benchmark-only
+"""

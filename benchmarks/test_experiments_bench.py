@@ -1,0 +1,166 @@
+"""One regeneration benchmark per paper table and figure.
+
+Every benchmark reruns the corresponding experiment (fast mode where the
+full run takes minutes) and sanity-checks a headline metric, so the
+benchmark suite doubles as a reproduction smoke test:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import importlib
+
+import pytest
+
+_FAST = True
+
+
+def _run_experiment(benchmark, module_name: str, fast: bool = _FAST):
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return benchmark.pedantic(
+        lambda: module.run(seed=0, fast=fast), rounds=1, iterations=1)
+
+
+def test_table1_fault_characterization(benchmark):
+    result = _run_experiment(benchmark, "table1_faults")
+    assert result.metric("rank_correlation").measured > 0.9
+
+
+def test_table2_undervolting_response(benchmark):
+    result = _run_experiment(benchmark, "table2_undervolting")
+    assert result.metric("i9-9900K.-97mV.eff").abs_error < 0.03
+
+
+def test_table3_temperature_guardband(benchmark):
+    result = _run_experiment(benchmark, "table3_temperature")
+    assert result.metric("offset@1800rpm").abs_error < 0.005
+
+
+def test_table4_nosimd_impact(benchmark):
+    result = _run_experiment(benchmark, "table4_nosimd")
+    assert result.metric("i9-9900K.fprate").abs_error < 0.02
+
+
+def test_table6_main_evaluation_cpu_c(benchmark):
+    """The Table 6 C.fV row group (full table: runall without --fast)."""
+    from repro.experiments.table6_main import evaluate_config
+
+    def run():
+        return evaluate_config("C.fV", "C", 1, "fV", -0.097, fast=True)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cells.cells["eff"]["SPECnoSIMD"] > 0.10
+
+
+def test_table7_parameter_search(benchmark):
+    result = _run_experiment(benchmark, "table7_parameters")
+    assert result.metric("intel.p_dl").measured <= 120e-6
+
+
+def test_table8_nosimd_vs_suit(benchmark):
+    result = _run_experiment(benchmark, "table8_nosimd_vs_suit")
+    assert result.lines  # produced the comparison rows
+
+
+def test_fig2_guardband_decomposition(benchmark):
+    result = _run_experiment(benchmark, "fig2_guardbands")
+    assert result.metric("offset_combined").abs_error < 0.002
+
+
+def test_fig5_burst_detail(benchmark):
+    result = _run_experiment(benchmark, "fig5_burst_detail")
+    assert result.metric("exceptions").measured == 1.0
+
+
+def test_fig6_fv_timeline(benchmark):
+    result = _run_experiment(benchmark, "fig6_fv_timeline")
+    assert result.metric("fig6_sequence_observed").measured == 1.0
+
+
+def test_fig7_vlc_gap_timeline(benchmark):
+    result = _run_experiment(benchmark, "fig7_vlc_timeline")
+    assert result.metric("bursty").measured == 1.0
+
+
+def test_fig8_voltage_delay(benchmark):
+    result = _run_experiment(benchmark, "fig8_voltage_delay")
+    assert result.metric("mean_settle_us").abs_error < 60e-6
+
+
+def test_fig9_frequency_delay_intel(benchmark):
+    result = _run_experiment(benchmark, "fig9_freq_delay_intel")
+    assert result.metric("stalls").measured == 1.0
+
+
+def test_fig10_frequency_delay_amd(benchmark):
+    result = _run_experiment(benchmark, "fig10_freq_delay_amd")
+    assert result.metric("no_stall").measured == 1.0
+
+
+def test_fig11_xeon_pstate_change(benchmark):
+    result = _run_experiment(benchmark, "fig11_xeon_pstate")
+    assert result.metric("voltage_first").measured == 1.0
+
+
+def test_fig12_undervolt_sweep(benchmark):
+    result = _run_experiment(benchmark, "fig12_undervolt_sweep")
+    assert result.metric("power_monotone").measured == 1.0
+
+
+def test_fig13_dvfs_curves(benchmark):
+    result = _run_experiment(benchmark, "fig13_dvfs_curves")
+    assert result.metric("headroom@5GHz").abs_error < 0.03
+
+
+def test_fig14_imul_latency_sweep(benchmark):
+    result = _run_experiment(benchmark, "fig14_imul_latency")
+    assert result.metric("superlinear_then_linear").measured == 1.0
+
+
+def test_fig16_per_benchmark(benchmark):
+    result = _run_experiment(benchmark, "fig16_per_benchmark")
+    assert result.metric("520.omnetpp.occupancy").abs_error < 0.05
+
+
+def test_table5_gem5_config(benchmark):
+    result = _run_experiment(benchmark, "table5_gem5_config")
+    assert result.metric("frequency_ghz").measured == 3.0
+
+
+def test_ablation_imul_hardening(benchmark):
+    result = _run_experiment(benchmark, "ablation_imul")
+    assert result.metric("hardening_wins").measured == 1.0
+
+
+def test_ablation_thrashing_prevention(benchmark):
+    result = _run_experiment(benchmark, "ablation_thrashing")
+    assert result.metric("prevention_improves_perf").measured == 1.0
+
+
+def test_ablation_core_count(benchmark):
+    result = _run_experiment(benchmark, "ablation_cores")
+    assert result.metric("eff_monotone_decreasing").measured == 1.0
+
+
+def test_ablation_uarch_robustness(benchmark):
+    result = _run_experiment(benchmark, "ablation_uarch")
+    assert result.metric("hardening_stays_cheap").measured == 1.0
+
+
+def test_ext_adaptive_policy(benchmark):
+    result = _run_experiment(benchmark, "ext_adaptive_policy")
+    assert result.metric("never_catastrophic").measured == 1.0
+
+
+def test_ext_baselines(benchmark):
+    result = _run_experiment(benchmark, "ext_baselines")
+    assert result.metric("suit_secure_and_positive").measured == 1.0
+
+
+def test_ext_model_check(benchmark):
+    result = _run_experiment(benchmark, "ext_model_check")
+    assert result.metric("machine_verified").measured == 1.0
+
+
+def test_ext_tiers(benchmark):
+    result = _run_experiment(benchmark, "ext_tiers")
+    assert result.metric("ladder_has_multiple_tiers").measured == 1.0

@@ -1,0 +1,99 @@
+"""Bringing SUIT to a new CPU: define the model, tune the parameters.
+
+SUIT is a generic co-design: to evaluate it on a hypothetical part you
+describe the hardware (DVFS curve, domain topology, transition delays,
+power model) and let the parameter search find the operating-strategy
+constants.  This example builds a fictional 16-core server CPU with
+per-core domains but a slow voltage regulator, tunes the deadline, and
+evaluates the result.
+
+Run:
+    python examples/custom_cpu.py
+"""
+
+from repro.core.suit import SuitSystem
+from repro.core.tuning import grid_search
+from repro.hardware.counters import DelaySpec
+from repro.hardware.cpu import CpuModel
+from repro.hardware.domains import DomainKind, DomainTopology
+from repro.hardware.models import INTEL_EMULATION_DELAY, INTEL_EXCEPTION_DELAY
+from repro.hardware.transitions import (
+    FrequencyTransitionSpec,
+    PStateTransitionModel,
+    VoltageTransitionSpec,
+)
+from repro.power.cmos import CmosPowerModel
+from repro.power.dvfs import DVFSCurve
+from repro.power.thermal import TdpModel, UndervoltResponse
+from repro.workloads.spec import spec_profile
+
+
+def build_custom_cpu() -> CpuModel:
+    """A fictional 16-core server part: fast clocks, sluggish regulator."""
+    curve = DVFSCurve(
+        [(1.2e9, 0.70), (2.4e9, 0.80), (3.4e9, 0.92), (4.0e9, 1.05)],
+        name="custom-server")
+    f0 = 3.6e9
+    cmos = CmosPowerModel.calibrated(
+        frequency=f0, voltage=curve.voltage_at(f0), total_power=120.0,
+        dynamic_share=0.85, uncore_share=0.08)
+    response = UndervoltResponse(
+        tdp=TdpModel(cmos=cmos, curve=curve, power_limit=130.0, f_max=4.0e9),
+        nominal_frequency=f0,
+        tdp_bound_fraction=0.10,
+        perf_sensitivity=1.0,
+        thermal_boost_per_volt=0.25,
+    )
+    transitions = PStateTransitionModel(
+        frequency=FrequencyTransitionSpec(
+            delay=DelaySpec(18e-6, 1e-6), stall=DelaySpec(15e-6, 1e-6),
+            aperf_lags=True),
+        voltage=VoltageTransitionSpec(delay=DelaySpec(650e-6, 80e-6)),
+        voltage_first=True,
+    )
+    return CpuModel(
+        name="Custom 16-core server CPU",
+        vendor="intel",
+        topology=DomainTopology(16, DomainKind.PER_CORE, DomainKind.PER_CORE),
+        conservative_curve=curve,
+        nominal_frequency=f0,
+        cmos=cmos,
+        transitions=transitions,
+        exception_delay=INTEL_EXCEPTION_DELAY,
+        emulation_call_delay=INTEL_EMULATION_DELAY,
+        response=response,
+    )
+
+
+def main() -> None:
+    cpu = build_custom_cpu()
+    print(f"CPU: {cpu.name}")
+    points = cpu.operating_points(-0.097)
+    print(f"operating points at -97 mV: E speed {points.speed_e:.3f} / "
+          f"power {points.power_e:.3f}; Cf speed {points.speed_cf:.3f} / "
+          f"power {points.power_cf:.3f}\n")
+
+    profiles = [spec_profile(n) for n in ("557.xz", "502.gcc", "527.cam4")]
+    print("tuning the deadline for the slow regulator...")
+    tuned = grid_search(
+        cpu, profiles,
+        deadlines_s=(30e-6, 60e-6, 120e-6),
+        timespans_s=(450e-6,),
+        exception_counts=(3,),
+        deadline_factors=(7.0, 14.0),
+    )
+    print(f"best: p_dl = {tuned.best.deadline_s * 1e6:.0f} us, "
+          f"p_df = {tuned.best.thrash_deadline_factor:.0f} "
+          f"(avg efficiency {tuned.best_efficiency * 100:+.2f}%)\n")
+
+    suit = SuitSystem(cpu=cpu, strategy_name="fV", voltage_offset=-0.097,
+                      params=tuned.best)
+    for profile in profiles:
+        r = suit.run_profile(profile)
+        print(f"{r.workload:<10} perf {r.perf_change * 100:+6.2f}%  "
+              f"power {r.power_change * 100:+7.2f}%  "
+              f"efficiency {r.efficiency_change * 100:+6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Capstone: operating a SUIT data-center fleet.
+
+Combines the repository's operational pieces the way a fleet operator
+would (the paper's section 3.1 deployment story): per-machine offsets
+chosen from age and core temperature, trap-aware task placement across
+each machine's DVFS domains, adaptive strategy selection per workload,
+and a fleet-level report — with the security audit run for every chosen
+offset before it ships.
+
+Run:
+    python examples/datacenter_fleet.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import geomean_change
+from repro.core.policy import AdaptiveStrategyPolicy
+from repro.core.suit import SuitSystem
+from repro.faults.model import FaultModel
+from repro.security.analysis import check_efficient_curve
+from repro.workloads.network import NGINX_PROFILE
+from repro.workloads.spec import spec_profile
+
+FREQS = (2.0e9, 3.0e9, 4.0e9)
+
+#: The fleet: (name, age in years, typical core temperature).
+MACHINES = (
+    ("web-01 (new, cool)", 0.5, 55.0),
+    ("web-02 (mid-life)", 3.0, 65.0),
+    ("batch-01 (old, hot)", 9.0, 88.0),
+)
+
+WORKLOADS = ("557.xz", "502.gcc", "527.cam4")
+
+
+def pick_offset(chip, age_years: float, temp_c: float) -> float:
+    """Fleet policy: -97 mV where age and temperature allow, -70 mV
+    otherwise — validated with the reductionist audit before use."""
+    for offset in (-0.097, -0.070):
+        aged = chip.aged(age_years, temp_c=temp_c)
+        # Keep headroom for the hottest plausible excursion (aged()
+        # clamps the instantaneous-temperature part at the measured
+        # guardband range itself; aging acceleration keeps growing).
+        excursion = chip.aged(age_years, temp_c=temp_c + 10.0)
+        if (check_efficient_curve(aged, offset, FREQS).safe
+                and check_efficient_curve(excursion, offset, FREQS).safe):
+            return offset
+    raise RuntimeError("no safe offset; retire the machine from SUIT duty")
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    fleet_effs = []
+    print(f"{'machine':<22} {'offset':>8} {'strategy':>9} "
+          f"{'fleet workloads: efficiency':>30}")
+    print("-" * 75)
+    for name, age, temp in MACHINES:
+        suit_probe = SuitSystem.for_cpu("A")
+        chip = FaultModel().sample_chip(
+            suit_probe.cpu.conservative_curve, n_cores=4, rng=rng,
+            exhibits=True)
+        offset = pick_offset(chip, age, temp)
+
+        suit = SuitSystem.for_cpu("A", strategy_name="fV",
+                                  voltage_offset=offset)
+        policy = AdaptiveStrategyPolicy(suit.cpu)
+        effs = []
+        for wname in WORKLOADS:
+            profile = spec_profile(wname)
+            trace = suit._trace(profile)
+            _, result = policy.run(profile, trace, offset)
+            effs.append(result.efficiency_change)
+        nginx = suit.run_profile(NGINX_PROFILE)
+        effs.append(nginx.efficiency_change)
+        machine_eff = geomean_change(effs)
+        fleet_effs.append(machine_eff)
+        print(f"{name:<22} {offset * 1e3:+6.0f}mV {'fV/auto':>9} "
+              f"{machine_eff * 100:+28.2f}%")
+
+    print("-" * 75)
+    print(f"fleet geomean efficiency gain: "
+          f"{geomean_change(fleet_effs) * 100:+.2f}% — every offset passed "
+          "the security audit\nincluding a +10 degC excursion; old/hot "
+          "machines automatically retreat to -70 mV.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Sampled simulation: SPECcast-style evaluation at a fraction of the cost.
+
+The paper simulates only representative SPEC slices inside gem5
+(SPECcast); the same methodology works for the trace simulator.  This
+example evaluates a benchmark from 10 systematic windows covering 10 %
+of its trace and compares estimate, error and runtime against the full
+simulation.
+
+Run:
+    python examples/fast_evaluation.py
+"""
+
+import time
+
+from repro.core.params import DEFAULT_PARAMS_INTEL
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import strategy_for
+from repro.hardware.models import cpu_c_xeon_4208
+from repro.workloads.generator import generate_trace
+from repro.workloads.sampling import evaluate_sampled, sampling_error
+from repro.workloads.spec import spec_profile
+
+
+def main() -> None:
+    cpu = cpu_c_xeon_4208()
+    profile = spec_profile("520.omnetpp")  # the event-heaviest benchmark
+    trace = generate_trace(profile, seed=0)
+    print(f"workload: {profile.name} ({trace.n_events:,} faultable events)")
+
+    start = time.perf_counter()
+    full = TraceSimulator(cpu, profile, trace,
+                          strategy_for("fV", DEFAULT_PARAMS_INTEL),
+                          -0.097, seed=0).run()
+    t_full = time.perf_counter() - start
+
+    start = time.perf_counter()
+    estimate = evaluate_sampled(cpu, profile, trace, "fV", -0.097,
+                                n_windows=10, coverage=0.10)
+    t_sampled = time.perf_counter() - start
+
+    err_perf, err_power, err_eff = sampling_error(estimate, full)
+    print(f"\n{'':<12} {'perf':>9} {'power':>9} {'effic.':>9} {'runtime':>9}")
+    print(f"{'full':<12} {full.perf_change * 100:+8.2f}% "
+          f"{full.power_change * 100:+8.2f}% "
+          f"{full.efficiency_change * 100:+8.2f}% {t_full:8.2f}s")
+    print(f"{'sampled 10%':<12} {estimate.perf_change * 100:+8.2f}% "
+          f"{estimate.power_change * 100:+8.2f}% "
+          f"{estimate.efficiency_change * 100:+8.2f}% {t_sampled:8.2f}s")
+    print(f"{'abs. error':<12} {err_perf * 100:8.2f}pp "
+          f"{err_power * 100:8.2f}pp {err_eff * 100:8.2f}pp "
+          f"{t_full / max(t_sampled, 1e-9):7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

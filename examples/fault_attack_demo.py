@@ -1,0 +1,91 @@
+"""Why undervolting needs SUIT: the Bellcore RSA-CRT fault attack.
+
+Without SUIT, undervolting past IMUL's minimum stable voltage corrupts
+multiplications.  One corrupted CRT half-exponentiation is enough: the
+attacker factors the RSA modulus with a single gcd (Boneh-DeMillo-Lipton
+/ "Bellcore" attack — the same primitive Plundervolt exploited against
+SGX).  With SUIT, the hardened 4-cycle IMUL is stable at the efficient
+voltage and AESENC is trapped onto the conservative curve, so the same
+operating point produces no faults.
+
+Run:
+    python examples/fault_attack_demo.py
+"""
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultModel
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.security.attacks import (
+    AesFaultDemo,
+    RsaCrtSigner,
+    bellcore_attack,
+    rsa_keygen,
+)
+
+FREQ = 4.0e9
+UNDERVOLT = -0.100  # deeper than IMUL's margin, shallower than most others
+
+
+def attack_run(signer: RsaCrtSigner, key, message: int, tries: int = 12):
+    """Collect signatures until one is faulty and attackable."""
+    for attempt in range(1, tries + 1):
+        sig = signer.sign(message)
+        if signer.verify(message, sig):
+            continue
+        factor = bellcore_attack(key.n, key.e, message, sig)
+        if factor:
+            return attempt, factor
+    return None, None
+
+
+def main() -> None:
+    curve = DVFSCurve(I9_9900K_CURVE_POINTS)
+    chip = FaultModel().sample_chip(curve, n_cores=4,
+                                    rng=np.random.default_rng(11),
+                                    exhibits=True)
+    key = rsa_keygen(bits=512, seed=3)
+    message = int.from_bytes(b"invoice #4821: pay 100", "big")
+    v_under = curve.voltage_at(FREQ) + UNDERVOLT
+
+    print(f"RSA-512 key, signing at {FREQ / 1e9:.1f} GHz, "
+          f"{UNDERVOLT * 1e3:+.0f} mV undervolt\n")
+
+    # --- 1. Naive undervolting: stock 3-cycle IMUL -----------------------
+    injector = FaultInjector(chip, np.random.default_rng(5))
+    signer = RsaCrtSigner(key, injector, frequency=FREQ, voltage=v_under)
+    attempt, factor = attack_run(signer, key, message)
+    print("WITHOUT SUIT (stock IMUL, undervolted):")
+    if factor:
+        print(f"  faulty signature on attempt {attempt}; "
+              f"gcd reveals prime factor p = {hex(factor)[:20]}...")
+        print("  -> private key fully recovered. System broken.\n")
+    else:
+        print("  no usable fault this run (try another seed)\n")
+
+    # --- 2. SUIT: hardened IMUL at the same operating point --------------
+    hardened = chip.with_hardened_imul()
+    injector2 = FaultInjector(hardened, np.random.default_rng(5))
+    signer2 = RsaCrtSigner(key, injector2, frequency=FREQ, voltage=v_under)
+    ok = all(signer2.verify(message, signer2.sign(message)) for _ in range(12))
+    print("WITH SUIT (4-cycle IMUL, same voltage):")
+    print(f"  12/12 signatures correct: {ok}; faults injected: "
+          f"{injector2.fault_count}\n")
+
+    # --- 3. AES: trapped instead of hardened ------------------------------
+    aes_key = bytes(range(16))
+    block = b"super secret txt"
+    v_cons = curve.voltage_at(FREQ)  # SUIT re-executes AESENC here
+    naive = AesFaultDemo(aes_key, FaultInjector(chip, np.random.default_rng(6)),
+                         frequency=FREQ, voltage=v_under - 0.05)
+    suit = AesFaultDemo(aes_key, FaultInjector(chip, np.random.default_rng(6)),
+                        frequency=FREQ, voltage=v_cons)
+    print("AESENC under deep undervolt without SUIT: ciphertext corrupted:",
+          naive.encrypt_block(block) != naive.reference(block))
+    print("AESENC trapped onto the conservative curve (SUIT): correct:",
+          suit.encrypt_block(block) == suit.reference(block))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: run SUIT on the paper's Xeon and read the headline numbers.
+
+Configures SUIT on CPU C (Intel Xeon Silver 4208, per-core DVFS domains)
+with the combined -97 mV undervolt and the fV operating strategy, then
+runs three representative workloads:
+
+* 557.xz      — almost no faultable instructions: lives on the efficient
+                curve and collects the full undervolting dividend.
+* 520.omnetpp — faultable instructions everywhere: SUIT parks it on the
+                conservative curve and costs it (almost) nothing.
+* nginx       — bursty AES traffic: the case the trap+deadline design
+                was built for.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import SuitSystem, spec_profile
+from repro.workloads.network import NGINX_PROFILE
+
+
+def main() -> None:
+    suit = SuitSystem.for_cpu("C", strategy_name="fV", voltage_offset=-0.097)
+    print(f"CPU: {suit.cpu.name}")
+    print(f"strategy: {suit.strategy_name}, offset: "
+          f"{suit.voltage_offset * 1e3:+.0f} mV, deadline: "
+          f"{suit.params.deadline_s * 1e6:.0f} us\n")
+
+    workloads = [
+        spec_profile("557.xz"),
+        spec_profile("520.omnetpp"),
+        NGINX_PROFILE,
+    ]
+    header = (f"{'workload':<14} {'perf':>8} {'power':>8} {'effic.':>8} "
+              f"{'on-E':>6} {'traps':>7}")
+    print(header)
+    print("-" * len(header))
+    for profile in workloads:
+        r = suit.run_profile(profile)
+        print(f"{r.workload:<14} {r.perf_change * 100:+7.2f}% "
+              f"{r.power_change * 100:+7.2f}% "
+              f"{r.efficiency_change * 100:+7.2f}% "
+              f"{r.efficient_occupancy * 100:5.1f}% "
+              f"{r.n_exceptions:>7d}")
+
+    print("\nSUIT keeps trap-sparse code on the efficient curve (big "
+          "efficiency win),\nparks trap-dense code on the conservative "
+          "curve (no loss), and absorbs\ncrypto bursts with one trap per "
+          "burst.")
+
+
+if __name__ == "__main__":
+    main()

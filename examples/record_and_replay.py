@@ -1,0 +1,56 @@
+"""Record a trace from a real computation, then run SUIT on it.
+
+The paper collects traces by instrumenting QEMU under real programs.
+This example does the in-repository equivalent: a TLS-like server loop
+performs *actual* AES-CTR encryption and GHASH authentication (the
+ciphertext is bit-exact), the recorder logs every faultable instruction,
+and the resulting trace is fed to the SUIT simulator.
+
+Run:
+    python examples/record_and_replay.py
+"""
+
+from repro.core.suit import SuitSystem
+from repro.isa.opcodes import Opcode
+from repro.workloads.analysis import burst_statistics
+from repro.workloads.programs import record_tls_server_trace
+from repro.workloads.profile import WorkloadProfile
+
+
+def main() -> None:
+    print("recording: 30 HTTPS responses of 4 kB, real AES-CTR + GHASH...")
+    trace, total = record_tls_server_trace(
+        n_requests=30, response_bytes=4096, think_instructions=3_000_000,
+        seed=7)
+    stats = burst_statistics(trace, burst_threshold=200_000)
+    print(f"  {total:,} bytes encrypted -> {trace.n_events:,} faultable "
+          f"instructions in {trace.n_instructions:,} total")
+    print(f"  burst structure: {stats.n_bursts} bursts, "
+          f"mean intra-burst gap {stats.mean_intra_gap:.1f} instructions, "
+          f"median inter-burst gap {stats.median_inter_gap:.2e}\n")
+
+    profile = WorkloadProfile(
+        name=trace.name, suite="network",
+        n_instructions=trace.n_instructions, ipc=trace.ipc,
+        efficient_occupancy=0.5, n_episodes=stats.n_bursts,
+        dense_gap=max(stats.mean_intra_gap, 1.0),
+        nosimd_overhead={"intel": -0.05, "amd": -0.06},
+        opcode_mix={Opcode.AESENC: 0.9, Opcode.VPCLMULQDQ: 0.1})
+
+    for strategy in ("fV", "e"):
+        suit = SuitSystem.for_cpu("C", strategy_name=strategy,
+                                  voltage_offset=-0.097)
+        suit.prime_trace(profile, trace)
+        r = suit.run_profile(profile)
+        print(f"strategy {strategy:>2}: perf {r.perf_change * 100:+7.2f}%  "
+              f"power {r.power_change * 100:+7.2f}%  "
+              f"efficiency {r.efficiency_change * 100:+7.2f}%  "
+              f"traps {r.n_exceptions}")
+
+    print("\nfV takes one trap per response burst; emulation pays two kernel"
+          "\ntransitions per AES round — the Table 6 contrast, on a trace"
+          "\nrecorded from the actual computation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Choosing an operating strategy per workload (paper section 4.3 / 6.8).
+
+Runs the four operating strategies — fV (combined), f (frequency-only),
+V (voltage-only) and e (user-space emulation) — over three workload
+shapes on two CPUs, showing the paper's conclusions emerge:
+
+* fV is the robust "one fits all" choice on fast-switching Intel parts;
+* emulation wins for trap-sparse code and collapses on crypto bursts;
+* the voltage-only path pays the regulator settle time on every trap;
+* the slow AMD frequency ramps hurt every switching strategy.
+
+Run:
+    python examples/strategy_comparison.py
+"""
+
+from repro import SuitSystem, spec_profile
+from repro.workloads.network import NGINX_PROFILE
+
+WORKLOADS = [
+    spec_profile("557.xz"),      # trap-sparse
+    spec_profile("502.gcc"),     # mixed
+    NGINX_PROFILE,               # crypto bursts
+]
+
+CONFIGS = [
+    ("A", "fV"), ("A", "V"), ("A", "e"),
+    ("B", "f"), ("B", "e"),
+    ("C", "fV"),
+]
+
+
+def main() -> None:
+    print(f"{'cpu':<4} {'strategy':<9}" +
+          "".join(f"{p.name:>14}" for p in WORKLOADS) + "   (efficiency)")
+    print("-" * 70)
+    shared = {}
+    for cpu_name, strategy in CONFIGS:
+        suit = SuitSystem.for_cpu(cpu_name, strategy_name=strategy,
+                                  voltage_offset=-0.097)
+        # Share synthesised traces across configurations per workload.
+        for profile in WORKLOADS:
+            if profile.name in shared:
+                suit.prime_trace(profile, shared[profile.name])
+        cells = []
+        for profile in WORKLOADS:
+            result = suit.run_profile(profile)
+            shared.setdefault(profile.name, suit._trace(profile))
+            cells.append(f"{result.efficiency_change * 100:+13.1f}%")
+        print(f"{cpu_name:<4} {strategy:<9}" + "".join(cells))
+
+    print("\nReading guide: emulation ('e') is great until the workload "
+          "actually traps;\nnginx under emulation pays two kernel "
+          "transitions per AES instruction.\nThe fV strategy never loses "
+          "badly anywhere — the paper's default.")
+
+
+if __name__ == "__main__":
+    main()

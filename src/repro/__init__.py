@@ -1,0 +1,89 @@
+"""SUIT: Secure Undervolting with Instruction Traps — full reproduction.
+
+A Python reproduction of Juffinger, Kalinin, Gruss and Mueller, *SUIT:
+Secure Undervolting with Instruction Traps* (ASPLOS 2024): the SUIT
+hardware-software co-design plus every substrate its evaluation rests on
+(CMOS power/DVFS models, undervolting fault models, CPU transition
+dynamics, an out-of-order pipeline model, synthetic workload traces,
+instruction emulation and the security analysis).
+
+Quickstart:
+    >>> from repro import SuitSystem, spec_profile
+    >>> suit = SuitSystem.for_cpu("C", strategy_name="fV", voltage_offset=-0.097)
+    >>> result = suit.run_profile(spec_profile("557.xz"))
+    >>> round(result.efficiency_change, 3) > 0.1
+    True
+"""
+
+from repro.core import (
+    SuitSystem,
+    SimResult,
+    StrategyParams,
+    DEFAULT_PARAMS_INTEL,
+    DEFAULT_PARAMS_AMD,
+    SuitState,
+    FVStrategy,
+    FrequencyStrategy,
+    VoltageStrategy,
+    EmulationStrategy,
+    TraceSimulator,
+    geomean_change,
+    median_change,
+)
+from repro.core.suit import SuiteResult
+from repro.hardware import (
+    CpuModel,
+    cpu_a_i9_9900k,
+    cpu_b_ryzen_7700x,
+    cpu_c_xeon_4208,
+    cpu_i5_1035g1,
+)
+from repro.isa import Opcode, FAULTABLE_OPCODES, TABLE1_FAULT_COUNTS
+from repro.power import DVFSCurve, PState, GuardbandBudget
+from repro.workloads import (
+    WorkloadProfile,
+    FaultableTrace,
+    generate_trace,
+    spec_profile,
+    all_spec_profiles,
+    NGINX_PROFILE,
+    VLC_PROFILE,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SuitSystem",
+    "SuiteResult",
+    "SimResult",
+    "StrategyParams",
+    "DEFAULT_PARAMS_INTEL",
+    "DEFAULT_PARAMS_AMD",
+    "SuitState",
+    "FVStrategy",
+    "FrequencyStrategy",
+    "VoltageStrategy",
+    "EmulationStrategy",
+    "TraceSimulator",
+    "geomean_change",
+    "median_change",
+    "CpuModel",
+    "cpu_a_i9_9900k",
+    "cpu_b_ryzen_7700x",
+    "cpu_c_xeon_4208",
+    "cpu_i5_1035g1",
+    "Opcode",
+    "FAULTABLE_OPCODES",
+    "TABLE1_FAULT_COUNTS",
+    "DVFSCurve",
+    "PState",
+    "GuardbandBudget",
+    "WorkloadProfile",
+    "FaultableTrace",
+    "generate_trace",
+    "spec_profile",
+    "all_spec_profiles",
+    "NGINX_PROFILE",
+    "VLC_PROFILE",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline undervolting schemes SUIT is compared against (paper section 7).
+
+The related work falls into three families, all implemented here so the
+comparison the paper argues qualitatively can be run quantitatively:
+
+* :mod:`repro.baselines.naive` — guardband-shaving undervolting
+  (xDVS / CADU++ style): pick an offset from observed headroom and run
+  everything there.  Efficient but *insecure*: faultable instructions
+  compute wrong results once the offset crosses their margin, and the
+  aging guardband is consumed.
+* :mod:`repro.baselines.razor` — Razor-style circuit-level timing
+  speculation: shadow latches detect late transitions and replay the
+  pipeline, allowing per-chip near-margin voltage at the cost of extra
+  circuitry and replay energy.
+* :mod:`repro.baselines.ecc` — Bacha & Teodorescu's ECC-feedback
+  scheme: calibrate to the weakest cache line's faulting voltage and
+  let ECC absorb (and signal) the first errors.
+
+Each baseline reports the same metrics as SUIT (performance, power,
+efficiency) plus a *security verdict* from the shared fault model.
+"""
+
+from repro.baselines.naive import NaiveUndervolting, UndervoltOutcome
+from repro.baselines.razor import RazorCore
+from repro.baselines.ecc import EccFeedbackUndervolting
+
+__all__ = [
+    "NaiveUndervolting",
+    "UndervoltOutcome",
+    "RazorCore",
+    "EccFeedbackUndervolting",
+]

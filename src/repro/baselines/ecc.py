@@ -1,0 +1,112 @@
+"""ECC-feedback undervolting (Bacha & Teodorescu, paper section 7).
+
+On Itanium, cache SRAM lines fault first when undervolting, and their
+single-bit errors are both *correctable* and *observable* through ECC:
+a calibration phase lowers the voltage until the weakest line starts
+erroring, then backs off one step.  The authors report ~33 % power
+reduction.
+
+The paper's observation: this does not transfer to x86, where the first
+failures are silent *datapath* errors (IMUL, SIMD) that no ECC sees.
+:class:`EccFeedbackUndervolting` models both worlds: on an
+Itanium-like chip (SRAM margin narrower than every datapath margin) the
+scheme is safe and effective; on an x86-like chip the calibration point
+sits *below* the faultable-instruction margins and silently corrupts —
+the gap SUIT exists to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.model import CpuInstanceFaults
+from repro.hardware.cpu import CpuModel
+from repro.isa.faultable import FAULTABLE_OPCODES
+
+#: Calibration back-off above the weakest cache line (one VID step).
+ECC_BACKOFF_V = 0.005
+
+
+@dataclass
+class EccOutcome:
+    """Result of ECC-feedback calibration on one chip.
+
+    Attributes:
+        offset_v: calibrated offset (negative volts).
+        cache_margin_v: weakest cache line's margin (negative volts).
+        corrected_errors_per_gb: steady-state correctable error rate.
+        silent_datapath_faults: datapath instructions whose margin the
+            calibrated point crosses (0 on Itanium-like chips).
+        power_change: package power change at the calibrated point.
+    """
+
+    offset_v: float
+    cache_margin_v: float
+    corrected_errors_per_gb: float
+    silent_datapath_faults: int
+    power_change: float
+
+    @property
+    def secure(self) -> bool:
+        return self.silent_datapath_faults == 0
+
+
+class EccFeedbackUndervolting:
+    """Calibrate an undervolt from ECC feedback.
+
+    Args:
+        cpu: hardware model.
+        chip: chip instance for the datapath margins.
+        cache_margin_v: the weakest cache line's margin below the
+            conservative curve (negative volts).  Itanium-like parts
+            have shallow SRAM margins (~-40 mV, faulting first); x86
+            parts have deep ones (~-180 mV, faulting last).
+    """
+
+    def __init__(self, cpu: CpuModel, chip: CpuInstanceFaults,
+                 cache_margin_v: float = -0.180) -> None:
+        if cache_margin_v >= 0:
+            raise ValueError("cache margin must be negative")
+        self.cpu = cpu
+        self.chip = chip
+        self.cache_margin_v = cache_margin_v
+
+    def calibrate(self) -> EccOutcome:
+        """Run the calibration loop: descend until ECC reports errors,
+        back off one step, report what that operating point implies."""
+        offset = self.cache_margin_v + ECC_BACKOFF_V
+        f = self.cpu.nominal_frequency
+        voltage = self.cpu.nominal_voltage + offset
+
+        silent = 0
+        for op in FAULTABLE_OPCODES:
+            for core in range(self.chip.n_cores):
+                if self.chip.faults(op, core, f, voltage):
+                    silent += 1
+
+        # Near the knee a small correctable-error rate remains.
+        depth_past_knee = max(0.0, -(offset - self.cache_margin_v))
+        corrected = float(np.expm1(depth_past_knee * 200.0))
+
+        power = self.cpu.cmos.power_ratio(
+            f, voltage, f, self.cpu.nominal_voltage) - 1.0
+        return EccOutcome(
+            offset_v=offset,
+            cache_margin_v=self.cache_margin_v,
+            corrected_errors_per_gb=corrected,
+            silent_datapath_faults=silent,
+            power_change=power,
+        )
+
+    @classmethod
+    def itanium_like(cls, cpu: CpuModel, chip: CpuInstanceFaults) -> "EccFeedbackUndervolting":
+        """The original setting: SRAM faults first (~-40 mV margin)."""
+        return cls(cpu, chip, cache_margin_v=-0.040)
+
+    @classmethod
+    def x86_like(cls, cpu: CpuModel, chip: CpuInstanceFaults) -> "EccFeedbackUndervolting":
+        """The x86 setting the paper observed: SRAM margins deep, the
+        datapath faults first, blind to ECC."""
+        return cls(cpu, chip, cache_margin_v=-0.180)

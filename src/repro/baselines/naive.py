@@ -1,0 +1,152 @@
+"""Guardband-shaving undervolting (xDVS / CADU++ family, paper section 7).
+
+These schemes measure how far a chip can be undervolted before visible
+misbehaviour and run there (xDVS reports >200 mV, CADU++ ~240 mV on
+average).  They are very efficient — and the paper's core criticism
+applies: (1) the margin they consume *is* the aging/temperature
+guardband, and (2) between "visibly crashes" and "computes correctly"
+lies the silent-data-corruption window the fault attacks live in.
+
+:class:`NaiveUndervolting` runs a workload at a chosen offset on our
+shared fault model and reports efficiency *and* the security outcome:
+how many faultable-instruction executions were silently corruptible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.model import CpuInstanceFaults
+from repro.hardware.cpu import CpuModel, _effective_sim_offset
+from repro.isa.faultable import FAULTABLE_OPCODES
+from repro.workloads.trace import FaultableTrace
+
+#: Crash margin: offsets deeper than every instruction's margin by this
+#: much hit control logic and visibly crash (Murdock et al.: ~-250 mV).
+CRASH_SLACK_V = 0.010
+
+
+@dataclass
+class UndervoltOutcome:
+    """Result of one naive-undervolting run.
+
+    Attributes:
+        offset_v: applied offset (negative volts).
+        duration_s: run duration.
+        baseline_duration_s: duration at nominal voltage.
+        power_ratio: mean power relative to nominal.
+        silent_faults: faultable executions below their margin — each
+            one a potential silent data corruption / attack primitive.
+        crashed: offset deep enough to break control logic (visible).
+        consumed_aging_guardband_v: how much of the aging guardband the
+            offset eats (reliability debt, volts).
+    """
+
+    offset_v: float
+    duration_s: float
+    baseline_duration_s: float
+    power_ratio: float
+    silent_faults: int
+    crashed: bool
+    consumed_aging_guardband_v: float
+
+    @property
+    def perf_change(self) -> float:
+        return self.baseline_duration_s / self.duration_s - 1.0
+
+    @property
+    def power_change(self) -> float:
+        return self.power_ratio - 1.0
+
+    @property
+    def efficiency_change(self) -> float:
+        return (self.baseline_duration_s
+                / (self.duration_s * self.power_ratio)) - 1.0
+
+    @property
+    def secure(self) -> bool:
+        return self.silent_faults == 0 and not self.crashed
+
+
+class NaiveUndervolting:
+    """xDVS/CADU++-style static undervolting of a whole workload.
+
+    Args:
+        cpu: hardware model (provides power/boost response).
+        chip: concrete chip instance (provides fault margins).
+        instruction_variation_v: margin below which SIMD/IMUL silently
+            fault (chip-specific; read from the chip instance).
+    """
+
+    def __init__(self, cpu: CpuModel, chip: CpuInstanceFaults) -> None:
+        self.cpu = cpu
+        self.chip = chip
+
+    def max_visible_safe_offset(self, frequency: Optional[float] = None) -> float:
+        """The offset these schemes calibrate to: just above the point
+        where the system visibly misbehaves (crash / ECC storm) — i.e.
+        the *non-faultable* instruction margin, not the faultable one."""
+        f = frequency or self.cpu.nominal_frequency
+        worst = min(
+            self.chip.max_safe_offset(op, core, f)
+            for op in self.chip.margins
+            if op not in FAULTABLE_OPCODES
+            for core in range(self.chip.n_cores))
+        return worst + CRASH_SLACK_V
+
+    def first_silent_fault_offset(self, frequency: Optional[float] = None) -> float:
+        """Where silent corruption begins: the most sensitive faultable
+        instruction's margin (IMUL, typically)."""
+        f = frequency or self.cpu.nominal_frequency
+        return max(
+            self.chip.max_safe_offset(op, core, f)
+            for op in FAULTABLE_OPCODES
+            for core in range(self.chip.n_cores))
+
+    def run(self, trace: FaultableTrace, offset_v: float,
+            rng: Optional[np.random.Generator] = None) -> UndervoltOutcome:
+        """Execute *trace* entirely at *offset_v* (no traps, no curves).
+
+        Every faultable event executes at the reduced voltage; events
+        below their margin count as silent faults.
+        """
+        if offset_v >= 0:
+            raise ValueError("undervolting offsets are negative")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        f0 = self.cpu.nominal_frequency
+        v0 = self.cpu.nominal_voltage
+        response = self.cpu.response
+
+        baseline = trace.duration_s(f0)
+        speed = response.score_ratio(offset_v)
+        duration = baseline / speed
+        f_run = f0 * response.frequency_ratio(offset_v)
+        power = self.cpu.cmos.power_ratio(
+            f_run, v0 + _effective_sim_offset(offset_v), f0, v0)
+
+        voltage = v0 + offset_v
+        silent = 0
+        if trace.n_events:
+            codes = trace.opcodes
+            cores = rng.integers(0, self.chip.n_cores, size=trace.n_events)
+            for table_code, opcode in enumerate(trace.opcode_table):
+                mask = codes == table_code
+                for core in np.unique(cores[mask]):
+                    count = int(np.sum(mask & (cores == core)))
+                    if count and self.chip.faults(opcode, int(core), f0, voltage):
+                        silent += count
+
+        crashed = offset_v < self.max_visible_safe_offset() - CRASH_SLACK_V
+        return UndervoltOutcome(
+            offset_v=offset_v,
+            duration_s=duration,
+            baseline_duration_s=baseline,
+            power_ratio=power,
+            silent_faults=silent,
+            crashed=crashed,
+            consumed_aging_guardband_v=max(0.0, -offset_v),
+        )

@@ -1,0 +1,151 @@
+"""Razor-style timing speculation (Ernst et al., paper section 7).
+
+Razor augments critical-path flip-flops with shadow latches clocked on a
+delayed edge: a mismatch means the data arrived late, the pipeline
+replays the instruction, and a controller tunes the voltage to sit just
+at the error knee.  That finds each chip's true margin — including the
+faultable-instruction region SUIT must avoid — at three costs the paper
+cites for why Razor never shipped:
+
+* the shadow circuitry adds area and switching power everywhere;
+* every error costs a multi-cycle replay;
+* the error-rate controller must stay conservative enough that
+  metastability and control-path errors remain impossible.
+
+:class:`RazorCore` models that trade-off: given a target error rate it
+finds the operating voltage on the error-probability curve of the chip
+instance, then charges circuit overhead plus replay costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.model import CpuInstanceFaults
+from repro.hardware.cpu import CpuModel
+from repro.isa.opcodes import Opcode
+
+#: Added switching power of the shadow latches and error network
+#: (literature: a few percent of core power; Razor-II reports ~3 %).
+RAZOR_CIRCUIT_OVERHEAD = 0.035
+
+#: Replay penalty per detected timing error, in cycles.
+RAZOR_REPLAY_CYCLES = 11
+
+#: The controller keeps a slack band above the first control-path error
+#: (metastability guard), in volts.
+RAZOR_CONTROL_GUARD_V = 0.015
+
+
+@dataclass
+class RazorOutcome:
+    """Operating point and costs the Razor controller settles at.
+
+    Attributes:
+        offset_v: achieved undervolt (negative volts).
+        error_rate: timing errors per instruction at that point.
+        power_ratio: mean power vs nominal, including circuit overhead.
+        duration_ratio: runtime vs nominal, including replays.
+    """
+
+    offset_v: float
+    error_rate: float
+    power_ratio: float
+    duration_ratio: float
+
+    @property
+    def perf_change(self) -> float:
+        return 1.0 / self.duration_ratio - 1.0
+
+    @property
+    def power_change(self) -> float:
+        return self.power_ratio - 1.0
+
+    @property
+    def efficiency_change(self) -> float:
+        return 1.0 / (self.duration_ratio * self.power_ratio) - 1.0
+
+
+class RazorCore:
+    """A core with Razor-style error detection and replay.
+
+    Args:
+        cpu: hardware model.
+        chip: concrete chip instance (error-probability curves).
+        target_error_rate: errors per executed instruction the
+            controller aims for (classic Razor: ~1e-5 .. 1e-3).
+    """
+
+    def __init__(self, cpu: CpuModel, chip: CpuInstanceFaults,
+                 target_error_rate: float = 1e-4) -> None:
+        if not 0 < target_error_rate < 0.1:
+            raise ValueError("target error rate must be in (0, 0.1)")
+        self.cpu = cpu
+        self.chip = chip
+        self.target_error_rate = target_error_rate
+
+    def error_rate_at(self, offset_v: float,
+                      imul_density: float = 0.0007,
+                      simd_density: float = 0.001) -> float:
+        """Timing-error probability per instruction at *offset_v*.
+
+        Errors come from the instructions whose margins the offset
+        crosses, weighted by how often they execute; Razor detects them
+        where plain undervolting silently corrupts.
+        """
+        f = self.cpu.nominal_frequency
+        v = self.cpu.nominal_voltage + offset_v
+        rate = 0.0
+        densities = {Opcode.IMUL: imul_density}
+        share = simd_density / 11.0
+        for op in self.chip.margins:
+            if op is Opcode.IMUL:
+                density = densities[op]
+            elif op in densities:
+                density = densities[op]
+            else:
+                from repro.isa.faultable import FAULTABLE_OPCODES
+                if op in FAULTABLE_OPCODES:
+                    density = share
+                else:
+                    density = 1.0 - imul_density - simd_density
+            p = self.chip.fault_probability(op, 0, f, v)
+            rate += density * p
+        return min(rate, 1.0)
+
+    def settle(self, imul_density: float = 0.0007,
+               simd_density: float = 0.001,
+               ipc: float = 1.5) -> RazorOutcome:
+        """Find the controller's operating point and its costs."""
+        # Bisection on the monotone error-rate(offset) curve.
+        lo, hi = -0.300, -0.001
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.error_rate_at(mid, imul_density, simd_density) \
+                    > self.target_error_rate:
+                lo = mid  # too deep
+            else:
+                hi = mid
+        offset = hi + 0.0  # shallowest voltage meeting the target
+
+        # Control-path guard: stay above the non-faultable margin.
+        guard_limit = max(
+            self.chip.max_safe_offset(Opcode.ALU, core, self.cpu.nominal_frequency)
+            for core in range(self.chip.n_cores)) + RAZOR_CONTROL_GUARD_V
+        offset = max(offset, guard_limit)
+
+        error_rate = self.error_rate_at(offset, imul_density, simd_density)
+        replay_overhead = error_rate * RAZOR_REPLAY_CYCLES * ipc
+        duration_ratio = 1.0 + replay_overhead
+
+        f0 = self.cpu.nominal_frequency
+        v0 = self.cpu.nominal_voltage
+        power = self.cpu.cmos.power_ratio(f0, v0 + offset, f0, v0)
+        power *= 1.0 + RAZOR_CIRCUIT_OVERHEAD
+        return RazorOutcome(
+            offset_v=offset,
+            error_rate=error_rate,
+            power_ratio=power,
+            duration_ratio=duration_ratio,
+        )

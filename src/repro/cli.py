@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``simulate``  — run a workload under SUIT and print the result.
+* ``suite``     — run a workload suite and print Table 6-style aggregates.
+* ``trace``     — synthesise / record / inspect traces (.npz files).
+* ``tune``      — grid-search the operating-strategy parameters.
+* ``reproduce`` — run the paper's experiments (wrapper over runall).
+* ``figures``   — render the regenerated figures as terminal plots.
+* ``audit``     — run the security audit on a sampled chip.
+
+Examples:
+    python -m repro simulate --cpu C --workload 557.xz --strategy fV
+    python -m repro suite --cpu A --offset -0.070
+    python -m repro trace gen --workload nginx --out /tmp/nginx.npz
+    python -m repro trace info /tmp/nginx.npz
+    python -m repro tune --cpu C
+    python -m repro audit --offset -0.097
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _resolve_profile(name: str):
+    from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE
+    from repro.workloads.spec import SPEC_PROFILES
+
+    if name == "nginx":
+        return NGINX_PROFILE
+    if name == "vlc":
+        return VLC_PROFILE
+    if name in SPEC_PROFILES:
+        return SPEC_PROFILES[name]
+    matches = [k for k in SPEC_PROFILES if name in k]
+    if len(matches) == 1:
+        return SPEC_PROFILES[matches[0]]
+    known = sorted(SPEC_PROFILES) + ["nginx", "vlc"]
+    raise SystemExit(f"unknown workload {name!r}; known: {', '.join(known)}")
+
+
+def _print_result(r) -> None:
+    print(f"workload   : {r.workload}")
+    print(f"cpu        : {r.cpu_name}")
+    print(f"strategy   : {r.strategy} @ {r.voltage_offset * 1e3:+.0f} mV")
+    print(f"performance: {r.perf_change * 100:+.2f}%")
+    print(f"power      : {r.power_change * 100:+.2f}%")
+    print(f"efficiency : {r.efficiency_change * 100:+.2f}%")
+    print(f"on E curve : {r.efficient_occupancy * 100:.1f}% of run time")
+    print(f"#DO traps  : {r.n_exceptions}  (timer returns: {r.n_timer_fires}, "
+          f"thrash stretches: {r.n_thrash_stretches})")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one workload under SUIT and print the result."""
+    from repro.core.suit import SuitSystem
+
+    suit = SuitSystem.for_cpu(args.cpu, strategy_name=args.strategy,
+                              voltage_offset=args.offset,
+                              n_cores=args.cores, seed=args.seed)
+    profile = _resolve_profile(args.workload)
+    _print_result(suit.run_profile(profile))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """Run the SPEC suite and print Table 6-style aggregates."""
+    from repro.core.suit import SuitSystem
+    from repro.workloads.spec import all_spec_profiles
+
+    suit = SuitSystem.for_cpu(args.cpu, strategy_name=args.strategy,
+                              voltage_offset=args.offset,
+                              n_cores=args.cores, seed=args.seed)
+    profiles = all_spec_profiles()
+    if args.quick:
+        profiles = profiles[::4]
+    print(f"running {len(profiles)} workloads on {suit.cpu.name} "
+          f"({args.strategy}, {args.offset * 1e3:+.0f} mV)...")
+    suite = suit.evaluate_suite(profiles)
+    for r in suite.results:
+        print(f"  {r.workload:<16} perf {r.perf_change * 100:+6.2f}%  "
+              f"pwr {r.power_change * 100:+7.2f}%  "
+              f"eff {r.efficiency_change * 100:+6.2f}%")
+    print(f"gmean: perf {suite.perf_gmean * 100:+.2f}%  "
+          f"pwr {suite.power_gmean * 100:+.2f}%  "
+          f"eff {suite.efficiency_gmean * 100:+.2f}%  "
+          f"occupancy {suite.mean_occupancy:.2f}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate, record or inspect trace files."""
+    from repro.workloads.analysis import burst_statistics
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.programs import record_tls_server_trace
+    from repro.workloads.trace import FaultableTrace
+
+    if args.trace_cmd == "gen":
+        trace = generate_trace(_resolve_profile(args.workload), seed=args.seed)
+        trace.save(args.out)
+        print(f"wrote {trace.n_events:,} events "
+              f"({trace.n_instructions:,} instructions) to {args.out}")
+        return 0
+    if args.trace_cmd == "record":
+        trace, total = record_tls_server_trace(
+            n_requests=args.requests, response_bytes=args.bytes,
+            seed=args.seed)
+        trace.save(args.out)
+        print(f"recorded {total:,} encrypted bytes -> {trace.n_events:,} "
+              f"events; wrote {args.out}")
+        return 0
+    # info
+    trace = FaultableTrace.load(args.path)
+    stats = burst_statistics(trace)
+    print(f"name          : {trace.name}")
+    print(f"instructions  : {trace.n_instructions:,} (IPC {trace.ipc})")
+    print(f"events        : {trace.n_events:,} "
+          f"(1 per {1 / max(trace.faultable_rate, 1e-18):,.0f} instructions)")
+    print(f"bursts        : {stats.n_bursts} "
+          f"(mean length {stats.mean_burst_length:.1f}, "
+          f"intra-gap {stats.mean_intra_gap:,.0f})")
+    opcode_counts = {}
+    for code, op in enumerate(trace.opcode_table):
+        opcode_counts[op.name] = int((trace.opcodes == code).sum())
+    print(f"opcodes       : {opcode_counts}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Grid-search the operating-strategy parameters."""
+    from repro.core.tuning import grid_search
+    from repro.hardware.models import ALL_CPU_FACTORIES
+    from repro.workloads.spec import SPEC_PROFILES
+
+    cpu = ALL_CPU_FACTORIES[args.cpu]()
+    profiles = [SPEC_PROFILES[n] for n in ("557.xz", "502.gcc", "527.cam4")]
+    result = grid_search(
+        cpu, profiles,
+        deadlines_s=[float(x) * 1e-6 for x in args.deadlines.split(",")],
+        timespans_s=(450e-6,),
+        exception_counts=(3,),
+        deadline_factors=(7.0, 14.0),
+        strategy_name="f" if cpu.transitions.voltage is None else "fV",
+        voltage_offset=args.offset,
+        seed=args.seed,
+    )
+    print(f"best parameters on {cpu.name}:")
+    print(f"  p_dl = {result.best.deadline_s * 1e6:.0f} us, "
+          f"p_df = {result.best.thrash_deadline_factor:.0f} "
+          f"(efficiency {result.best_efficiency * 100:+.2f}%)")
+    print(f"  grid spread: {result.sensitivity() * 100:.2f} pp "
+          "(flat plateau = robust OS-wide policy)")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the paper's experiments (wrapper over runall)."""
+    from repro.experiments.runall import main as runall_main
+
+    argv: List[str] = []
+    if args.fast:
+        argv.append("--fast")
+    if args.only:
+        argv.extend(["--only", *args.only])
+    return runall_main(argv)
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Render the regenerated figures as terminal plots."""
+    from repro.experiments.figures import render, render_all
+
+    if args.which == "all":
+        print(render_all(fast=not args.full))
+    else:
+        print(render(args.which, fast=not args.full))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Security-audit a sampled chip at an offset (exit 1 if unsafe)."""
+    from repro.faults.model import FaultModel
+    from repro.hardware.models import ALL_CPU_FACTORIES
+    from repro.security.analysis import reductionist_argument
+
+    cpu = ALL_CPU_FACTORIES[args.cpu]()
+    chip = FaultModel().sample_chip(
+        cpu.conservative_curve, n_cores=args.chip_cores,
+        rng=np.random.default_rng(args.seed), exhibits=True)
+    verdict = reductionist_argument(chip, args.offset,
+                                    frequencies=(2e9, 3e9, cpu.nominal_frequency))
+    print(f"chip sampled from {cpu.name} population (seed {args.seed})")
+    print(f"conservative curve safe: {verdict.conservative.safe} "
+          f"({verdict.conservative.checked} points)")
+    print(f"efficient curve ({args.offset * 1e3:+.0f} mV) safe: "
+          f"{verdict.efficient.safe} ({verdict.efficient.checked} points)")
+    if not verdict.efficient.safe:
+        for op, core, freq in verdict.efficient.violations[:10]:
+            print(f"  VIOLATION: {op.name} on core {core} at {freq / 1e9:.1f} GHz")
+    print(f"reductionist argument holds: {verdict.holds}")
+    return 0 if verdict.holds else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SUIT reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cpu", default="C", choices=["A", "B", "C", "i5"])
+        p.add_argument("--offset", type=float, default=-0.097,
+                       help="efficient-curve offset in volts (negative)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="run one workload under SUIT")
+    common(p)
+    p.add_argument("--workload", default="557.xz")
+    p.add_argument("--strategy", default="fV", choices=["fV", "f", "V", "e"])
+    p.add_argument("--cores", type=int, default=1)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("suite", help="run the SPEC suite")
+    common(p)
+    p.add_argument("--strategy", default="fV", choices=["fV", "f", "V", "e"])
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--quick", action="store_true", help="subset of workloads")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("trace", help="generate / record / inspect traces")
+    trace_sub = p.add_subparsers(dest="trace_cmd", required=True)
+    g = trace_sub.add_parser("gen", help="synthesise a profile's trace")
+    g.add_argument("--workload", required=True)
+    g.add_argument("--out", required=True)
+    g.add_argument("--seed", type=int, default=0)
+    r = trace_sub.add_parser("record", help="record the TLS-server program")
+    r.add_argument("--requests", type=int, default=40)
+    r.add_argument("--bytes", type=int, default=4096)
+    r.add_argument("--out", required=True)
+    r.add_argument("--seed", type=int, default=0)
+    i = trace_sub.add_parser("info", help="inspect a saved trace")
+    i.add_argument("path")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("tune", help="parameter grid search")
+    common(p)
+    p.add_argument("--deadlines", default="10,20,30,60,120",
+                   help="comma-separated deadlines in microseconds")
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("reproduce", help="run the paper's experiments")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--only", nargs="*")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("figures", help="render the figures as terminal plots")
+    p.add_argument("which", nargs="?", default="all",
+                   help="fig5|fig7|fig12|fig13|fig14|fig16|all")
+    p.add_argument("--full", action="store_true",
+                   help="full (slower) experiment runs behind the plots")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("audit", help="security audit of a sampled chip")
+    common(p)
+    p.add_argument("--chip-cores", type=int, default=4)
+    p.set_defaults(func=cmd_audit)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""SUIT versus heterogeneous (P/E-core) designs (paper section 7).
+
+big.LITTLE-style CPUs fix the split between performance and efficiency
+cores at design time; "by design, they lack support for dynamic
+adjustment of the number of cores for each type.  SUIT dynamically
+adapts to workloads by running any number of cores with the
+conservative or efficient DVFS curves."
+
+This module quantifies that claim: a homogeneous SUIT package adapts
+each core's curve to its task, while a static P/E package must serve
+whatever task lands on whatever core type exists.  When the workload
+mix shifts, the static split is wrong in one direction or the other;
+SUIT is never worse than the best static split for the current mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hardware.cpu import CpuModel
+
+
+@dataclass(frozen=True)
+class PhaseTask:
+    """A task characterised by its trap intensity.
+
+    Attributes:
+        name: label.
+        efficient_fraction: fraction of the task's time SUIT can spend
+            on the efficient curve (1.0 = trap-free, 0.0 = trap-dense).
+    """
+
+    name: str
+    efficient_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.efficient_fraction <= 1.0:
+            raise ValueError("efficient_fraction must be a fraction")
+
+
+@dataclass(frozen=True)
+class CoreTypeRates:
+    """Throughput and power of the available core operating modes.
+
+    Attributes are (relative speed, relative power) pairs; the
+    conservative mode is the 1.0/1.0 reference.
+    """
+
+    conservative: Tuple[float, float] = (1.0, 1.0)
+    efficient: Tuple[float, float] = (1.03, 0.87)
+    e_core: Tuple[float, float] = (0.55, 0.35)  # little core
+
+    @classmethod
+    def from_cpu(cls, cpu: CpuModel, voltage_offset: float = -0.097,
+                 e_core: Tuple[float, float] = (0.55, 0.35)) -> "CoreTypeRates":
+        points = cpu.operating_points(voltage_offset)
+        return cls(
+            conservative=(1.0, 1.0),
+            efficient=(points.speed_e, points.power_e),
+            e_core=e_core,
+        )
+
+
+@dataclass
+class MixOutcome:
+    """Throughput-per-watt of one design on one task mix.
+
+    Attributes:
+        label: design description.
+        throughput: total relative throughput.
+        power: total relative power.
+    """
+
+    label: str
+    throughput: float
+    power: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.throughput / self.power if self.power else 0.0
+
+    @property
+    def edp_score(self) -> float:
+        """Inverse energy-delay product (throughput^2 / power): the
+        balanced metric — little cores win raw perf/watt by giving up
+        throughput; EDP charges them for it."""
+        return self.throughput ** 2 / self.power if self.power else 0.0
+
+
+def suit_outcome(tasks: Sequence[PhaseTask], rates: CoreTypeRates) -> MixOutcome:
+    """A homogeneous SUIT package: each core runs its task, spending the
+    task's efficient fraction on the efficient curve."""
+    throughput = 0.0
+    power = 0.0
+    for task in tasks:
+        f = task.efficient_fraction
+        s_e, p_e = rates.efficient
+        s_c, p_c = rates.conservative
+        throughput += f * s_e + (1 - f) * s_c
+        power += f * p_e + (1 - f) * p_c
+    return MixOutcome("SUIT (adaptive curves)", throughput, power)
+
+
+def static_pe_outcome(tasks: Sequence[PhaseTask], rates: CoreTypeRates,
+                      n_e_cores: int) -> MixOutcome:
+    """A static P/E split: the *n_e_cores* least trap-intense tasks run
+    on little cores (their best placement), the rest on P cores at the
+    conservative point (no SUIT: undervolting P cores would be unsafe).
+    """
+    if not 0 <= n_e_cores <= len(tasks):
+        raise ValueError("n_e_cores out of range")
+    ordered = sorted(tasks, key=lambda t: -t.efficient_fraction)
+    throughput = 0.0
+    power = 0.0
+    for i, task in enumerate(ordered):
+        speed, pwr = (rates.e_core if i < n_e_cores else rates.conservative)
+        throughput += speed
+        power += pwr
+    return MixOutcome(f"static {len(tasks) - n_e_cores}P+{n_e_cores}E",
+                      throughput, power)
+
+
+def best_static_split(tasks: Sequence[PhaseTask],
+                      rates: CoreTypeRates) -> MixOutcome:
+    """The best static P/E split for this exact mix (the oracle the
+    designer would have needed to know in advance)."""
+    outcomes = [static_pe_outcome(tasks, rates, k)
+                for k in range(len(tasks) + 1)]
+    return max(outcomes, key=lambda o: o.edp_score)
+
+
+def compare_over_mixes(mixes: Dict[str, Sequence[PhaseTask]],
+                       rates: CoreTypeRates,
+                       designed_e_cores: int) -> List[Tuple[str, MixOutcome, MixOutcome]]:
+    """For each mix: SUIT vs the design-time-fixed P/E split.
+
+    Returns (mix label, suit outcome, static outcome) triples.
+    """
+    results = []
+    for label, tasks in mixes.items():
+        results.append((label,
+                        suit_outcome(tasks, rates),
+                        static_pe_outcome(tasks, rates, designed_e_cores)))
+    return results

@@ -1,0 +1,67 @@
+"""Operating-strategy parameters (paper section 4.3, Table 7).
+
+Four knobs tune the fV strategy and its thrashing prevention:
+
+* ``p_dl`` — the deadline: maximum time between two potentially faulting
+  instructions before switching back to the efficient curve.
+* ``p_ts`` — the look-back window of thrashing prevention.
+* ``p_ec`` — the #DO count within ``p_ts`` that triggers it.
+* ``p_df`` — the factor the deadline is multiplied by while thrashing.
+
+Table 7 reports the optima found by the paper's parameter search:
+30 us / 450 us / 3 / 14 for the Intel CPUs (A and C) and
+700 us / 14 ms / 4 / 9 for the slow-switching AMD part (B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StrategyParams:
+    """fV / thrashing-prevention parameter set.
+
+    Attributes:
+        deadline_s: ``p_dl`` in seconds.
+        thrash_timespan_s: ``p_ts`` in seconds.
+        thrash_exception_count: ``p_ec``.
+        thrash_deadline_factor: ``p_df``.
+    """
+
+    deadline_s: float = 30e-6
+    thrash_timespan_s: float = 450e-6
+    thrash_exception_count: int = 3
+    thrash_deadline_factor: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.thrash_timespan_s <= 0:
+            raise ValueError("thrashing timespan must be positive")
+        if self.thrash_exception_count < 1:
+            raise ValueError("thrashing exception count must be >= 1")
+        if self.thrash_deadline_factor < 1.0:
+            raise ValueError("thrashing deadline factor must be >= 1")
+
+    def scaled_deadline(self, thrashing: bool) -> float:
+        """The deadline to arm: stretched while thrashing is detected."""
+        if thrashing:
+            return self.deadline_s * self.thrash_deadline_factor
+        return self.deadline_s
+
+
+#: Table 7 optimum for CPUs A and C (fast Intel switching).
+DEFAULT_PARAMS_INTEL = StrategyParams(30e-6, 450e-6, 3, 14.0)
+
+#: Table 7 optimum for CPU B (slow AMD frequency ramps).
+DEFAULT_PARAMS_AMD = StrategyParams(700e-6, 14e-3, 4, 9.0)
+
+
+def default_params_for(vendor: str) -> StrategyParams:
+    """The Table 7 parameter set for a CPU vendor."""
+    if vendor == "intel":
+        return DEFAULT_PARAMS_INTEL
+    if vendor == "amd":
+        return DEFAULT_PARAMS_AMD
+    raise ValueError(f"unknown vendor {vendor!r}")

@@ -1,0 +1,100 @@
+"""Per-core efficient-curve offsets (binning within a package).
+
+Kogler et al. measured instruction margins differing not just between
+chips but *between cores of one chip*; on CPUs with per-core voltage
+domains (the paper's CPU C) SUIT can therefore give every core its own
+efficient offset instead of the package-wide worst case.  The vendor
+(or a calibration daemon) measures each core's kept-set margin and
+programs the deepest safe offset per core, capped by the
+aging/temperature budget.
+
+One-size-fits-all must provision for the package's weakest core; the
+per-core scheme recovers the margin the stronger cores leave unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.faults.model import CpuInstanceFaults
+from repro.hardware.cpu import CpuModel, _effective_sim_offset
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+
+#: Calibration slack above each core's tightest kept margin.
+PER_CORE_SLACK_V = 0.008
+
+
+@dataclass(frozen=True)
+class PerCorePlan:
+    """Offsets per core plus the uniform fallback.
+
+    Attributes:
+        per_core_offsets_v: the deepest safe offset of each core
+            (negative volts), budget-capped.
+        uniform_offset_v: the package-wide offset (the weakest core's).
+    """
+
+    per_core_offsets_v: Sequence[float]
+    uniform_offset_v: float
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.per_core_offsets_v)
+
+    @property
+    def spread_v(self) -> float:
+        """Margin spread between strongest and weakest core."""
+        return max(self.per_core_offsets_v) - min(self.per_core_offsets_v)
+
+
+def plan_per_core_offsets(chip: CpuInstanceFaults,
+                          frequencies: Sequence[float],
+                          budget_cap_v: float = -0.150,
+                          preserved_guardband_v: float = 0.172) -> PerCorePlan:
+    """Derive per-core offsets from the chip's kept-set margins.
+
+    The usable offset per core is its tightest kept-instruction margin
+    minus the guardbands that must survive (aging 137 mV + temperature
+    35 mV by default, per Fig 2) plus calibration slack — the same
+    construction as the vendor bring-up example, per core.
+
+    Args:
+        chip: the measured chip instance.
+        frequencies: operating frequencies the offsets must hold at.
+        budget_cap_v: absolute floor for any offset (negative volts).
+        preserved_guardband_v: the aging+temperature reserve (positive).
+    """
+    if budget_cap_v >= 0:
+        raise ValueError("the budget cap is a negative offset")
+    if preserved_guardband_v < 0:
+        raise ValueError("the preserved guardband is non-negative")
+    hardened = chip.with_hardened_imul()
+    kept = [op for op in Opcode if op not in TRAPPED_OPCODES]
+    offsets: List[float] = []
+    for core in range(hardened.n_cores):
+        margin = max(hardened.max_safe_offset(op, core, freq)
+                     for op in kept for freq in frequencies)
+        usable = margin + preserved_guardband_v + PER_CORE_SLACK_V
+        offsets.append(min(max(usable, budget_cap_v), -0.001))
+    return PerCorePlan(per_core_offsets_v=tuple(offsets),
+                       uniform_offset_v=max(offsets))
+
+
+def mean_power_ratio(cpu: CpuModel, offsets_v: Sequence[float]) -> float:
+    """Package power (relative) with each core at its own offset,
+    assuming equal per-core load."""
+    f0 = cpu.nominal_frequency
+    v0 = cpu.nominal_voltage
+    ratios = [cpu.cmos.power_ratio(f0, v0 + _effective_sim_offset(off), f0, v0)
+              for off in offsets_v]
+    return sum(ratios) / len(ratios)
+
+
+def per_core_gain(cpu: CpuModel, plan: PerCorePlan) -> float:
+    """Extra power saving of the per-core plan over the uniform one
+    (positive fraction of package power)."""
+    uniform = mean_power_ratio(cpu, [plan.uniform_offset_v] * plan.n_cores)
+    per_core = mean_power_ratio(cpu, plan.per_core_offsets_v)
+    return uniform - per_core

@@ -1,0 +1,185 @@
+"""Trap-aware task placement across DVFS domains (paper section 7).
+
+The related work (Nest, frequency-aware schedulers) minimises frequency
+changes by placing tasks deliberately; the paper notes "similar
+scheduling methods could also be used in conjunction with SUIT to
+minimize DVFS curve changes".  This module implements that idea for
+multi-domain packages (e.g. a dual-socket system, or a consumer part
+with two clock groups):
+
+every trap anywhere in a shared domain drags *all* of the domain's
+cores onto the conservative curve, so mixing one trap-dense task with
+trap-free ones poisons the whole domain.  Partitioning trap-heavy tasks
+together leaves the other domains permanently efficient.
+
+:func:`plan_partition` produces the placement; :func:`evaluate_plan`
+simulates every domain (merged event streams) and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import SimResult, geomean_change
+from repro.core.params import StrategyParams, default_params_for
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import strategy_for
+from repro.hardware.cpu import CpuModel
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable task: a workload profile plus its trace."""
+
+    profile: WorkloadProfile
+    trace: FaultableTrace
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def trap_rate(self) -> float:
+        return self.trace.faultable_rate
+
+
+@dataclass
+class Placement:
+    """A task-to-domain assignment.
+
+    Attributes:
+        domains: task lists per domain.
+        policy: label of the placement policy that produced it.
+    """
+
+    domains: List[List[Task]]
+    policy: str
+
+    def describe(self) -> str:
+        """Human-readable domain assignment summary."""
+        parts = []
+        for i, tasks in enumerate(self.domains):
+            names = ", ".join(t.name for t in tasks) or "(idle)"
+            parts.append(f"domain {i}: {names}")
+        return "; ".join(parts)
+
+
+def plan_round_robin(tasks: Sequence[Task], n_domains: int) -> Placement:
+    """The naive baseline: spread tasks across domains in order."""
+    domains: List[List[Task]] = [[] for _ in range(n_domains)]
+    for i, task in enumerate(tasks):
+        domains[i % n_domains].append(task)
+    return Placement(domains=domains, policy="round-robin")
+
+
+def plan_partition(tasks: Sequence[Task], n_domains: int) -> Placement:
+    """Trap-aware placement: sort by trap rate and fill domains so that
+    trap-dense tasks share domains and trap-free tasks get clean ones.
+
+    Greedy: descending trap rate, always into the currently *dirtiest*
+    domain with free capacity (a domain is poisoned by its worst task,
+    so concentrating the poison frees the others).
+    """
+    if n_domains < 1:
+        raise ValueError("need at least one domain")
+    capacity = -(-len(tasks) // n_domains)  # ceil
+    ordered = sorted(tasks, key=lambda t: -t.trap_rate)
+    domains: List[List[Task]] = [[] for _ in range(n_domains)]
+    current = 0
+    for task in ordered:
+        if len(domains[current]) >= capacity:
+            current += 1
+        domains[current].append(task)
+    return Placement(domains=domains, policy="trap-aware")
+
+
+@dataclass
+class PlanOutcome:
+    """Aggregate result of one placement.
+
+    Attributes:
+        placement: the evaluated placement.
+        domain_results: one merged-domain SimResult per domain.
+        per_task_efficiency: efficiency change attributed per task
+            (its domain's result).
+    """
+
+    placement: Placement
+    domain_results: List[SimResult]
+    per_task_efficiency: Dict[str, float]
+
+    @property
+    def efficiency_gmean(self) -> float:
+        return geomean_change(self.per_task_efficiency.values())
+
+    @property
+    def mean_occupancy(self) -> float:
+        busy = [r for r in self.domain_results if r is not None]
+        if not busy:
+            return 1.0
+        return sum(r.efficient_occupancy for r in busy) / len(busy)
+
+
+def _merge_domain_traces(tasks: Sequence[Task]) -> Tuple[WorkloadProfile, FaultableTrace]:
+    """Merge co-located tasks into one shared-domain event stream.
+
+    All tasks progress at the domain's common clock; the merged stream
+    uses per-core instruction positions scaled to a common length.
+    """
+    base = max(tasks, key=lambda t: t.trace.n_instructions)
+    n = base.trace.n_instructions
+    parts_idx, parts_ops = [], []
+    table: List = []
+    code_of: Dict = {}
+    for task in tasks:
+        scale = n / task.trace.n_instructions
+        idx = (task.trace.indices * scale).astype(np.int64) % n
+        ops = np.empty(idx.size, dtype=np.uint8)
+        for local_code, op in enumerate(task.trace.opcode_table):
+            if op not in code_of:
+                code_of[op] = len(table)
+                table.append(op)
+            ops[task.trace.opcodes == local_code] = code_of[op]
+        order = np.argsort(idx, kind="stable")
+        parts_idx.append(idx[order])
+        parts_ops.append(ops[order])
+    merged_idx = np.concatenate(parts_idx)
+    merged_ops = np.concatenate(parts_ops)
+    order = np.argsort(merged_idx, kind="stable")
+    trace = FaultableTrace(
+        name="+".join(t.name for t in tasks),
+        n_instructions=n,
+        ipc=base.trace.ipc,
+        indices=merged_idx[order],
+        opcodes=merged_ops[order],
+        opcode_table=tuple(table),
+    )
+    return base.profile, trace
+
+
+def evaluate_plan(cpu: CpuModel, placement: Placement,
+                  voltage_offset: float = -0.097,
+                  params: StrategyParams = None,
+                  seed: int = 0) -> PlanOutcome:
+    """Simulate each domain of *placement* and attribute results."""
+    params = params or default_params_for(cpu.vendor)
+    domain_results: List[SimResult] = []
+    per_task: Dict[str, float] = {}
+    for tasks in placement.domains:
+        if not tasks:
+            domain_results.append(None)
+            continue
+        profile, merged = _merge_domain_traces(tasks)
+        result = TraceSimulator(
+            cpu, profile, merged, strategy_for("fV", params),
+            voltage_offset, seed=seed).run()
+        domain_results.append(result)
+        for task in tasks:
+            per_task[task.name] = result.efficiency_change
+    return PlanOutcome(placement=placement, domain_results=domain_results,
+                       per_task_efficiency=per_task)

@@ -1,0 +1,418 @@
+"""Event-based instruction-trace simulator (paper Fig 15, section 6.2).
+
+Models one CPU (or one shared DVFS domain) executing a faultable-
+instruction trace under an operating strategy.  Between faultable events
+the CPU retires instructions at ``IPC * frequency``; every p-state has a
+relative speed and power (from :meth:`CpuModel.operating_points`), and
+the measured delays of section 5.2/5.3 are charged on every exception,
+frequency change (with stall) and voltage settle.
+
+The simulator implements the :class:`~repro.core.strategy.CpuControl`
+interface, so the strategies read exactly like the paper's Listing 1.
+
+Dense trap episodes are consumed in bulk (vectorised over the gap
+array), which keeps multi-million-event traces tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import SimResult, imul_latency_overhead
+from repro.core.params import StrategyParams
+from repro.core.strategy import CpuControl, OperatingStrategy, SuitState
+from repro.core.thrashing import ThrashingMonitor
+from repro.emulation.dispatch import emulation_cycles
+from repro.hardware.cpu import CpuModel
+from repro.kernel.timer import DeadlineTimer
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+_TIMELINE_CAP = 200_000
+_SCAN_CHUNK = 65_536
+
+
+class TraceSimulator(CpuControl):
+    """Simulate one trace on one CPU under one operating strategy.
+
+    Args:
+        cpu: hardware model.
+        profile: workload profile (for the IMUL hardening tax and, in
+            estimates, no-SIMD overheads).
+        trace: the faultable-instruction trace to execute.
+        strategy: operating strategy (drives this object as CpuControl).
+        voltage_offset: efficient-curve offset in volts (negative).
+        seed: RNG seed for sampled delays.
+        record_timeline: record (time, state) transitions for figures.
+        harden_imul: apply the +1-cycle IMUL tax (on by default: SUIT
+            hardware always ships the hardened multiplier).
+    """
+
+    def __init__(self, cpu: CpuModel, profile: WorkloadProfile,
+                 trace: FaultableTrace, strategy: OperatingStrategy,
+                 voltage_offset: float, seed: int = 0,
+                 record_timeline: bool = False,
+                 harden_imul: bool = True) -> None:
+        if voltage_offset >= 0:
+            raise ValueError("voltage_offset must be negative")
+        self.cpu = cpu
+        self.profile = profile
+        self.trace = trace
+        self.strategy = strategy
+        self.voltage_offset = voltage_offset
+        self.harden_imul = harden_imul
+        self._rng = np.random.default_rng(seed)
+        self._record = record_timeline
+
+        points = cpu.operating_points(voltage_offset)
+        self._speed = {SuitState.E: points.speed_e,
+                       SuitState.CF: points.speed_cf,
+                       SuitState.CV: points.speed_cv}
+        self._power = {SuitState.E: points.power_e,
+                       SuitState.CF: points.power_cf,
+                       SuitState.CV: points.power_cv}
+        self._instr_rate_base = trace.ipc * cpu.nominal_frequency
+
+        # Dynamic state.
+        self._t = 0.0
+        self._pos = 0  # instructions retired
+        self._ev = 0  # next trace event
+        self._state = SuitState.E
+        self._power_now = self._power[SuitState.E]
+        self._disabled = True
+        # In-flight request: (completion time, target, power_only).
+        # power_only marks the switch back to E: the core runs (and is
+        # accounted) at E immediately, but package power only drops once
+        # the regulator settles.
+        self._pending: Optional[Tuple[float, SuitState, bool]] = None
+        self._timer = DeadlineTimer()
+        self._thrash = ThrashingMonitor(
+            strategy.params.thrash_timespan_s, strategy.params.thrash_exception_count)
+        self._emulated_current = False
+
+        # Accounting.
+        self._energy = 0.0
+        self._state_time: Dict[str, float] = {"E": 0.0, "Cf": 0.0, "CV": 0.0, "stall": 0.0}
+        self._n_exceptions = 0
+        self._n_switches = 0
+        self._n_timer_fires = 0
+        self._n_thrash = 0
+        self._timeline: Optional[List[Tuple[float, str]]] = [] if record_timeline else None
+
+    # ------------------------------------------------------------------
+    # CpuControl interface (what the strategies drive, as in Listing 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def now_s(self) -> float:
+        return self._t
+
+    def change_pstate_wait(self, target: SuitState) -> None:
+        """Blocking p-state change; the core stalls for the transition."""
+        self._pending = None
+        if target is self._state:
+            return
+        if target in (SuitState.CF, SuitState.CV) and self._state in (SuitState.CF, SuitState.CV):
+            # Already on the conservative curve (e.g. a trap raced the
+            # cancelled switch-back): nothing to wait for.
+            self._set_state(target if target is SuitState.CV else self._state)
+            return
+        if target is SuitState.CF:
+            delay, _stall = self.cpu.transitions.frequency_change(self._rng)
+        elif target is SuitState.CV:
+            if self.cpu.transitions.voltage is None:
+                raise ValueError(f"{self.cpu.name} has no voltage control; "
+                                 "use the f or e strategy")
+            delay, _stall = self.cpu.transitions.pstate_change(self._rng, needs_voltage=True)
+        else:
+            delay, _stall = self.cpu.transitions.frequency_change(self._rng)
+        self._stall(delay)
+        self._set_state(target)
+        self._n_switches += 1
+
+    def change_pstate_async(self, target: SuitState) -> None:
+        """Non-blocking change request; replaces any in-flight request."""
+        if target is self._state and self._pending is None:
+            return
+        if target is SuitState.CV:
+            if self.cpu.transitions.voltage is None:
+                raise ValueError(f"{self.cpu.name} has no voltage control")
+            delay = self.cpu.transitions.voltage_change(self._rng)
+            self._pending = (self._t + delay, target, False)
+            return
+        if target is SuitState.E:
+            # The switch back is free for execution (section 4.1: no need
+            # to wait for the efficient curve); only the power improves
+            # late, once the voltage has actually dropped.
+            if self._state is SuitState.CV and self.cpu.transitions.voltage is not None:
+                delay = self.cpu.transitions.voltage_change(self._rng)
+            else:
+                delay, _ = self.cpu.transitions.frequency_change(self._rng)
+            old_power = self._power_now
+            self._set_state(SuitState.E)
+            self._power_now = old_power
+            self._pending = (self._t + delay, target, True)
+            return
+        delay, _ = self.cpu.transitions.frequency_change(self._rng)
+        self._pending = (self._t + delay, target, False)
+
+    def set_instructions_disabled(self, disabled: bool) -> None:
+        """Write the SUIT disable bit for the trapped set."""
+        self._disabled = disabled
+
+    def set_timer_interrupt(self, deadline_s: float) -> None:
+        """Arm the deadline timer (stretched values count as thrashing)."""
+        if deadline_s > self.strategy.params.deadline_s:
+            self._n_thrash += 1
+        self._timer.arm(self._t, deadline_s)
+
+    def exception_count_in_timespan(self, timespan_s: float) -> int:
+        """#DO exceptions within the trailing *timespan_s* (must be p_ts)."""
+        # The strategies always query their own p_ts, which the monitor
+        # was built with; guard against mismatching use.
+        if abs(timespan_s - self._thrash.timespan_s) > 1e-12:
+            raise ValueError("timespan differs from the configured p_ts")
+        return self._thrash.count_in_window(self._t)
+
+    def emulate_current_instruction(self) -> None:
+        """User-space emulation: double kernel transition plus the
+        emulation routine itself (section 3.4, 5.3)."""
+        opcode = self.trace.event_opcode(self._ev)
+        call = self.cpu.emulation_call_delay.sample(self._rng)
+        # The measured emulation-call delay covers both kernel round
+        # trips end-to-end, so the already-charged exception entry is
+        # part of it.
+        call = max(call - self.cpu.exception_delay.mean_s, 0.0)
+        freq = self.cpu.nominal_frequency * self._speed[self._state]
+        routine = emulation_cycles(opcode) / freq
+        self._stall(call + routine)
+        self._emulated_current = True
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Execute the trace to completion and return the result."""
+        trace = self.trace
+        n = trace.n_instructions
+        idx = trace.indices
+        self._log_state()
+
+        while self._pos < n:
+            next_idx = int(idx[self._ev]) if self._ev < trace.n_events else n
+            rate = self._rate()
+            t_arrive = self._t + max(next_idx - self._pos, 0) / rate
+
+            t_pending = self._pending[0] if self._pending else np.inf
+            t_timer = self._timer.fires_at if self._timer.armed else np.inf
+
+            t_next = min(t_arrive, t_pending, t_timer)
+            self._advance_to(t_next, rate)
+
+            if t_next == t_pending:
+                self._complete_pending()
+            elif t_next == t_timer:
+                self._fire_timer()
+            elif self._ev < trace.n_events:
+                self._handle_event()
+            else:
+                break  # reached end of trace
+
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _rate(self) -> float:
+        return self._instr_rate_base * self._speed[self._state]
+
+    def _advance_to(self, t_target: float, rate: float) -> None:
+        # A bulk jump can overshoot a pending completion by a fraction of
+        # one instruction; such events then fire "immediately".
+        dt = max(t_target - self._t, 0.0)
+        self._pos = min(self._pos + dt * rate, self.trace.n_instructions)
+        self._account(dt, self._state.value)
+        self._t += dt
+
+    def _stall(self, duration_s: float) -> None:
+        """Advance time without retiring instructions.
+
+        The deadline countdown is core-clock driven, so it freezes while
+        the core is stalled.
+        """
+        self._account(duration_s, "stall")
+        self._t += duration_s
+        self._timer.defer(duration_s)
+
+    def _account(self, dt: float, label: str) -> None:
+        self._energy += self._power_now * dt
+        self._state_time[label] = self._state_time.get(label, 0.0) + dt
+
+    def _set_state(self, state: SuitState) -> None:
+        if state is not self._state:
+            self._state = state
+            self._power_now = self._power[state]
+            self._log_state()
+
+    def _log_state(self) -> None:
+        if self._timeline is not None and len(self._timeline) < _TIMELINE_CAP:
+            label = self._state.value + ("/disabled" if self._disabled else "")
+            self._timeline.append((self._t, label))
+
+    def _complete_pending(self) -> None:
+        assert self._pending is not None
+        _, target, power_only = self._pending
+        self._pending = None
+        if power_only:
+            self._power_now = self._power[target]
+            return
+        if target is SuitState.CV and self._state is SuitState.CF:
+            # Voltage reached the conservative level: raise the clock
+            # back to nominal — the second stall of Fig 6.
+            _, stall = self.cpu.transitions.frequency_change(self._rng)
+            self._stall(stall)
+            self._n_switches += 1
+        self._set_state(target)
+
+    def _fire_timer(self) -> None:
+        self._timer.cancel()
+        self._n_timer_fires += 1
+        self.strategy.on_timer_interrupt(self)
+
+    def _handle_event(self) -> None:
+        if not self._disabled:
+            # Enabled faultable execution: only resets the deadline.
+            self._timer.reset(self._t)
+            self._ev += 1
+            self._bulk_consume()
+            return
+        # Disabled: #DO exception.
+        self._n_exceptions += 1
+        self._thrash.record(self._t)
+        self._stall(self.cpu.exception_delay.sample(self._rng))
+        self._emulated_current = False
+        self.strategy.on_disabled_instruction(self)
+        if self._emulated_current:
+            # Instruction consumed by the emulation path.
+            self._ev += 1
+            self._bulk_emulate()
+            return
+        if self._disabled:
+            raise RuntimeError(
+                f"strategy {self.strategy.name!r} left the instruction disabled "
+                "without emulating it; it can never retire")
+        # Re-execute on the conservative curve; resets the fresh timer.
+        self._timer.reset(self._t)
+        self._ev += 1
+        self._bulk_consume()
+
+    def _bulk_consume(self) -> None:
+        """Consume runs of enabled events whose gaps stay within the
+        deadline in one step (they only reset the timer).
+
+        Stops at the first gap exceeding the deadline, at the pending
+        completion time, or at the end of the events.
+        """
+        if self._disabled or not self._timer.armed:
+            return
+        trace = self.trace
+        gaps = trace.gaps()
+        idx = trace.indices
+        rate = self._rate()
+        deadline_instr = self._timer.armed_deadline * rate
+
+        hi = trace.n_events
+        if self._pending is not None:
+            horizon_pos = self._pos + (self._pending[0] - self._t) * rate
+            hi = int(np.searchsorted(idx, horizon_pos, side="left"))
+        start = self._ev
+        if start >= hi:
+            return
+        # Galloping chunked scan for the first oversized gap.
+        stop = hi  # exclusive index of first non-consumable event
+        found = False
+        chunk = _SCAN_CHUNK
+        lo = start
+        while lo < hi:
+            end = min(lo + chunk, hi)
+            big = gaps[lo:end] > deadline_instr
+            k = int(np.argmax(big))
+            if big.size and big[k]:
+                stop = lo + k
+                found = True
+                break
+            lo = end
+            chunk *= 2
+        del found
+        last = stop - 1
+        if last < start:
+            return
+        # Jump: consume events start..last at constant speed/power.
+        target_pos = int(idx[last]) + 1
+        dt = (target_pos - self._pos) / rate
+        self._account(dt, self._state.value)
+        self._t += dt
+        self._pos = target_pos
+        self._ev = last + 1
+        self._timer.reset(self._t)
+
+    def _bulk_emulate(self) -> None:
+        """Fast path for pure-emulation runs: with no timer and no
+        pending change the state never varies again, so all remaining
+        events can be charged in one vectorised step."""
+        if self.strategy.switches_curves or self._timer.armed or self._pending is not None:
+            return
+        trace = self.trace
+        n_rem = trace.n_events - self._ev
+        if n_rem <= 0:
+            return
+        rate = self._rate()
+        freq = self.cpu.nominal_frequency * self._speed[self._state]
+        # Execution time of the instructions up to (and including) the
+        # last event, plus per-event emulation stalls.
+        target_pos = int(trace.indices[-1]) + 1
+        run_time = (target_pos - self._pos) / rate
+        call = self.cpu.emulation_call_delay
+        calls = np.clip(
+            self._rng.normal(call.mean_s, call.sigma_s or 0.0, size=n_rem),
+            call.mean_s * 0.25, call.mean_s * 4.0)
+        routines = np.array([
+            emulation_cycles(op) for op in trace.opcode_table
+        ])[trace.opcodes[self._ev:]] / freq
+        stall_total = float(calls.sum() + routines.sum())
+        self._energy += self._power_now * (run_time + stall_total)
+        self._state_time[self._state.value] += run_time
+        self._state_time["stall"] += stall_total
+        self._t += run_time + stall_total
+        self._pos = target_pos
+        self._ev = trace.n_events
+        self._n_exceptions += n_rem
+
+    def _result(self) -> SimResult:
+        duration = self._t
+        energy = self._energy
+        if self.harden_imul:
+            tax = 1.0 + imul_latency_overhead(self.profile, extra_cycles=1)
+            duration *= tax
+            energy *= tax
+            for key in self._state_time:
+                self._state_time[key] *= tax
+        return SimResult(
+            workload=self.trace.name,
+            cpu_name=self.cpu.name,
+            strategy=self.strategy.name,
+            voltage_offset=self.voltage_offset,
+            duration_s=duration,
+            baseline_duration_s=self.trace.duration_s(self.cpu.nominal_frequency),
+            energy_rel=energy,
+            state_time=dict(self._state_time),
+            n_exceptions=self._n_exceptions,
+            n_switches=self._n_switches,
+            n_timer_fires=self._n_timer_fires,
+            n_thrash_stretches=self._n_thrash,
+            timeline=self._timeline,
+        )

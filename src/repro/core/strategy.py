@@ -1,0 +1,184 @@
+"""Operating strategies (paper section 4.3, Listing 1).
+
+The operating strategy is the OS policy deciding how to react to a #DO
+exception and when to return to the efficient curve.  Four strategies
+exist, built from the two switching paths of Fig 4:
+
+* **Emulation** (``e``) — never switch; emulate the instruction in the
+  exception handler's user-space return path.
+* **Frequency** (``f``) — switch E <-> Cf by changing only the frequency.
+* **Voltage** (``V``) — switch E <-> CV by changing only the voltage
+  (about a magnitude slower, the CPU waits for the regulator).
+* **Combination** (``fV``) — E -> Cf quickly by frequency, request the
+  voltage raise asynchronously, continue at Cf; if the burst outlasts the
+  regulator, finish at CV with full performance (Fig 6, Listing 1).
+
+Strategies talk to the hardware exclusively through the small
+:class:`CpuControl` interface, mirroring the paper's Listing 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.core.params import StrategyParams
+
+
+class SuitState(enum.Enum):
+    """The three operating points of a SUIT system (Fig 4)."""
+
+    E = "E"  # efficient curve, faultable instructions disabled
+    CF = "Cf"  # conservative curve reached by lowering the frequency
+    CV = "CV"  # conservative curve reached by raising the voltage
+
+
+class CpuControl(abc.ABC):
+    """The hardware/OS interface an operating strategy drives.
+
+    Implemented by the trace simulator; mirrors Listing 1's ``cpu``
+    object one-to-one.
+    """
+
+    @abc.abstractmethod
+    def change_pstate_wait(self, target: SuitState) -> None:
+        """Switch the DVFS operating point, blocking until it is active."""
+
+    @abc.abstractmethod
+    def change_pstate_async(self, target: SuitState) -> None:
+        """Request a DVFS change and continue executing; cancels any
+        other in-flight request."""
+
+    @abc.abstractmethod
+    def set_instructions_disabled(self, disabled: bool) -> None:
+        """Write the SUIT disable MSR for the faultable set."""
+
+    @abc.abstractmethod
+    def set_timer_interrupt(self, deadline_s: float) -> None:
+        """Arm the deadline timer; it resets on every faultable
+        execution and fires the strategy's timer handler at zero."""
+
+    @abc.abstractmethod
+    def exception_count_in_timespan(self, timespan_s: float) -> int:
+        """#DO exceptions within the trailing *timespan_s* seconds."""
+
+    @abc.abstractmethod
+    def emulate_current_instruction(self) -> None:
+        """Emulate the trapped instruction in user space and skip it."""
+
+    @property
+    @abc.abstractmethod
+    def now_s(self) -> float:
+        """Current time."""
+
+
+class OperatingStrategy(abc.ABC):
+    """Base class: a named policy over :class:`CpuControl`."""
+
+    #: Short name as used in Table 6 ("fV", "f", "V", "e").
+    name: str = "?"
+    #: Whether the strategy ever leaves the efficient curve.
+    switches_curves: bool = True
+
+    def __init__(self, params: StrategyParams) -> None:
+        self.params = params
+
+    @abc.abstractmethod
+    def on_disabled_instruction(self, cpu: CpuControl) -> None:
+        """#DO exception handler."""
+
+    def on_timer_interrupt(self, cpu: CpuControl) -> None:
+        """Deadline expiry handler: back to the efficient curve."""
+        cpu.set_instructions_disabled(True)
+        cpu.change_pstate_async(SuitState.E)
+
+    def _arm_deadline(self, cpu: CpuControl) -> None:
+        """Arm the deadline, stretched if thrashing is detected
+        (Listing 1, lines 10-14)."""
+        p = self.params
+        thrashing = (cpu.exception_count_in_timespan(p.thrash_timespan_s)
+                     >= p.thrash_exception_count)
+        cpu.set_timer_interrupt(p.scaled_deadline(thrashing))
+
+
+class FVStrategy(OperatingStrategy):
+    """The combination strategy ``fV`` (Listing 1).
+
+    On #DO: a fast frequency switch to Cf (waited on), an asynchronous
+    voltage-raise request towards CV, instructions re-enabled, deadline
+    armed.  Short bursts finish at Cf and return to E, cancelling the
+    voltage change; long bursts reach CV and run at full performance.
+    """
+
+    name = "fV"
+
+    def on_disabled_instruction(self, cpu: CpuControl) -> None:
+        """Listing 1: fast Cf switch, async CV request, enable, arm."""
+        cpu.change_pstate_wait(SuitState.CF)
+        cpu.change_pstate_async(SuitState.CV)
+        cpu.set_instructions_disabled(False)
+        self._arm_deadline(cpu)
+
+
+class FrequencyStrategy(OperatingStrategy):
+    """Frequency-only switching ``f`` (E <-> Cf).
+
+    Highly efficient (the voltage never rises) but the whole burst runs
+    at the reduced Cf clock.  The only usable switching strategy on CPUs
+    without direct voltage control (CPU B).
+    """
+
+    name = "f"
+
+    def on_disabled_instruction(self, cpu: CpuControl) -> None:
+        """Frequency path only: wait for Cf, enable, arm the deadline."""
+        cpu.change_pstate_wait(SuitState.CF)
+        cpu.set_instructions_disabled(False)
+        self._arm_deadline(cpu)
+
+
+class VoltageStrategy(OperatingStrategy):
+    """Voltage-only switching ``V`` (E <-> CV).
+
+    Full performance on the conservative curve, but every switch stalls
+    for the regulator settle time (~a magnitude slower than frequency
+    changes).
+    """
+
+    name = "V"
+
+    def on_disabled_instruction(self, cpu: CpuControl) -> None:
+        """Voltage path: stall for the regulator, enable, arm."""
+        cpu.change_pstate_wait(SuitState.CV)
+        cpu.set_instructions_disabled(False)
+        self._arm_deadline(cpu)
+
+
+class EmulationStrategy(OperatingStrategy):
+    """Emulation ``e``: stay on the efficient curve, emulate every
+    trapped instruction in user space (section 3.4).
+
+    Not possible inside trusted execution environments; catastrophic for
+    trap-dense workloads, unbeatable for trap-free ones.
+    """
+
+    name = "e"
+    switches_curves = False
+
+    def on_disabled_instruction(self, cpu: CpuControl) -> None:
+        """Emulate in user space; never leave the efficient curve."""
+        cpu.emulate_current_instruction()
+
+    def on_timer_interrupt(self, cpu: CpuControl) -> None:  # pragma: no cover
+        """The emulation strategy never arms the timer."""
+        raise RuntimeError("the emulation strategy never arms the deadline timer")
+
+
+def strategy_for(name: str, params: StrategyParams) -> OperatingStrategy:
+    """Construct a strategy by its Table 6 short name."""
+    classes = {cls.name: cls for cls in
+               (FVStrategy, FrequencyStrategy, VoltageStrategy, EmulationStrategy)}
+    try:
+        return classes[name](params)
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; know {sorted(classes)}")

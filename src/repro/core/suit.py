@@ -1,0 +1,213 @@
+"""High-level SUIT system facade.
+
+The entry point most users want: configure a CPU, an undervolt budget
+and an operating strategy, then run workloads and read
+performance/power/efficiency results.
+
+Example:
+    >>> from repro import SuitSystem, spec_profile
+    >>> suit = SuitSystem.for_cpu("C", strategy="fV", voltage_offset=-0.097)
+    >>> result = suit.run_profile(spec_profile("557.xz"))
+    >>> result.efficiency_change > 0
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.estimates import emulation_estimate, nosimd_estimate
+from repro.core.metrics import SimResult, geomean_change, median_change
+from repro.core.multicore import merged_multicore_trace
+from repro.core.params import StrategyParams, default_params_for
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import OperatingStrategy, strategy_for
+from repro.hardware.cpu import CpuModel
+from repro.hardware.models import ALL_CPU_FACTORIES
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+
+@dataclass
+class SuitSystem:
+    """A configured SUIT deployment: CPU + strategy + undervolt budget.
+
+    Attributes:
+        cpu: the hardware model.
+        strategy_name: "fV", "f", "V" or "e".
+        voltage_offset: efficient-curve offset (negative volts).
+        params: operating-strategy parameters (Table 7 defaults per
+            vendor when omitted).
+        n_cores: active cores sharing the workload.  On shared-domain
+            CPUs every core's traps affect all others; on per-core-domain
+            CPUs the core count does not change per-core results.
+        seed: RNG seed for sampled delays and trace synthesis.
+    """
+
+    cpu: CpuModel
+    strategy_name: str = "fV"
+    voltage_offset: float = -0.097
+    params: Optional[StrategyParams] = None
+    n_cores: int = 1
+    seed: int = 0
+    _trace_cache: Dict[str, FaultableTrace] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.params is None:
+            self.params = default_params_for(self.cpu.vendor)
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.n_cores > self.cpu.topology.n_cores:
+            raise ValueError(f"{self.cpu.name} has only "
+                             f"{self.cpu.topology.n_cores} cores")
+
+    @classmethod
+    def for_cpu(cls, short_name: str, **kwargs) -> "SuitSystem":
+        """Build for one of the paper's CPUs ("A", "B", "C", "i5")."""
+        try:
+            factory = ALL_CPU_FACTORIES[short_name]
+        except KeyError:
+            raise ValueError(f"unknown CPU {short_name!r}; "
+                             f"know {sorted(ALL_CPU_FACTORIES)}")
+        return cls(cpu=factory(), **kwargs)
+
+    def make_strategy(self) -> OperatingStrategy:
+        """A fresh strategy instance with this system's parameters."""
+        return strategy_for(self.strategy_name, self.params)
+
+    def run_trace(self, profile: WorkloadProfile, trace: FaultableTrace,
+                  record_timeline: bool = False) -> SimResult:
+        """Simulate *trace* under this configuration."""
+        if self.n_cores > 1 and not self.cpu.topology.per_core_frequency:
+            trace = merged_multicore_trace(trace, self.n_cores)
+        sim = TraceSimulator(
+            cpu=self.cpu,
+            profile=profile,
+            trace=trace,
+            strategy=self.make_strategy(),
+            voltage_offset=self.voltage_offset,
+            seed=self.seed,
+            record_timeline=record_timeline,
+        )
+        return sim.run()
+
+    def run_profile(self, profile: WorkloadProfile,
+                    record_timeline: bool = False) -> SimResult:
+        """Synthesise the profile's trace (cached) and simulate it.
+
+        The emulation strategy uses the paper's closed-form estimate
+        (section 6.2) rather than per-event simulation, matching the
+        evaluation methodology.
+        """
+        trace = self._trace(profile)
+        if self.strategy_name == "e":
+            if profile.in_enclave:
+                raise ValueError(
+                    f"{profile.name} runs in a trusted execution environment; "
+                    "emulation is not possible for enclaves (section 4.3) — "
+                    "use a curve-switching strategy")
+            return emulation_estimate(self.cpu, profile, trace, self.voltage_offset)
+        return self.run_trace(profile, trace, record_timeline)
+
+    def run_profile_nosimd(self, profile: WorkloadProfile) -> SimResult:
+        """The benchmark compiled without SIMD under this configuration."""
+        return nosimd_estimate(self.cpu, profile, self.voltage_offset)
+
+    def evaluate_suite(self, profiles: Iterable[WorkloadProfile]) -> "SuiteResult":
+        """Run a list of workloads and aggregate like Table 6."""
+        results = [self.run_profile(p) for p in profiles]
+        return SuiteResult(results)
+
+    def run_consolidated(self, profiles: List[WorkloadProfile]) -> SimResult:
+        """Run different workloads pinned to the cores of one shared
+        DVFS domain (server consolidation).
+
+        Only meaningful on shared-frequency-domain CPUs: every task's
+        traps switch the whole domain.  Uses the scheduler's
+        merged-event-stream construction.
+
+        Raises:
+            ValueError: on per-core-domain CPUs (where consolidation is
+                trivially independent — simulate each profile alone).
+        """
+        if self.cpu.topology.per_core_frequency:
+            raise ValueError(
+                f"{self.cpu.name} has per-core frequency domains; "
+                "consolidated tasks do not interact — run them separately")
+        if not 1 <= len(profiles) <= self.cpu.topology.n_cores:
+            raise ValueError("task count must fit the core count")
+        from repro.core.scheduler import Task, _merge_domain_traces
+
+        tasks = [Task(profile=p, trace=self._trace(p)) for p in profiles]
+        base_profile, merged = _merge_domain_traces(tasks)
+        # The merged trace already encodes all cores: bypass the
+        # homogeneous-multicore stagger of run_trace.
+        sim = TraceSimulator(
+            cpu=self.cpu,
+            profile=base_profile,
+            trace=merged,
+            strategy=self.make_strategy(),
+            voltage_offset=self.voltage_offset,
+            seed=self.seed,
+        )
+        return sim.run()
+
+    def prime_trace(self, profile: WorkloadProfile, trace: FaultableTrace) -> None:
+        """Pre-populate the trace cache (e.g. to share traces between
+        several configured systems)."""
+        if trace.name != profile.name:
+            raise ValueError("trace does not belong to this profile")
+        self._trace_cache[profile.name] = trace
+
+    def _trace(self, profile: WorkloadProfile) -> FaultableTrace:
+        if profile.name not in self._trace_cache:
+            self._trace_cache[profile.name] = generate_trace(profile, seed=self.seed)
+        return self._trace_cache[profile.name]
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate of per-workload results (Table 6 row triplets)."""
+
+    results: List[SimResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a suite needs at least one result")
+
+    @property
+    def perf_gmean(self) -> float:
+        return geomean_change(r.perf_change for r in self.results)
+
+    @property
+    def perf_median(self) -> float:
+        return median_change(r.perf_change for r in self.results)
+
+    @property
+    def power_gmean(self) -> float:
+        return geomean_change(r.power_change for r in self.results)
+
+    @property
+    def power_median(self) -> float:
+        return median_change(r.power_change for r in self.results)
+
+    @property
+    def efficiency_gmean(self) -> float:
+        return geomean_change(r.efficiency_change for r in self.results)
+
+    @property
+    def efficiency_median(self) -> float:
+        return median_change(r.efficiency_change for r in self.results)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return sum(r.efficient_occupancy for r in self.results) / len(self.results)
+
+    def by_name(self, workload: str) -> SimResult:
+        """The result for *workload* (KeyError if absent)."""
+        for r in self.results:
+            if r.workload == workload:
+                return r
+        raise KeyError(f"no result for workload {workload!r}")

@@ -1,0 +1,61 @@
+"""Thrashing prevention (paper section 4.3).
+
+If the gap between disabled instructions is a bit longer than the
+deadline, the CPU constantly switches DVFS curves, adding considerable
+overhead.  The OS detects this by counting #DO exceptions within a
+look-back window and stretches the deadline while the count is high,
+keeping the CPU on the conservative curve through such phases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class ThrashingMonitor:
+    """Sliding-window #DO exception counter.
+
+    Args:
+        timespan_s: look-back window (``p_ts``).
+        threshold: exception count that flags thrashing (``p_ec``).
+    """
+
+    def __init__(self, timespan_s: float, threshold: int) -> None:
+        if timespan_s <= 0:
+            raise ValueError("timespan must be positive")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.timespan_s = timespan_s
+        self.threshold = threshold
+        self._times: Deque[float] = deque()
+        self.trigger_count = 0
+
+    def record(self, now_s: float) -> None:
+        """Record one #DO exception at *now_s* (non-decreasing times)."""
+        if self._times and now_s < self._times[-1]:
+            raise ValueError("exception times must be non-decreasing")
+        self._times.append(now_s)
+        self._evict(now_s)
+
+    def count_in_window(self, now_s: float) -> int:
+        """Exceptions within the last ``timespan_s`` seconds."""
+        self._evict(now_s)
+        return len(self._times)
+
+    def is_thrashing(self, now_s: float) -> bool:
+        """Whether the current rate flags thrashing; counts triggers."""
+        thrashing = self.count_in_window(now_s) >= self.threshold
+        if thrashing:
+            self.trigger_count += 1
+        return thrashing
+
+    def reset(self) -> None:
+        """Forget all recorded exceptions."""
+        self._times.clear()
+        self.trigger_count = 0
+
+    def _evict(self, now_s: float) -> None:
+        cutoff = now_s - self.timespan_s
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()

@@ -1,0 +1,157 @@
+"""Multi-tier efficient curves: generalising SUIT's design space.
+
+SUIT ships one efficient curve defined by excluding the whole Table 1
+set.  Nothing in the mechanism limits it to one: the disable-mask MSR
+expresses any subset, so a vendor can define a *ladder* of efficient
+curves, each deeper tier disabling a longer prefix of the sensitivity
+ranking.  The trade-off per workload: a deeper tier saves more power
+but traps more instruction classes; a workload that leans on, say,
+``VAND``/``VANDN`` may prefer a shallower tier where those stay enabled
+and only the most sensitive ops trap.
+
+:func:`derive_tiers` builds the ladder from a chip's margins;
+:func:`choose_tier` picks the deepest tier whose *additional* traps stay
+below a budget for a concrete trace — per-workload curve selection,
+using exactly the machinery SUIT already has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.faults.model import CpuInstanceFaults
+from repro.isa.faultable import TRAPPED_OPCODES, faultable_sorted_by_sensitivity
+from repro.isa.opcodes import Opcode
+from repro.workloads.trace import FaultableTrace
+
+#: Vendor safety slack between a tier's offset and the margin of the
+#: most sensitive instruction it keeps enabled.
+TIER_SLACK_V = 0.008
+
+#: Sensitivity-ranking prefixes defining the default ladder (IMUL, the
+#: ranking's head, is statically hardened and never trapped).
+DEFAULT_TIER_PREFIXES = (3, 6, 11)
+
+
+@dataclass(frozen=True)
+class CurveTier:
+    """One efficient-curve tier.
+
+    Attributes:
+        offset_v: the tier's curve offset (negative volts).
+        disabled: the opcodes disabled (trapped) on this tier.
+    """
+
+    offset_v: float
+    disabled: FrozenSet[Opcode]
+
+    def __post_init__(self) -> None:
+        if self.offset_v >= 0:
+            raise ValueError("tier offsets are negative")
+        if not self.disabled:
+            raise ValueError("a tier disables at least one class")
+        if not self.disabled <= TRAPPED_OPCODES:
+            raise ValueError("tiers only trap the trappable (SIMD) classes")
+
+
+def derive_tiers(chip: CpuInstanceFaults,
+                 frequencies: Sequence[float],
+                 prefixes: Sequence[int] = DEFAULT_TIER_PREFIXES,
+                 max_offset_v: float = -0.150) -> List[CurveTier]:
+    """Build the tier ladder for *chip* (hardened IMUL assumed).
+
+    For each prefix length *k*, the tier disables the *k* most sensitive
+    trapped classes; its offset is the tightest margin among everything
+    still enabled (remaining trapped classes, the hardened IMUL and the
+    non-faultable mass) plus slack, clamped at *max_offset_v* (the
+    aging/temperature budget).
+
+    Returns:
+        Tiers shallow to deep (deduplicated by offset).
+    """
+    hardened = chip.with_hardened_imul()
+    ranking = [op for op in faultable_sorted_by_sensitivity()
+               if op in TRAPPED_OPCODES]
+
+    def tightest_margin(enabled: Sequence[Opcode]) -> float:
+        return max(
+            hardened.max_safe_offset(op, core, freq)
+            for op in enabled
+            for core in range(hardened.n_cores)
+            for freq in frequencies)
+
+    tiers: List[CurveTier] = []
+    for k in prefixes:
+        if not 1 <= k <= len(ranking):
+            raise ValueError(f"prefix {k} outside the trapped ranking")
+        disabled = frozenset(ranking[:k])
+        enabled = [op for op in Opcode if op not in disabled]
+        offset = max(tightest_margin(enabled) + TIER_SLACK_V, max_offset_v)
+        if tiers and offset >= tiers[-1].offset_v - 0.002:
+            continue  # no meaningful depth over the previous tier
+        tiers.append(CurveTier(offset_v=offset, disabled=disabled))
+    if not tiers:
+        raise RuntimeError("no usable tier; margins degenerate")
+    return tiers
+
+
+@dataclass(frozen=True)
+class TierChoice:
+    """The tier selected for one workload.
+
+    Attributes:
+        tier: the chosen tier.
+        trap_rate: executions per instruction this tier traps.
+    """
+
+    tier: CurveTier
+    trap_rate: float
+
+
+def trap_rates_by_opcode(trace: FaultableTrace) -> Dict[Opcode, float]:
+    """Per-opcode execution rates (per instruction) of a trace."""
+    rates: Dict[Opcode, float] = {}
+    for code, op in enumerate(trace.opcode_table):
+        count = int((trace.opcodes == code).sum())
+        if count:
+            rates[op] = count / trace.n_instructions
+    return rates
+
+
+def choose_tier(tiers: Sequence[CurveTier], trace: FaultableTrace,
+                max_trap_rate: float = 1e-6) -> TierChoice:
+    """Pick the deepest tier whose *additional* trapped classes (over
+    the shallowest tier) the workload uses at most *max_trap_rate* per
+    instruction.
+
+    Classes the shallowest tier already traps are sunk cost — the
+    workload pays those everywhere — so only the marginal trap burden
+    blocks a descent.  The shallowest tier is the always-valid fallback.
+    """
+    if not tiers:
+        raise ValueError("need at least one tier")
+    ordered = sorted(tiers, key=lambda t: -t.offset_v)  # shallow first
+    rates = trap_rates_by_opcode(trace)
+    baseline = ordered[0]
+    best = TierChoice(
+        tier=baseline,
+        trap_rate=sum(r for op, r in rates.items() if op in baseline.disabled))
+    for tier in ordered[1:]:
+        extra = sum(r for op, r in rates.items()
+                    if op in tier.disabled - baseline.disabled)
+        if extra <= max_trap_rate and tier.offset_v < best.tier.offset_v:
+            best = TierChoice(
+                tier=tier,
+                trap_rate=sum(r for op, r in rates.items()
+                              if op in tier.disabled))
+    return best
+
+
+def tier_power_gain(shallow: CurveTier, deep: CurveTier,
+                    nominal_voltage: float) -> float:
+    """Approximate extra dynamic-power saving of *deep* over *shallow*
+    (quadratic voltage ratio at the nominal operating point)."""
+    v_shallow = nominal_voltage + shallow.offset_v
+    v_deep = nominal_voltage + deep.offset_v
+    return 1.0 - (v_deep / v_shallow) ** 2

@@ -1,0 +1,114 @@
+"""Operating-strategy parameter search (paper section 6.4, Table 7).
+
+The paper ran hundreds of simulations to find the parameter values that
+maximise the average efficiency gain, and found a *plateau*: varying the
+deadline by +-10 us changes the average efficiency by only ~0.6 %, so
+one parameter set works as an OS-wide policy.  :func:`grid_search`
+reproduces that search (on a configurable workload subset, for speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import geomean_change
+from repro.core.params import StrategyParams
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import strategy_for
+from repro.hardware.cpu import CpuModel
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a parameter search.
+
+    Attributes:
+        best: the winning parameter set.
+        best_efficiency: geometric-mean efficiency change at the optimum.
+        table: every evaluated point, as (params, efficiency) pairs.
+    """
+
+    best: StrategyParams
+    best_efficiency: float
+    table: Tuple[Tuple[StrategyParams, float], ...]
+
+    def sensitivity(self) -> float:
+        """Spread of efficiency across the searched grid (max - min):
+        small values confirm the paper's plateau observation."""
+        effs = [e for _, e in self.table]
+        return max(effs) - min(effs)
+
+
+def evaluate_params(cpu: CpuModel, params: StrategyParams,
+                    profiles: Sequence[WorkloadProfile],
+                    traces: Dict[str, FaultableTrace],
+                    strategy_name: str = "fV",
+                    voltage_offset: float = -0.097,
+                    seed: int = 0) -> float:
+    """Geomean efficiency change of *params* over the workload set."""
+    changes: List[float] = []
+    for profile in profiles:
+        sim = TraceSimulator(
+            cpu=cpu,
+            profile=profile,
+            trace=traces[profile.name],
+            strategy=strategy_for(strategy_name, params),
+            voltage_offset=voltage_offset,
+            seed=seed,
+        )
+        changes.append(sim.run().efficiency_change)
+    return geomean_change(changes)
+
+
+def grid_search(cpu: CpuModel,
+                profiles: Sequence[WorkloadProfile],
+                deadlines_s: Iterable[float],
+                timespans_s: Iterable[float],
+                exception_counts: Iterable[int],
+                deadline_factors: Iterable[float],
+                strategy_name: str = "fV",
+                voltage_offset: float = -0.097,
+                seed: int = 0) -> TuningResult:
+    """Exhaustive grid search over the four strategy parameters."""
+    traces = {p.name: generate_trace(p, seed=seed) for p in profiles}
+    table: List[Tuple[StrategyParams, float]] = []
+    best: Optional[Tuple[StrategyParams, float]] = None
+    for dl in deadlines_s:
+        for ts in timespans_s:
+            for ec in exception_counts:
+                for df in deadline_factors:
+                    params = StrategyParams(dl, ts, ec, df)
+                    eff = evaluate_params(cpu, params, profiles, traces,
+                                          strategy_name, voltage_offset, seed)
+                    table.append((params, eff))
+                    if best is None or eff > best[1]:
+                        best = (params, eff)
+    assert best is not None
+    return TuningResult(best=best[0], best_efficiency=best[1], table=tuple(table))
+
+
+def deadline_sensitivity(cpu: CpuModel, profiles: Sequence[WorkloadProfile],
+                         base: StrategyParams, delta_s: float = 10e-6,
+                         voltage_offset: float = -0.097,
+                         seed: int = 0) -> float:
+    """Efficiency change (absolute) when the deadline moves +-*delta_s*.
+
+    The paper reports ~0.6 % for +-10 us around the optimum.
+    """
+    traces = {p.name: generate_trace(p, seed=seed) for p in profiles}
+    base_eff = evaluate_params(cpu, base, profiles, traces,
+                               voltage_offset=voltage_offset, seed=seed)
+    worst = 0.0
+    for sign in (-1.0, 1.0):
+        dl = max(base.deadline_s + sign * delta_s, 1e-6)
+        params = StrategyParams(dl, base.thrash_timespan_s,
+                                base.thrash_exception_count,
+                                base.thrash_deadline_factor)
+        eff = evaluate_params(cpu, params, profiles, traces,
+                              voltage_offset=voltage_offset, seed=seed)
+        worst = max(worst, abs(eff - base_eff))
+    return worst

@@ -1,0 +1,58 @@
+"""User-space instruction emulation (paper section 3.4).
+
+When SUIT handles a #DO exception by emulation, the kernel returns into
+emulation code mapped into the user process, which computes the trapped
+instruction's result with *non-faultable* scalar instructions — e.g.
+``VOR`` with general-purpose ORs, and ``AESENC`` with a table-free,
+side-channel-resilient AES round.  This package implements those
+emulators functionally (so they can be tested against reference
+semantics) plus the cycle-cost model the simulator charges.
+"""
+
+from repro.emulation.vector import Vec128
+from repro.emulation.aes import (
+    aesenc,
+    aes128_expand_key,
+    aes128_encrypt_block,
+    sbox_lookup,
+)
+from repro.emulation.bitsliced_aes import (
+    sbox_constant_time,
+    aesenc_constant_time,
+    aes128_encrypt_block_ct,
+)
+from repro.emulation.aes_decrypt import (
+    aesdec,
+    aesdeclast,
+    aesimc,
+    aes128_decrypt_block,
+)
+from repro.emulation.gcm import Aes128Gcm, ghash_mul
+from repro.emulation.clmul import clmul64, pclmulqdq
+from repro.emulation.dispatch import (
+    emulate,
+    emulation_cycles,
+    EMULATION_CYCLE_COSTS,
+)
+
+__all__ = [
+    "Vec128",
+    "aesenc",
+    "aes128_expand_key",
+    "aes128_encrypt_block",
+    "sbox_lookup",
+    "sbox_constant_time",
+    "aesenc_constant_time",
+    "aes128_encrypt_block_ct",
+    "aesdec",
+    "aesdeclast",
+    "aesimc",
+    "aes128_decrypt_block",
+    "Aes128Gcm",
+    "ghash_mul",
+    "clmul64",
+    "pclmulqdq",
+    "emulate",
+    "emulation_cycles",
+    "EMULATION_CYCLE_COSTS",
+]

@@ -1,0 +1,107 @@
+"""AES decryption: AESDEC/AESDECLAST and the equivalent inverse cipher.
+
+The AES-NI decryption instructions mirror the encryption ones with the
+inverse transformations: ``AESDEC`` computes
+``InvMixColumns(InvSubBytes(InvShiftRows(state))) xor rk`` and is used
+with the *equivalent inverse cipher* key schedule (round keys in
+reverse order, InvMixColumns applied to the middle ones).  They share
+IMUL-free datapaths with AESENC and belong to the same fault class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.emulation.aes import SBOX, _xtime, aes128_expand_key
+from repro.emulation.vector import Vec128
+
+#: The inverse AES S-box (derived, not retyped: SBOX is a bijection).
+INV_SBOX: bytes = bytes(
+    SBOX.index(x) for x in range(256)
+)
+
+
+def _inv_shift_rows(state: Sequence[int]) -> List[int]:
+    """InvShiftRows on the x86 byte layout (byte 4c+r = row r, col c)."""
+    out = [0] * 16
+    for c in range(4):
+        for r in range(4):
+            out[4 * c + r] = state[4 * ((c - r) % 4) + r]
+    return out
+
+
+def _inv_sub_bytes(state: Sequence[int]) -> List[int]:
+    return [INV_SBOX[b] for b in state]
+
+
+def _gf_mul_small(x: int, factor: int) -> int:
+    """Multiply by the small constants InvMixColumns needs (9, 11, 13, 14)."""
+    result = 0
+    power = x
+    while factor:
+        if factor & 1:
+            result ^= power
+        power = _xtime(power)
+        factor >>= 1
+    return result & 0xFF
+
+
+def _inv_mix_columns(state: Sequence[int]) -> List[int]:
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c: 4 * c + 4]
+        for r in range(4):
+            out[4 * c + r] = (
+                _gf_mul_small(col[r], 14)
+                ^ _gf_mul_small(col[(r + 1) % 4], 11)
+                ^ _gf_mul_small(col[(r + 2) % 4], 13)
+                ^ _gf_mul_small(col[(r + 3) % 4], 9))
+    return out
+
+
+def aesdec(state: Vec128, round_key: Vec128) -> Vec128:
+    """The AESDEC instruction: one inverse AES round."""
+    s = list(state.to_bytes())
+    s = _inv_shift_rows(s)
+    s = _inv_sub_bytes(s)
+    s = _inv_mix_columns(s)
+    mixed = Vec128.from_bytes(bytes(s))
+    return Vec128(mixed.value ^ round_key.value)
+
+
+def aesdeclast(state: Vec128, round_key: Vec128) -> Vec128:
+    """The AESDECLAST instruction: final inverse round, no InvMixColumns."""
+    s = list(state.to_bytes())
+    s = _inv_shift_rows(s)
+    s = _inv_sub_bytes(s)
+    subbed = Vec128.from_bytes(bytes(s))
+    return Vec128(subbed.value ^ round_key.value)
+
+
+def aesimc(round_key: Vec128) -> Vec128:
+    """The AESIMC instruction: InvMixColumns on a round key (builds the
+    equivalent inverse cipher schedule)."""
+    return Vec128.from_bytes(bytes(_inv_mix_columns(list(round_key.to_bytes()))))
+
+
+def aes128_decrypt_round_keys(key: bytes) -> List[Vec128]:
+    """The equivalent-inverse-cipher schedule AES-NI uses: encryption
+    keys reversed, AESIMC applied to the nine middle ones."""
+    enc = aes128_expand_key(key)
+    dec = [enc[10]]
+    for r in range(9, 0, -1):
+        dec.append(aesimc(enc[r]))
+    dec.append(enc[0])
+    return dec
+
+
+def aes128_decrypt_block(block: bytes, key: bytes) -> bytes:
+    """Decrypt one 16-byte block (the AES-NI AESDEC sequence)."""
+    if len(block) != 16:
+        raise ValueError("AES blocks are 16 bytes")
+    keys = aes128_decrypt_round_keys(key)
+    state = Vec128(Vec128.from_bytes(block).value ^ keys[0].value)
+    for r in range(1, 10):
+        state = aesdec(state, keys[r])
+    state = aesdeclast(state, keys[10])
+    return state.to_bytes()

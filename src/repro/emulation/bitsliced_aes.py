@@ -1,0 +1,104 @@
+"""Table-free, side-channel-resilient AES round (paper section 3.4).
+
+SUIT emulates ``AESENC`` with a *bit-sliced* AES implementation: no
+secret-indexed table lookups, so the emulation cannot reintroduce the
+cache side channel AES-NI was designed to close.
+
+The S-box here is computed arithmetically as ``affine(x^254)`` in
+GF(2^8): the inverse via square-and-multiply (13 GF multiplications, all
+data-independent) followed by the AES affine map.  Every operation is a
+fixed sequence of shifts, ANDs and XORs with no secret-dependent control
+flow or memory access — the same property real bit-sliced
+implementations provide, in the clearest-possible Python form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.emulation.aes import _mix_columns, _shift_rows
+from repro.emulation.vector import Vec128
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Constant-time-style GF(2^8) multiply (fixed 8-iteration loop)."""
+    result = 0
+    for _ in range(8):
+        result ^= a * (b & 1)  # branch-free select
+        b >>= 1
+        high = (a >> 7) & 1
+        a = ((a << 1) & 0xFF) ^ (0x1B * high)
+    return result & 0xFF
+
+
+def _gf_inverse(x: int) -> int:
+    """x^254 = x^-1 in GF(2^8) (0 maps to 0), by square-and-multiply.
+
+    Addition-chain exponentiation with a fixed operation sequence.
+    """
+    x2 = _gf_mul(x, x)          # x^2
+    x3 = _gf_mul(x2, x)         # x^3
+    x6 = _gf_mul(x3, x3)        # x^6
+    x12 = _gf_mul(x6, x6)       # x^12
+    x15 = _gf_mul(x12, x3)      # x^15
+    x30 = _gf_mul(x15, x15)     # x^30
+    x60 = _gf_mul(x30, x30)     # x^60
+    x120 = _gf_mul(x60, x60)    # x^120
+    x126 = _gf_mul(x120, x6)    # x^126
+    x252 = _gf_mul(x126, x126)  # x^252
+    return _gf_mul(x252, x2)    # x^254
+
+
+def _affine(x: int) -> int:
+    """The AES affine transformation over GF(2)."""
+    result = 0
+    for i in range(8):
+        bit = ((x >> i) ^ (x >> ((i + 4) % 8)) ^ (x >> ((i + 5) % 8))
+               ^ (x >> ((i + 6) % 8)) ^ (x >> ((i + 7) % 8)) ^ (0x63 >> i)) & 1
+        result |= bit << i
+    return result
+
+
+def sbox_constant_time(x: int) -> int:
+    """The AES S-box computed without any table lookup."""
+    return _affine(_gf_inverse(x & 0xFF))
+
+
+def _sub_bytes_ct(state: Sequence[int]) -> List[int]:
+    return [sbox_constant_time(b) for b in state]
+
+
+def aesenc_constant_time(state: Vec128, round_key: Vec128) -> Vec128:
+    """AESENC computed with the table-free S-box.
+
+    Bit-for-bit equivalent to :func:`repro.emulation.aes.aesenc`.
+    """
+    s = list(state.to_bytes())
+    s = _shift_rows(s)
+    s = _sub_bytes_ct(s)
+    s = _mix_columns(s)
+    mixed = Vec128.from_bytes(bytes(s))
+    return Vec128(mixed.value ^ round_key.value)
+
+
+def aesenclast_constant_time(state: Vec128, round_key: Vec128) -> Vec128:
+    """AESENCLAST with the table-free S-box."""
+    s = list(state.to_bytes())
+    s = _shift_rows(s)
+    s = _sub_bytes_ct(s)
+    subbed = Vec128.from_bytes(bytes(s))
+    return Vec128(subbed.value ^ round_key.value)
+
+
+def aes128_encrypt_block_ct(block: bytes, key: bytes) -> bytes:
+    """AES-128 block encryption using only table-free rounds."""
+    from repro.emulation.aes import aes128_expand_key  # local: avoid cycle at import
+
+    if len(block) != 16:
+        raise ValueError("AES blocks are 16 bytes")
+    keys = aes128_expand_key(key)
+    state = Vec128(Vec128.from_bytes(block).value ^ keys[0].value)
+    for r in range(1, 10):
+        state = aesenc_constant_time(state, keys[r])
+    state = aesenclast_constant_time(state, keys[10])
+    return state.to_bytes()

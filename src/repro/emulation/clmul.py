@@ -1,0 +1,62 @@
+"""Carry-less multiplication (VPCLMULQDQ emulation).
+
+``PCLMULQDQ`` multiplies two 64-bit operands as polynomials over GF(2),
+producing a 128-bit product — the core of GHASH (AES-GCM) and CRC
+computations.  The scalar emulation is shift-and-xor.
+"""
+
+from __future__ import annotations
+
+from repro.emulation.vector import Vec128
+
+_MASK64 = (1 << 64) - 1
+
+
+def clmul64(a: int, b: int) -> int:
+    """Carry-less 64x64 -> 128 bit multiply.
+
+    Args:
+        a, b: unsigned 64-bit operands.
+    """
+    if not 0 <= a <= _MASK64 or not 0 <= b <= _MASK64:
+        raise ValueError("operands must be unsigned 64-bit")
+    result = 0
+    while b:
+        low = b & -b  # lowest set bit
+        result ^= a * low  # multiplying by a power of two = shift
+        b ^= low
+    return result
+
+
+def pclmulqdq(a: Vec128, b: Vec128, imm8: int) -> Vec128:
+    """The PCLMULQDQ instruction.
+
+    ``imm8`` bit 0 selects the lane of *a*, bit 4 the lane of *b*.
+    """
+    lane_a = a.u64()[imm8 & 1]
+    lane_b = b.u64()[(imm8 >> 4) & 1]
+    return Vec128(clmul64(lane_a, lane_b))
+
+
+def gf128_reduce(x: int) -> int:
+    """Reduce a 256-bit carry-less product modulo the GHASH polynomial
+    ``x^128 + x^7 + x^2 + x + 1`` (bit-reflected convention omitted:
+    this is the plain polynomial view used for testing algebra)."""
+    poly = (1 << 128) | 0x87  # x^128 + x^7 + x^2 + x + 1 (low form 0x87)
+    while x.bit_length() > 128:
+        shift = x.bit_length() - 129
+        x ^= poly << shift
+    return x
+
+
+def gf128_mul(a: int, b: int) -> int:
+    """GF(2^128) multiplication via two carry-less halves + reduction."""
+    if not 0 <= a < (1 << 128) or not 0 <= b < (1 << 128):
+        raise ValueError("operands must be 128-bit")
+    a_lo, a_hi = a & _MASK64, a >> 64
+    b_lo, b_hi = b & _MASK64, b >> 64
+    lo = clmul64(a_lo, b_lo)
+    hi = clmul64(a_hi, b_hi)
+    mid = clmul64(a_lo ^ a_hi, b_lo ^ b_hi) ^ lo ^ hi  # Karatsuba middle
+    product = (hi << 128) ^ (mid << 64) ^ lo
+    return gf128_reduce(product)

@@ -1,0 +1,92 @@
+"""Emulation dispatch and cycle-cost model.
+
+Maps each trapped opcode to its functional emulator and to the cycle
+count the scalar replacement code takes — the second overhead component
+of the emulation strategy (the first is the double kernel transition,
+section 5.3).  Logic ops cost a handful of scalar instructions per lane;
+the table-free AES round dominates at a few thousand cycles (13 GF
+multiplies x 16 bytes, each a fixed 8-step loop).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.emulation import vector as v
+from repro.emulation.aes import aesenc
+from repro.emulation.bitsliced_aes import aesenc_constant_time
+from repro.emulation.clmul import pclmulqdq
+from repro.emulation.vector import Vec128
+from repro.isa.opcodes import Opcode
+
+#: Approximate scalar-emulation cost in clock cycles per instruction.
+EMULATION_CYCLE_COSTS: Dict[Opcode, int] = {
+    Opcode.VOR: 12,
+    Opcode.VAND: 12,
+    Opcode.VANDN: 14,
+    Opcode.VXOR: 12,
+    Opcode.VPADDQ: 16,
+    Opcode.VPMAX: 24,
+    Opcode.VPCMP: 24,
+    Opcode.VPSRAD: 20,
+    Opcode.VSQRTPD: 80,
+    Opcode.VPCLMULQDQ: 260,
+    Opcode.AESENC: 2600,  # table-free S-box x 16 bytes
+}
+
+
+def emulation_cycles(opcode: Opcode) -> int:
+    """Cycle cost of emulating *opcode* (raises KeyError if untrappable)."""
+    return EMULATION_CYCLE_COSTS[opcode]
+
+
+_TWO_OPERAND: Dict[Opcode, Callable[[Vec128, Vec128], Vec128]] = {
+    Opcode.VOR: v.vor,
+    Opcode.VAND: v.vand,
+    Opcode.VANDN: v.vandn,
+    Opcode.VXOR: v.vxor,
+    Opcode.VPADDQ: v.vpaddq,
+    Opcode.VPMAX: v.vpmaxsd,
+    Opcode.VPCMP: v.vpcmpeqd,
+    Opcode.AESENC: aesenc_constant_time,
+}
+
+
+def emulate(opcode: Opcode, operands: Tuple[Vec128, ...], imm8: int = 0) -> Vec128:
+    """Functionally emulate one trapped instruction.
+
+    Args:
+        opcode: the trapped instruction class.
+        operands: register operands (1 or 2 :class:`Vec128` values).
+        imm8: immediate byte, used by VPSRAD (count) and VPCLMULQDQ
+            (lane selector).
+
+    Raises:
+        ValueError: for opcodes SUIT never emulates (e.g. IMUL, which is
+            statically hardened instead).
+    """
+    if opcode in _TWO_OPERAND:
+        if len(operands) != 2:
+            raise ValueError(f"{opcode.name} needs two operands")
+        return _TWO_OPERAND[opcode](*operands)
+    if opcode is Opcode.VPSRAD:
+        if len(operands) != 1:
+            raise ValueError("VPSRAD needs one register operand")
+        return v.vpsrad(operands[0], imm8)
+    if opcode is Opcode.VSQRTPD:
+        if len(operands) != 1:
+            raise ValueError("VSQRTPD needs one operand")
+        return v.vsqrtpd(operands[0])
+    if opcode is Opcode.VPCLMULQDQ:
+        if len(operands) != 2:
+            raise ValueError("VPCLMULQDQ needs two operands")
+        return pclmulqdq(operands[0], operands[1], imm8)
+    raise ValueError(f"SUIT does not emulate {opcode.name}")
+
+
+def reference_result(opcode: Opcode, operands: Tuple[Vec128, ...], imm8: int = 0) -> Vec128:
+    """Reference semantics for testing: same as :func:`emulate` but with
+    the table-based AES round."""
+    if opcode is Opcode.AESENC:
+        return aesenc(*operands)
+    return emulate(opcode, operands, imm8)

@@ -1,0 +1,156 @@
+"""128-bit vector values and scalar emulations of the Table 1 SIMD ops.
+
+A :class:`Vec128` wraps one XMM register value (an unsigned 128-bit
+integer) and implements the faultable SIMD instructions with plain
+integer arithmetic — exactly what SUIT's user-space emulation code does
+with non-vectorised instructions.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+_MASK128 = (1 << 128) - 1
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class Vec128:
+    """One 128-bit SIMD register value.
+
+    Attributes:
+        value: the register contents as an unsigned 128-bit integer,
+            lane 0 in the least significant bits (little-endian lanes,
+            as on x86).
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MASK128:
+            raise ValueError("Vec128 value outside 128-bit range")
+
+    # --- lane views -----------------------------------------------------
+
+    @classmethod
+    def from_u64(cls, lanes: Sequence[int]) -> "Vec128":
+        """Build from two 64-bit lanes (lane 0 first)."""
+        if len(lanes) != 2:
+            raise ValueError("need exactly 2 lanes")
+        v = 0
+        for i, lane in enumerate(lanes):
+            v |= (lane & _MASK64) << (64 * i)
+        return cls(v)
+
+    @classmethod
+    def from_u32(cls, lanes: Sequence[int]) -> "Vec128":
+        """Build from four 32-bit lanes (lane 0 first)."""
+        if len(lanes) != 4:
+            raise ValueError("need exactly 4 lanes")
+        v = 0
+        for i, lane in enumerate(lanes):
+            v |= (lane & _MASK32) << (32 * i)
+        return cls(v)
+
+    @classmethod
+    def from_f64(cls, lanes: Sequence[float]) -> "Vec128":
+        """Build from two float64 lanes."""
+        if len(lanes) != 2:
+            raise ValueError("need exactly 2 lanes")
+        raw = [struct.unpack("<Q", struct.pack("<d", x))[0] for x in lanes]
+        return cls.from_u64(raw)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Vec128":
+        """Build from 16 little-endian bytes."""
+        if len(data) != 16:
+            raise ValueError("need exactly 16 bytes")
+        return cls(int.from_bytes(data, "little"))
+
+    def u64(self) -> List[int]:
+        """The two unsigned 64-bit lanes, lane 0 first."""
+        return [(self.value >> (64 * i)) & _MASK64 for i in range(2)]
+
+    def u32(self) -> List[int]:
+        """The four unsigned 32-bit lanes, lane 0 first."""
+        return [(self.value >> (32 * i)) & _MASK32 for i in range(4)]
+
+    def i32(self) -> List[int]:
+        """The four lanes interpreted as signed 32-bit integers."""
+        return [x - (1 << 32) if x >= (1 << 31) else x for x in self.u32()]
+
+    def f64(self) -> List[float]:
+        """The two float64 lanes."""
+        return [struct.unpack("<d", struct.pack("<Q", x))[0] for x in self.u64()]
+
+    def to_bytes(self) -> bytes:
+        """The register as 16 little-endian bytes."""
+        return self.value.to_bytes(16, "little")
+
+
+# --- scalar emulations of the faultable SIMD instructions ---------------
+
+
+def vor(a: Vec128, b: Vec128) -> Vec128:
+    """VOR / VPOR: bitwise OR."""
+    return Vec128(a.value | b.value)
+
+
+def vand(a: Vec128, b: Vec128) -> Vec128:
+    """VAND / VPAND: bitwise AND."""
+    return Vec128(a.value & b.value)
+
+
+def vandn(a: Vec128, b: Vec128) -> Vec128:
+    """VANDN / VPANDN: ``(~a) & b`` (x86 operand order)."""
+    return Vec128((~a.value & _MASK128) & b.value)
+
+
+def vxor(a: Vec128, b: Vec128) -> Vec128:
+    """VXOR / VPXOR: bitwise XOR."""
+    return Vec128(a.value ^ b.value)
+
+
+def vpaddq(a: Vec128, b: Vec128) -> Vec128:
+    """VPADDQ: lane-wise 64-bit addition with wraparound."""
+    return Vec128.from_u64([(x + y) & _MASK64 for x, y in zip(a.u64(), b.u64())])
+
+
+def vpmaxsd(a: Vec128, b: Vec128) -> Vec128:
+    """VPMAXSD: lane-wise signed 32-bit maximum."""
+    return Vec128.from_u32([max(x, y) & _MASK32 for x, y in zip(a.i32(), b.i32())])
+
+
+def vpcmpeqd(a: Vec128, b: Vec128) -> Vec128:
+    """VPCMPEQD: lane-wise 32-bit equality, all-ones on match."""
+    return Vec128.from_u32([_MASK32 if x == y else 0 for x, y in zip(a.u32(), b.u32())])
+
+
+def vpsrad(a: Vec128, count: int) -> Vec128:
+    """VPSRAD: lane-wise 32-bit arithmetic shift right by *count*.
+
+    Counts of 32 or more saturate to the sign fill, as on hardware.
+    """
+    if count < 0:
+        raise ValueError("shift count must be non-negative")
+    count = min(count, 31) if count < 32 else 31
+    return Vec128.from_u32([(x >> count) & _MASK32 for x in a.i32()])
+
+
+def vsqrtpd(a: Vec128) -> Vec128:
+    """VSQRTPD: lane-wise float64 square root.
+
+    Negative inputs produce NaN (a quiet default NaN), like the IEEE
+    default-exception behaviour hardware uses.
+    """
+    out = []
+    for x in a.f64():
+        if x < 0 or math.isnan(x):
+            out.append(float("nan"))
+        else:
+            out.append(math.sqrt(x))
+    return Vec128.from_f64(out)

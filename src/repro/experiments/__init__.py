@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table and figure.
+
+Every module exposes ``run(seed=0, fast=False) -> ExperimentResult``
+which regenerates the table rows / figure series and records
+paper-vs-measured comparisons.  ``fast=True`` trims workload sets and
+repetition counts for CI-speed runs; the full runs feed EXPERIMENTS.md
+(see :mod:`repro.experiments.runall`).
+"""
+
+from repro.experiments.common import ExperimentResult, Metric
+
+__all__ = ["ExperimentResult", "Metric"]

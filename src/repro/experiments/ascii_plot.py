@@ -1,0 +1,95 @@
+"""Terminal rendering of the paper's figures.
+
+No plotting library is assumed: these helpers draw the regenerated
+figure data as Unicode line/scatter charts and bar rows, so
+``python -m repro reproduce`` and the ``figures`` CLI can show every
+figure in any terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line sparkline of *values* (resampled to *width* columns)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    if width and len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    return "".join(_BARS[int((v - lo) / span * (len(_BARS) - 1))] for v in vals)
+
+
+def scatter(x: Sequence[float], y: Sequence[float], width: int = 72,
+            height: int = 16, x_label: str = "", y_label: str = "",
+            title: str = "") -> str:
+    """A character-cell scatter/line plot with axes and value ranges."""
+    xs, ys = list(x), list(y)
+    if len(xs) != len(ys):
+        raise ValueError("x and y must have equal length")
+    if not xs:
+        return "(empty plot)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yv - y_lo) / y_span * (height - 1))
+        grid[row][col] = "•"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = f"{y_hi:10.3g} ┤" if i == 0 else (
+            f"{y_lo:10.3g} ┤" if i == height - 1 else " " * 11 + "│")
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "└" + "─" * width)
+    footer = f"{' ' * 12}{x_lo:<.3g}{x_label:^{max(width - 16, 0)}}{x_hi:>.3g}"
+    lines.append(footer)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def bars(labels: Sequence[str], values: Sequence[float], width: int = 46,
+         unit: str = "%", scale: float = 100.0) -> str:
+    """Horizontal bar rows (negative values extend left of the axis)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(no bars)"
+    biggest = max(abs(v) for v in values) or 1.0
+    half = width // 2
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(abs(value) / biggest * half)
+        if value >= 0:
+            bar = " " * half + "|" + "█" * n
+        else:
+            bar = " " * (half - n) + "█" * n + "|"
+        lines.append(f"{label:<16} {bar:<{width + 1}} {value * scale:+7.2f}{unit}")
+    return "\n".join(lines)
+
+
+def step_series(points: Sequence[Tuple[float, float]], width: int = 72,
+                height: int = 10, title: str = "") -> str:
+    """Plot a step function given (time, level) change points."""
+    if not points:
+        return "(empty series)"
+    xs: List[float] = []
+    ys: List[float] = []
+    for i, (t, level) in enumerate(points):
+        t_next = points[i + 1][0] if i + 1 < len(points) else t
+        samples = max(2, int(width / max(len(points), 1)))
+        for k in range(samples):
+            xs.append(t + (t_next - t) * k / samples)
+            ys.append(level)
+    return scatter(xs, ys, width=width, height=height, title=title)

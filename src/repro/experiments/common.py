@@ -1,0 +1,105 @@
+"""Shared experiment plumbing: result containers and trace caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One paper-vs-measured comparison.
+
+    Attributes:
+        name: metric identifier (e.g. "C.fV.-97mV.SPECgmean.eff").
+        measured: reproduced value.
+        paper: the paper's value, or None where the paper gives none.
+        unit: display unit; fractional values with unit "%" print x100.
+    """
+
+    name: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = "%"
+
+    def format(self) -> str:
+        """Render as "name: measured X (paper Y)"."""
+        def fmt(value: float) -> str:
+            if self.unit == "%":
+                return f"{value * 100:+.2f}%"
+            if self.unit == "s":
+                return f"{value * 1e6:+.1f}us"
+            if self.unit == "V":
+                return f"{value * 1e3:+.1f}mV"
+            return f"{value:+.3g}{self.unit}"
+
+        text = f"{self.name}: measured {fmt(self.measured)}"
+        if self.paper is not None:
+            text += f" (paper {fmt(self.paper)})"
+        return text
+
+    @property
+    def abs_error(self) -> Optional[float]:
+        if self.paper is None:
+            return None
+        return abs(self.measured - self.paper)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment_id: "table6", "fig14", ...
+        title: human-readable description.
+        metrics: headline paper-vs-measured comparisons.
+        lines: preformatted report lines (the regenerated table rows).
+        data: raw series for plotting / further analysis.
+    """
+
+    experiment_id: str
+    title: str
+    metrics: List[Metric] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add_metric(self, name: str, measured: float,
+                   paper: Optional[float] = None, unit: str = "%") -> None:
+        """Append one paper-vs-measured comparison."""
+        self.metrics.append(Metric(name, measured, paper, unit))
+
+    def metric(self, name: str) -> Metric:
+        """Look up a metric by name (KeyError if absent)."""
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(f"no metric named {name!r} in {self.experiment_id}")
+
+    def report(self) -> str:
+        """Full textual report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.extend(self.lines)
+        if self.metrics:
+            parts.append("-- paper vs measured --")
+            parts.extend(m.format() for m in self.metrics)
+        return "\n".join(parts)
+
+
+_TRACE_CACHE: Dict[str, FaultableTrace] = {}
+
+
+def cached_trace(profile: WorkloadProfile, seed: int = 0) -> FaultableTrace:
+    """Process-wide trace cache: experiments share synthesised traces."""
+    key = f"{profile.name}/{seed}"
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate_trace(profile, seed=seed)
+    return _TRACE_CACHE[key]
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a signed percentage."""
+    return f"{value * 100:+.2f}%"

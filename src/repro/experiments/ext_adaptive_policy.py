@@ -1,0 +1,62 @@
+"""Extension: the adaptive per-workload strategy policy (section 6.8).
+
+The paper's summary notes the OS "could dynamically switch between CV
+and e for highest efficiency".  This experiment evaluates our
+implementation of that policy against the per-workload oracle across
+the SPEC + network mix: the cheap heuristic should capture nearly all
+of the oracle's efficiency while never picking a catastrophic strategy
+(emulation on a crypto workload).
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import geomean_change
+from repro.core.policy import AdaptiveStrategyPolicy, oracle_best
+from repro.experiments.common import ExperimentResult, cached_trace
+from repro.hardware.models import cpu_a_i9_9900k
+from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE
+from repro.workloads.spec import spec_profile
+
+_WORKLOADS = ("557.xz", "502.gcc", "520.omnetpp", "525.x264", "527.cam4")
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Adaptive policy vs per-workload oracle on CPU A."""
+    result = ExperimentResult(
+        experiment_id="ext-adaptive",
+        title="Adaptive strategy selection vs the per-workload oracle",
+    )
+    cpu = cpu_a_i9_9900k()
+    policy = AdaptiveStrategyPolicy(cpu)
+    names = _WORKLOADS[:3] if fast else _WORKLOADS
+    profiles = [spec_profile(n) for n in names] + [NGINX_PROFILE, VLC_PROFILE]
+
+    policy_effs, oracle_effs = [], []
+    never_catastrophic = True
+    for profile in profiles:
+        trace = cached_trace(profile, seed)
+        decision, chosen = policy.run(profile, trace, -0.097, seed=seed)
+        best_name, all_results = oracle_best(cpu, profile, trace, -0.097,
+                                             seed=seed)
+        best = all_results[best_name]
+        policy_effs.append(chosen.efficiency_change)
+        oracle_effs.append(best.efficiency_change)
+        if chosen.perf_change < -0.5:
+            never_catastrophic = False
+        result.lines.append(
+            f"{profile.name:<14} policy={decision.strategy:<3} "
+            f"(eff {chosen.efficiency_change * 100:+6.2f}%)  "
+            f"oracle={best_name:<3} (eff {best.efficiency_change * 100:+6.2f}%)")
+
+    gap = geomean_change(oracle_effs) - geomean_change(policy_effs)
+    result.add_metric("oracle_gap", gap, unit="")
+    result.add_metric("policy_geomean_eff", geomean_change(policy_effs))
+    result.add_metric("never_catastrophic",
+                      1.0 if never_catastrophic else 0.0, paper=1.0, unit="")
+    result.add_metric("policy_within_2pp_of_oracle",
+                      1.0 if gap < 0.02 else 0.0, paper=1.0, unit="")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

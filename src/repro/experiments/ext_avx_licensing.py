@@ -1,0 +1,77 @@
+"""Extension: why no-SIMD builds can be *faster* (Table 4's positives).
+
+The paper suspects "AVX throttling" behind 525.x264 (+7 %) and
+548.exchange2 (+7.7 %) running faster without SIMD.  This experiment
+reproduces the mechanism with the license state machine: a workload
+whose sparse wide instructions keep re-arming the slow license inside
+hot scalar loops loses more frequency than its vectorisation earns,
+while a densely vectorised kernel keeps the license busy doing useful
+wide work and wins despite the downclock.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.power.avx_license import (
+    AvxLicenseModel,
+    LicenseLevel,
+    effective_frequency_ratio,
+    nosimd_tradeoff,
+)
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """License model: dense vs sparse SIMD and the no-SIMD crossover."""
+    del seed, fast
+    result = ExperimentResult(
+        experiment_id="ext-avx",
+        title="AVX frequency licensing: when removing SIMD wins",
+    )
+    model = AvxLicenseModel()
+
+    # x264-like: modest vector speedup, wide ops sprinkled through hot
+    # scalar loops frequently enough to pin the L1 license.
+    x264_simd, x264_scalar = nosimd_tradeoff(
+        model, simd_speedup=1.02, wide_event_rate_hz=5_000,
+        demanded=LicenseLevel.L1)
+    # namd-like: dense, highly effective vectorisation.
+    namd_simd, namd_scalar = nosimd_tradeoff(
+        model, simd_speedup=1.30, wide_event_rate_hz=200_000,
+        demanded=LicenseLevel.L1)
+
+    result.lines.append(
+        f"x264-like (speedup 1.02, sparse wide ops): SIMD score "
+        f"{x264_simd:.3f} vs scalar {x264_scalar:.3f} -> no-SIMD "
+        f"{(x264_scalar / x264_simd - 1) * 100:+.1f}% (paper: +7%)")
+    result.lines.append(
+        f"namd-like (speedup 1.30, dense wide ops):  SIMD score "
+        f"{namd_simd:.3f} vs scalar {namd_scalar:.3f} -> no-SIMD "
+        f"{(namd_scalar / namd_simd - 1) * 100:+.1f}% (paper: -22%)")
+
+    # Hysteresis pinning: sparse events above 1/hysteresis pin the license.
+    pin_rate = 1.0 / model.hysteresis_s
+    pinned, _ = effective_frequency_ratio(
+        model, [(k / (2 * pin_rate), LicenseLevel.L1)
+                for k in range(int(2 * pin_rate))], 1.0)
+    relaxed, _ = effective_frequency_ratio(
+        model, [(k / (0.2 * pin_rate), LicenseLevel.L1)
+                for k in range(int(0.2 * pin_rate))], 1.0)
+    result.lines.append(
+        f"license pinned at 2x hysteresis rate: freq x{pinned:.3f}; "
+        f"relaxed at 0.2x: freq x{relaxed:.3f}")
+
+    result.add_metric("sparse_simd_loses",
+                      1.0 if x264_scalar > x264_simd else 0.0,
+                      paper=1.0, unit="")
+    result.add_metric("dense_simd_wins",
+                      1.0 if namd_simd > namd_scalar else 0.0,
+                      paper=1.0, unit="")
+    result.add_metric("x264_nosimd_gain", x264_scalar / x264_simd - 1.0,
+                      paper=0.07)
+    result.add_metric("pinning_effect",
+                      1.0 if pinned < relaxed else 0.0, paper=1.0, unit="")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

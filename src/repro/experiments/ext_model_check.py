@@ -1,0 +1,66 @@
+"""Extension: exhaustive verification of the SUIT state machine.
+
+The trace simulator samples one schedule; the security argument (section
+3.5/6.9) must hold under *every* interleaving of traps, timer expiries
+and regulator completions.  This experiment runs the explicit-state
+model checker over the abstract fV machine and reports the verified
+invariants — and, as a sanity check of the checker itself, confirms it
+catches a seeded bug (returning to the efficient curve without
+disabling the trapped set).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.security import model_check as mc
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Model-check the fV machine and a seeded mutant."""
+    del seed, fast
+    result = ExperimentResult(
+        experiment_id="ext-modelcheck",
+        title="Exhaustive state-space verification of the fV machine",
+    )
+    verified = mc.explore()
+    result.lines.append(
+        f"explored {verified.states_explored} states / "
+        f"{verified.transitions} transitions: "
+        f"violations={len(verified.violations)}, "
+        f"non-returning={len(verified.non_returning)}")
+
+    # Seeded mutant: the checker must catch it (otherwise it proves
+    # nothing).  Locally patch the transition relation.
+    original = mc.step
+
+    def buggy(state, event):
+        out = original(state, event)
+        if event == "timer_fire" and out is not None:
+            return mc.AbstractState(curve="E", disabled=False,
+                                    timer_armed=False, pending="E")
+        return out
+
+    mc.step = buggy
+    try:
+        mutant = mc.explore()
+    finally:
+        mc.step = original
+    result.lines.append(
+        f"seeded mutant (no disable on return): "
+        f"{len(mutant.violations)} violation(s) found, witness trace "
+        f"{mutant.violations[0].trace if mutant.violations else '-'}")
+
+    result.add_metric("machine_verified",
+                      1.0 if verified.holds else 0.0, paper=1.0, unit="")
+    result.add_metric("no_deadlock",
+                      1.0 if not verified.non_returning else 0.0,
+                      paper=1.0, unit="")
+    result.add_metric("mutant_caught",
+                      1.0 if not mutant.holds else 0.0, paper=1.0, unit="")
+    result.add_metric("states_explored", float(verified.states_explored),
+                      unit="count")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

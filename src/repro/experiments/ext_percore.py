@@ -1,0 +1,66 @@
+"""Extension: per-core offsets on per-core voltage domains.
+
+CPU C's PCPS gives every core its own regulator; combined with the
+per-core margin variation Kogler et al. measured, SUIT can bin offsets
+per core instead of provisioning the package for its weakest core.
+This experiment samples a population of chips, derives per-core plans,
+and quantifies the recovered power (with the −97 mV budget cap, strong
+cores saturate at the cap and the gain comes from packages whose
+weakest core binds below it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.percore import per_core_gain, plan_per_core_offsets
+from repro.experiments.common import ExperimentResult
+from repro.faults.model import FaultModel
+from repro.hardware.models import cpu_c_xeon_4208
+
+FREQS = (2.0e9, 3.0e9)
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Per-core vs uniform offsets across a chip population."""
+    result = ExperimentResult(
+        experiment_id="ext-percore",
+        title="Per-core efficient offsets vs the package-wide worst case",
+    )
+    cpu = cpu_c_xeon_4208()
+    rng = np.random.default_rng(seed + 7)
+    n_chips = 3 if fast else 10
+    model = FaultModel(core_sigma_v=0.012)  # pronounced core binning
+
+    gains, spreads = [], []
+    for _ in range(n_chips):
+        chip = model.sample_chip(cpu.conservative_curve, cpu.topology.n_cores,
+                                 rng, exhibits=True)
+        plan = plan_per_core_offsets(chip, FREQS)
+        gains.append(per_core_gain(cpu, plan))
+        spreads.append(plan.spread_v)
+    gains = np.array(gains)
+    spreads = np.array(spreads)
+
+    result.lines.append(
+        f"{n_chips} chips x {cpu.topology.n_cores} cores "
+        f"(guardbands preserved): per-core spread "
+        f"{spreads.mean() * 1e3:.1f} mV mean "
+        f"(max {spreads.max() * 1e3:.1f}); extra package power saving "
+        f"{gains.mean() * 100:.2f}% mean, {gains.max() * 100:.2f}% best")
+
+    result.add_metric("mean_extra_saving", float(gains.mean()))
+    result.add_metric("gain_non_negative",
+                      1.0 if gains.min() >= -1e-12 else 0.0, paper=1.0,
+                      unit="")
+    result.add_metric("some_package_benefits",
+                      1.0 if gains.max() > 0.001 else 0.0, paper=1.0, unit="")
+    result.add_metric("mean_core_spread_mv", float(spreads.mean() * 1e3),
+                      unit="mV")
+    result.data["gains"] = gains
+    result.data["spreads"] = spreads
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

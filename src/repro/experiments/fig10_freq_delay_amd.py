@@ -1,0 +1,53 @@
+"""Fig 10: frequency change delay on the AMD Ryzen 7 7700X.
+
+The AMD part ramps through intermediate frequencies over ~668 us
+(sigma 292) and — unlike the Intel parts — never stalls the core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware.models import cpu_b_ryzen_7700x
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 10 measurement."""
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Frequency change delay, AMD Ryzen 7 7700X",
+    )
+    cpu = cpu_b_ryzen_7700x()
+    spec = cpu.transitions.frequency
+    rng = np.random.default_rng(seed)
+    reps = 5 if fast else 10
+
+    delays, stalls = [], []
+    trajectories = []
+    for _ in range(reps):
+        delays.append(spec.sample_delay(rng))
+        stalls.append(spec.sample_stall(rng))
+        trajectories.append(spec.trajectory(3.0e9, 1.8e9, rng))
+    delays = np.array(delays)
+
+    # Staircase check: intermediate frequencies appear in the ramp.
+    times, freqs = trajectories[0]
+    ramp = freqs[(times > 0) & (times < delays[0])]
+    has_staircase = bool(
+        ramp.size and np.any((ramp > 1.9e9) & (ramp < 2.9e9)))
+
+    result.lines.append(
+        f"frequency change: mean {delays.mean() * 1e6:.0f} us "
+        f"(sigma {delays.std() * 1e6:.0f}); stall {np.mean(stalls) * 1e6:.1f} us; "
+        f"staircase ramp: {has_staircase}")
+    result.add_metric("mean_delay", delays.mean(), 668e-6, unit="s")
+    result.add_metric("no_stall", 1.0 if np.mean(stalls) == 0 else 0.0, 1.0,
+                      unit="")
+    result.add_metric("staircase", 1.0 if has_staircase else 0.0, 1.0, unit="")
+    result.data["trajectories"] = trajectories
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

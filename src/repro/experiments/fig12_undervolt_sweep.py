@@ -1,0 +1,60 @@
+"""Fig 12: SPEC score, power and frequency versus undervolt offset.
+
+Sweeps the i9-9900K's undervolting response from 0 to -97 mV (the Fig 12
+x-axis) and reports the score-increase, mean-power and mean-frequency
+series; at -97 mV the paper measures +3.8 % score and -16 % power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware.models import cpu_a_i9_9900k
+
+OFFSETS = (0.0, -0.040, -0.070, -0.097)
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 12 series."""
+    del seed, fast
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Undervolting sweep on the i9-9900K (score / power / frequency)",
+    )
+    cpu = cpu_a_i9_9900k()
+    r = cpu.response
+    nominal_power = cpu.cmos.power(cpu.nominal_frequency, cpu.nominal_voltage)
+
+    scores, powers, freqs = [], [], []
+    result.lines.append("offset   score      power(W)   freq(GHz)")
+    for off in OFFSETS:
+        if off == 0.0:
+            score, pwr, frq = 0.0, 1.0, 1.0
+        else:
+            score = r.score_ratio(off) - 1.0
+            pwr = r.power_ratio(off)
+            frq = r.frequency_ratio(off)
+        scores.append(score)
+        powers.append(pwr * nominal_power)
+        freqs.append(frq * cpu.nominal_frequency / 1e9)
+        result.lines.append(
+            f"{off * 1e3:+5.0f}mV  {score * 100:+5.2f}%   "
+            f"{pwr * nominal_power:6.1f}     {freqs[-1]:.3f}")
+
+    result.add_metric("score@-97mV", scores[-1], 0.038)
+    result.add_metric("power_drop@-97mV", powers[-1] / powers[0] - 1.0, -0.16)
+    # Monotonicity of the series (the figure's qualitative shape).
+    result.add_metric("score_monotone",
+                      1.0 if all(np.diff(scores) > 0) else 0.0, 1.0, unit="")
+    result.add_metric("power_monotone",
+                      1.0 if all(np.diff(powers) < 0) else 0.0, 1.0, unit="")
+    result.data["offsets"] = OFFSETS
+    result.data["scores"] = scores
+    result.data["powers_w"] = powers
+    result.data["freqs_ghz"] = freqs
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

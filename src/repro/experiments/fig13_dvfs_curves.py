@@ -1,0 +1,67 @@
+"""Fig 13 (and Fig 4): frequency-voltage pairs and the modified IMUL.
+
+Reports the i9-9900K conservative curve, the safe-voltage curve of the
+4-cycle (SUIT-hardened) IMUL, and the headroom between them: ~220 mV at
+5 GHz, shrinking to almost nothing at low frequency — the section 6.9
+argument that hardening IMUL is strictly within today's vendor margins.
+Also emits the Fig 4 switch targets Cf and CV from a 4.3 GHz efficient
+p-state.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.power.dvfs import (
+    CurveKind,
+    DVFSCurve,
+    I9_9900K_CURVE_POINTS,
+    modified_imul_curve,
+    switch_targets,
+)
+from repro.security.analysis import imul_hardening_headroom
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate the Fig 13 curves."""
+    del seed, fast
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Stable frequency-voltage pairs and the modified-IMUL curve",
+    )
+    curve = DVFSCurve(I9_9900K_CURVE_POINTS, name="i9-9900K")
+    imul4 = modified_imul_curve(curve, old_latency=3, new_latency=4)
+
+    result.lines.append("freq(GHz)  conservative(V)  imul-4cyc(V)  headroom(mV)")
+    headrooms = {}
+    for f_ghz in (1.0, 2.0, 3.0, 4.0, 5.0):
+        f = f_ghz * 1e9
+        head = imul_hardening_headroom(curve, f)
+        headrooms[f_ghz] = head
+        result.lines.append(
+            f"{f_ghz:8.1f}  {curve.voltage_at(f):15.3f}  "
+            f"{imul4.voltage_at(f):12.3f}  {head * 1e3:11.0f}")
+
+    result.add_metric("headroom@5GHz", headrooms[5.0], 0.220, unit="V")
+    result.add_metric("headroom@1GHz_small",
+                      1.0 if headrooms[1.0] < 0.040 else 0.0, 1.0, unit="")
+    result.add_metric("voltage@4GHz", curve.voltage_at(4.0e9), 0.991, unit="V")
+    result.add_metric("voltage@5GHz", curve.voltage_at(5.0e9), 1.174, unit="V")
+
+    # Fig 4: the two switch paths from an efficient p-state.
+    efficient = curve.with_offset(-0.097, CurveKind.EFFICIENT)
+    cf, cv = switch_targets(efficient, curve, 4.3e9)
+    result.lines.append(
+        f"Fig 4 from E@4.3GHz: Cf = {cf.frequency / 1e9:.2f} GHz @ "
+        f"{cf.voltage:.3f} V; CV = {cv.frequency / 1e9:.2f} GHz @ "
+        f"{cv.voltage:.3f} V")
+    result.add_metric("cf_below_nominal_freq",
+                      1.0 if cf.frequency < 4.3e9 else 0.0, 1.0, unit="")
+    result.add_metric("cv_at_nominal_freq",
+                      1.0 if abs(cv.frequency - 4.3e9) < 1 else 0.0, 1.0, unit="")
+    result.data["conservative_points"] = curve.points
+    result.data["imul4_points"] = imul4.points
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

@@ -1,0 +1,133 @@
+"""Render the regenerated figures as terminal plots.
+
+``render(figure_id)`` runs the corresponding experiment and draws its
+data series with :mod:`repro.experiments.ascii_plot` — the closest thing
+to the paper's figures a text environment can produce.  Used by the
+``figures`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.experiments import ascii_plot
+
+
+def _fig5(fast: bool) -> str:
+    from repro.experiments import fig5_burst_detail
+
+    result = fig5_burst_detail.run(fast=fast)
+    indices, log_gaps = result.data["gap_timeline"]
+    chart = ascii_plot.scatter(
+        indices, log_gaps, height=10,
+        title="Fig 5: gap size (log10 instructions) around one AES burst",
+        x_label="instruction index", y_label="log10 gap")
+    timeline = result.data["curve_timeline"] or []
+    levels = {"E": 1.0, "Cf": 0.0, "CV": 0.5}
+    steps = [(t, levels[label.split("/")[0]]) for t, label in timeline]
+    curve = ascii_plot.step_series(
+        steps, height=6,
+        title="DVFS curve (1=efficient, 0=Cf, 0.5=CV) over the run")
+    return chart + "\n\n" + curve
+
+
+def _fig7(fast: bool) -> str:
+    from repro.experiments import fig7_vlc_timeline
+
+    result = fig7_vlc_timeline.run(fast=fast)
+    indices, log_gaps = result.data["gap_timeline"]
+    return ascii_plot.scatter(
+        indices[:: max(1, len(indices) // 4000)],
+        log_gaps[:: max(1, len(log_gaps) // 4000)],
+        height=12,
+        title="Fig 7: AES gap-size timeline, VLC streaming",
+        x_label="instruction index", y_label="log10 gap")
+
+
+def _fig12(fast: bool) -> str:
+    from repro.experiments import fig12_undervolt_sweep
+
+    result = fig12_undervolt_sweep.run(fast=fast)
+    offsets = [o * 1e3 for o in result.data["offsets"]]
+    lines = ["Fig 12: undervolting sweep (i9-9900K)"]
+    lines.append(f"offsets (mV):  {offsets}")
+    lines.append(f"score  {ascii_plot.sparkline(result.data['scores'])} "
+                 f"({result.data['scores'][-1] * 100:+.1f}% at deepest)")
+    lines.append(f"power  {ascii_plot.sparkline(result.data['powers_w'])} "
+                 f"({result.data['powers_w'][-1]:.1f} W at deepest)")
+    lines.append(f"freq   {ascii_plot.sparkline(result.data['freqs_ghz'])} "
+                 f"({result.data['freqs_ghz'][-1]:.2f} GHz at deepest)")
+    return "\n".join(lines)
+
+
+def _fig13(fast: bool) -> str:
+    from repro.experiments import fig13_dvfs_curves
+
+    result = fig13_dvfs_curves.run(fast=fast)
+    cons = result.data["conservative_points"]
+    imul = result.data["imul4_points"]
+    xs = [f / 1e9 for f, _ in cons] + [f / 1e9 for f, _ in imul]
+    ys = [v for _, v in cons] + [v for _, v in imul]
+    return ascii_plot.scatter(
+        xs, ys, height=14,
+        title="Fig 13: conservative curve (upper) vs 4-cycle IMUL (lower)",
+        x_label="frequency (GHz)", y_label="volts")
+
+
+def _fig14(fast: bool) -> str:
+    from repro.experiments import fig14_imul_latency
+
+    result = fig14_imul_latency.run(fast=fast)
+    series = result.data["geomean_series"]
+    x264 = result.data["slowdowns"]["525.x264"]
+    labels = [f"latency {lat}" for lat in series]
+    rows_geo = ascii_plot.bars(labels, list(series.values()))
+    rows_x264 = ascii_plot.bars(labels, [x264[lat] for lat in series])
+    return ("Fig 14: slowdown vs IMUL latency\n-- geometric mean --\n"
+            + rows_geo + "\n-- 525.x264 --\n" + rows_x264)
+
+
+def _fig16(fast: bool) -> str:
+    from repro.experiments import fig16_per_benchmark
+
+    result = fig16_per_benchmark.run(fast=fast)
+    results = sorted(result.data["results"][-0.097],
+                     key=lambda r: -r.efficiency_change)
+    labels = [r.workload for r in results]
+    effs = [r.efficiency_change for r in results]
+    perfs = [r.perf_change for r in results]
+    return ("Fig 16: per-benchmark efficiency (CPU C, fV, -97 mV)\n"
+            + ascii_plot.bars(labels, effs)
+            + "\n-- performance --\n" + ascii_plot.bars(labels, perfs))
+
+
+RENDERERS: Dict[str, Callable[[bool], str]] = {
+    "fig5": _fig5,
+    "fig7": _fig7,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig16": _fig16,
+}
+
+
+def render(figure_id: str, fast: bool = False) -> str:
+    """Render *figure_id* ("fig5", "fig7", "fig12", "fig13", "fig14",
+    "fig16") as terminal text."""
+    try:
+        renderer = RENDERERS[figure_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; know {sorted(RENDERERS)}")
+    return renderer(fast)
+
+
+def render_all(fast: bool = True) -> str:
+    """Render every figure, separated by rules."""
+    parts: List[str] = []
+    for figure_id in RENDERERS:
+        parts.append(render(figure_id, fast=fast))
+        parts.append("=" * 78)
+    return "\n".join(parts)

@@ -1,0 +1,111 @@
+"""Run every experiment and emit a combined report.
+
+Usage:
+    python -m repro.experiments.runall [--fast] [--out report.md]
+
+The full run regenerates every table and figure of the paper and prints
+each paper-vs-measured comparison; its output is the source of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+from repro.experiments.common import ExperimentResult
+
+#: Experiment module names, in paper order.
+EXPERIMENT_MODULES = (
+    "table1_faults",
+    "table2_undervolting",
+    "table3_temperature",
+    "table4_nosimd",
+    "table5_gem5_config",
+    "table6_main",
+    "table7_parameters",
+    "table8_nosimd_vs_suit",
+    "fig2_guardbands",
+    "fig5_burst_detail",
+    "fig6_fv_timeline",
+    "fig7_vlc_timeline",
+    "fig8_voltage_delay",
+    "fig9_freq_delay_intel",
+    "fig10_freq_delay_amd",
+    "fig11_xeon_pstate",
+    "fig12_undervolt_sweep",
+    "fig13_dvfs_curves",
+    "fig14_imul_latency",
+    "fig16_per_benchmark",
+    "ablation_imul",
+    "ablation_thrashing",
+    "ablation_cores",
+    "ablation_uarch",
+    "ext_adaptive_policy",
+    "ext_covert_channel",
+    "ext_baselines",
+    "ext_scheduler",
+    "ext_thermal_adaptive",
+    "ext_heterogeneous",
+    "ext_governor",
+    "ext_aging_lifetime",
+    "ext_seed_sensitivity",
+    "ext_avx_licensing",
+    "ext_model_check",
+    "ext_tiers",
+    "ext_percore",
+)
+
+
+def run_all(seed: int = 0, fast: bool = False,
+            only: List[str] = None) -> List[ExperimentResult]:
+    """Run all (or the selected) experiments; returns their results."""
+    results = []
+    for name in EXPERIMENT_MODULES:
+        if only and name not in only:
+            continue
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.time()
+        result = module.run(seed=seed, fast=fast)
+        elapsed = time.time() - start
+        print(result.report())
+        print(f"[{name} finished in {elapsed:.1f}s]\n", flush=True)
+        results.append(result)
+    return results
+
+
+def summarize(results: List[ExperimentResult]) -> str:
+    """One-line-per-metric summary of every comparison."""
+    lines = ["# Paper-vs-measured summary", ""]
+    for result in results:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        for metric in result.metrics:
+            lines.append(f"- {metric.format()}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Command-line entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="trimmed workloads / repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment module names")
+    parser.add_argument("--out", default=None,
+                        help="write the metric summary to this file")
+    args = parser.parse_args(argv)
+    results = run_all(seed=args.seed, fast=args.fast, only=args.only)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(summarize(results))
+        print(f"summary written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

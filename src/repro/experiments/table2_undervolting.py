@@ -1,0 +1,66 @@
+"""Table 2: performance / power / efficiency of plain undervolting.
+
+Evaluates each CPU's calibrated undervolting response at the paper's two
+offsets and compares score, power, frequency and efficiency changes with
+the Table 2 measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.hardware.models import cpu_a_i9_9900k, cpu_b_ryzen_7700x, cpu_i5_1035g1
+
+#: Table 2 reference values: cpu -> offset -> (score, power, freq, eff).
+PAPER_TABLE2: Dict[str, Dict[float, Tuple[float, float, float, float]]] = {
+    "i5-1035G1": {
+        -0.070: (0.060, -0.001, 0.085, 0.061),
+        -0.097: (0.079, -0.005, 0.120, 0.084),
+    },
+    "i9-9900K": {
+        -0.070: (0.022, -0.072, 0.026, 0.100),
+        -0.097: (0.038, -0.160, 0.033, 0.230),
+    },
+    "7700X": {
+        -0.070: (0.014, -0.098, 0.018, 0.120),
+        -0.097: (0.019, -0.150, 0.018, 0.200),
+    },
+}
+
+_CPUS = {
+    "i5-1035G1": cpu_i5_1035g1,
+    "i9-9900K": cpu_a_i9_9900k,
+    "7700X": cpu_b_ryzen_7700x,
+}
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table 2."""
+    del seed, fast  # deterministic closed-form evaluation
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="SPEC CPU2017 score/power/frequency/efficiency under undervolting",
+    )
+    result.lines.append(
+        "CPU          offset   score        power        freq         efficiency")
+    for name, factory in _CPUS.items():
+        cpu = factory()
+        r = cpu.response
+        for offset, paper in PAPER_TABLE2[name].items():
+            vals = (
+                r.score_ratio(offset) - 1.0,
+                r.power_ratio(offset) - 1.0,
+                r.frequency_ratio(offset) - 1.0,
+                r.efficiency_ratio(offset) - 1.0,
+            )
+            cells = "  ".join(
+                f"{v * 100:+5.1f}({p * 100:+5.1f})" for v, p in zip(vals, paper))
+            result.lines.append(f"{name:<12s} {offset * 1e3:+.0f}mV  {cells}")
+            for metric, v, p in zip(("score", "power", "freq", "eff"), vals, paper):
+                result.add_metric(f"{name}.{offset * 1e3:+.0f}mV.{metric}", v, p)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

@@ -1,0 +1,50 @@
+"""Table 3: fan speed, core temperature and maximum undervolt offset.
+
+Drives the fan/thermal model at the paper's two fan speeds and reads the
+resulting core temperature and the maximum safe undervolt offset from
+the temperature-guardband model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.power.guardband import TemperatureGuardband
+from repro.power.thermal import FanCurve
+
+#: Table 3 reference rows: (fan_rpm, paper_temp_c, paper_offset_v).
+PAPER_TABLE3 = (
+    (1800, 50.0, -0.090),
+    (300, 88.0, -0.055),
+)
+
+#: i9-9900K package power at the Table 3 operating point (4 GHz, SPEC load).
+_POWER_AT_4GHZ_W = 120.0
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table 3."""
+    del seed, fast
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Core temperature vs fan speed and the temperature guardband",
+    )
+    fan = FanCurve()
+    guardband = TemperatureGuardband()
+    result.lines.append("fan-rpm  temp(paper)      max-offset(paper)")
+    for rpm, paper_temp, paper_offset in PAPER_TABLE3:
+        temp = fan.core_temperature(_POWER_AT_4GHZ_W, rpm)
+        offset = guardband.max_undervolt(temp)
+        result.lines.append(
+            f"{rpm:>7d}  {temp:5.1f}C ({paper_temp:.0f}C)   "
+            f"{offset * 1e3:+.0f}mV ({paper_offset * 1e3:+.0f}mV)")
+        result.add_metric(f"temp@{rpm}rpm", temp, paper_temp, unit="degC")
+        result.add_metric(f"offset@{rpm}rpm", offset, paper_offset, unit="V")
+    # The guardband itself: 35 mV, ~3.5 % of the 991 mV supply at 4 GHz.
+    gb = guardband.guardband_voltage()
+    result.add_metric("temperature_guardband", gb, 0.035, unit="V")
+    result.add_metric("guardband_fraction", gb / 0.991, 0.035)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report())

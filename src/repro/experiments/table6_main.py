@@ -1,0 +1,180 @@
+"""Table 6: the main evaluation.
+
+Power, performance and efficiency of SUIT for every (CPU, operating
+strategy) configuration of the paper, at both undervolt offsets, across
+the Table 6 columns: SPEC geometric mean and median, 525.x264 (the
+benchmark most hurt by the IMUL hardening), SPEC compiled without SIMD,
+Nginx and VLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.metrics import SimResult, geomean_change, median_change
+from repro.core.suit import SuitSystem
+from repro.experiments.common import ExperimentResult, cached_trace
+from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE
+from repro.workloads.spec import all_spec_profiles
+
+#: The Table 6 configurations: (label, cpu, cores, strategy).
+CONFIGS: Tuple[Tuple[str, str, int, str], ...] = (
+    ("A1.fV", "A", 1, "fV"),
+    ("A4.fV", "A", 4, "fV"),
+    ("Ae.e", "A", 1, "e"),
+    ("Bf.f", "B", 1, "f"),
+    ("Be.e", "B", 1, "e"),
+    ("C.fV", "C", 1, "fV"),
+)
+
+OFFSETS = (-0.070, -0.097)
+
+_COLUMNS = ("SPECgmean", "SPECmedian", "525.x264", "SPECnoSIMD", "nginx", "vlc")
+_ROWS = ("pwr", "perf", "eff")
+
+#: Paper Table 6, config -> offset -> row -> column values (fractions).
+PAPER_TABLE6: Dict[str, Dict[float, Dict[str, Tuple[float, ...]]]] = {
+    "A1.fV": {
+        -0.070: {"pwr": (-0.056, -0.071, -0.071, -0.071, -0.035, -0.039),
+                 "perf": (-0.002, -0.013, -0.013, 0.030, 0.005, -0.004),
+                 "eff": (0.057, 0.062, 0.062, 0.11, 0.042, 0.036)},
+        -0.097: {"pwr": (-0.097, -0.11, -0.12, -0.15, -0.058, -0.063),
+                 "perf": (0.008, 0.013, 0.001, 0.034, 0.012, 0.002),
+                 "eff": (0.12, 0.14, 0.14, 0.21, 0.074, 0.069)},
+    },
+    "A4.fV": {
+        -0.070: {"pwr": (-0.046, -0.001, -0.069, -0.074, -0.010, -0.010),
+                 "perf": (-0.039, -0.000, -0.079, 0.018, -0.003, -0.006),
+                 "eff": (0.007, 0.001, -0.010, 0.100, 0.007, 0.004)},
+        -0.097: {"pwr": (-0.089, -0.087, -0.13, -0.16, -0.016, -0.016),
+                 "perf": (-0.036, -0.035, -0.072, 0.018, -0.001, -0.005),
+                 "eff": (0.058, 0.057, 0.067, 0.22, 0.015, 0.011)},
+    },
+    "Ae.e": {
+        -0.070: {"pwr": (-0.075, -0.076, -0.054, -0.075, -0.072, -0.072),
+                 "perf": (-0.42, -0.12, 0.062, 0.014, -0.98, -0.92),
+                 "eff": (-0.37, -0.045, 0.12, 0.096, -0.98, -0.91)},
+        -0.097: {"pwr": (-0.12, -0.12, -0.10, -0.17, -0.12, -0.12),
+                 "perf": (-0.42, -0.12, 0.061, 0.014, -0.98, -0.92),
+                 "eff": (-0.34, 0.006, 0.18, 0.22, -0.98, -0.91)},
+    },
+    "Bf.f": {
+        -0.070: {"pwr": (-0.081, -0.078, -0.078, -0.091, -0.044, -0.044),
+                 "perf": (-0.078, -0.078, -0.092, 0.004, -0.025, -0.025),
+                 "eff": (0.003, -0.000, -0.016, 0.11, 0.020, 0.020)},
+        -0.097: {"pwr": (-0.12, -0.11, -0.11, -0.14, -0.067, -0.067),
+                 "perf": (-0.10, -0.11, -0.12, 0.006, -0.023, -0.023),
+                 "eff": (0.014, 0.001, -0.016, 0.17, 0.047, 0.047)},
+    },
+    "Be.e": {
+        -0.070: {"pwr": (-0.092, -0.080, -0.11, -0.092, -0.098, -0.098),
+                 "perf": (-0.26, -0.051, 0.15, -0.005, -0.96, -0.80),
+                 "eff": (-0.19, 0.031, 0.28, 0.095, -0.95, -0.78)},
+        -0.097: {"pwr": (-0.14, -0.13, -0.16, -0.14, -0.15, -0.15),
+                 "perf": (-0.26, -0.052, 0.19, 0.000, -0.96, -0.80),
+                 "eff": (-0.14, 0.093, 0.41, 0.17, -0.95, -0.76)},
+    },
+    "C.fV": {
+        -0.070: {"pwr": (-0.056, -0.071, -0.071, -0.061, -0.036, -0.040),
+                 "perf": (-0.008, -0.019, -0.019, 0.035, 0.003, -0.011),
+                 "eff": (0.051, 0.055, 0.055, 0.10, 0.040, 0.030)},
+        -0.097: {"pwr": (-0.098, -0.11, -0.12, -0.14, -0.058, -0.066),
+                 "perf": (0.002, 0.002, -0.006, 0.038, 0.010, -0.006),
+                 "eff": (0.11, 0.13, 0.13, 0.21, 0.073, 0.064)},
+    },
+}
+
+#: SPEC subset used in fast mode (spans the occupancy spectrum).
+FAST_SPEC = ("557.xz", "502.gcc", "520.omnetpp", "525.x264",
+             "508.namd", "527.cam4", "549.fotonik3d", "521.wrf")
+
+
+@dataclass
+class ConfigCells:
+    """Measured Table 6 cells for one configuration and offset."""
+
+    label: str
+    offset: float
+    cells: Dict[str, Dict[str, float]]  # row -> column -> value
+    spec_results: List[SimResult]
+    occupancy: float
+
+
+def _columns_from_results(spec: List[SimResult], nosimd: List[SimResult],
+                          nginx: SimResult, vlc: SimResult) -> Dict[str, Dict[str, float]]:
+    x264 = next(r for r in spec if r.workload.startswith("525"))
+    getters = {"pwr": lambda r: r.power_change,
+               "perf": lambda r: r.perf_change,
+               "eff": lambda r: r.efficiency_change}
+    out: Dict[str, Dict[str, float]] = {}
+    for row, get in getters.items():
+        out[row] = {
+            "SPECgmean": geomean_change(get(r) for r in spec),
+            "SPECmedian": median_change(get(r) for r in spec),
+            "525.x264": get(x264),
+            "SPECnoSIMD": geomean_change(get(r) for r in nosimd),
+            "nginx": get(nginx),
+            "vlc": get(vlc),
+        }
+    return out
+
+
+def evaluate_config(label: str, cpu: str, cores: int, strategy: str,
+                    offset: float, seed: int = 0,
+                    fast: bool = False) -> ConfigCells:
+    """Measure one Table 6 configuration row group."""
+    suit = SuitSystem.for_cpu(cpu, strategy_name=strategy, n_cores=cores,
+                              voltage_offset=offset, seed=seed)
+    profiles = all_spec_profiles()
+    if fast:
+        profiles = [p for p in profiles if p.name in FAST_SPEC]
+    for p in profiles + [NGINX_PROFILE, VLC_PROFILE]:
+        suit.prime_trace(p, cached_trace(p, seed))
+    spec = [suit.run_profile(p) for p in profiles]
+    nosimd = [suit.run_profile_nosimd(p) for p in profiles]
+    nginx = suit.run_profile(NGINX_PROFILE)
+    vlc = suit.run_profile(VLC_PROFILE)
+    occ = sum(r.efficient_occupancy for r in spec) / len(spec)
+    return ConfigCells(
+        label=label, offset=offset,
+        cells=_columns_from_results(spec, nosimd, nginx, vlc),
+        spec_results=spec, occupancy=occ,
+    )
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table 6 (full SPEC unless *fast*)."""
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Power saving and performance impact of SUIT "
+              "(CPUs x strategies x offsets)",
+    )
+    header = "config     offset row  " + "".join(f"{c:>22s}" for c in _COLUMNS)
+    result.lines.append(header)
+    for label, cpu, cores, strategy in CONFIGS:
+        for offset in OFFSETS:
+            cfg = evaluate_config(label, cpu, cores, strategy, offset,
+                                  seed=seed, fast=fast)
+            paper = PAPER_TABLE6[label][offset]
+            for row in _ROWS:
+                cells = []
+                for ci, col in enumerate(_COLUMNS):
+                    measured = cfg.cells[row][col]
+                    ref = paper[row][ci]
+                    cells.append(f"{measured * 100:+7.1f}({ref * 100:+6.1f})")
+                    if not fast or col not in ("SPECgmean", "SPECmedian"):
+                        result.add_metric(
+                            f"{label}.{offset * 1e3:+.0f}mV.{col}.{row}",
+                            measured, ref)
+                result.lines.append(
+                    f"{label:<10s} {offset * 1e3:+.0f}mV {row:<4s} " + "".join(cells))
+            if label == "C.fV" and offset == -0.097:
+                result.add_metric("C.occupancy", cfg.occupancy, 0.727, unit="")
+                result.data["C_spec_results"] = cfg.spec_results
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    print(run(fast="--fast" in sys.argv).report())

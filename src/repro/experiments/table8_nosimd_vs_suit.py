@@ -1,0 +1,72 @@
+"""Table 8: compile-time no-SIMD versus runtime SUIT.
+
+For each configuration, counts on how many SPEC benchmarks compiling
+without SIMD yields higher performance than running the SIMD build under
+SUIT (at -97 mV) — the paper's Table 8.  Emulation never wins but needs
+no recompilation (section 6.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.suit import SuitSystem
+from repro.experiments.common import ExperimentResult, cached_trace
+from repro.workloads.spec import all_spec_profiles
+
+#: Paper Table 8: config -> (benchmarks where no-SIMD wins, where SUIT wins).
+PAPER_TABLE8: Dict[str, Tuple[int, int]] = {
+    "A1.fV": (15, 8),
+    "A4.fV": (21, 2),
+    "Ae.e": (23, 0),
+    "Bf.f": (21, 2),
+    "Be.e": (23, 0),
+    "C.fV": (16, 7),
+}
+
+_CONFIGS = (
+    ("A1.fV", "A", 1, "fV"),
+    ("A4.fV", "A", 4, "fV"),
+    ("Ae.e", "A", 1, "e"),
+    ("Bf.f", "B", 1, "f"),
+    ("Be.e", "B", 1, "e"),
+    ("C.fV", "C", 1, "fV"),
+)
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table 8."""
+    result = ExperimentResult(
+        experiment_id="table8",
+        title="Benchmarks where compiling without SIMD beats SUIT (-97 mV)",
+    )
+    profiles = all_spec_profiles()
+    if fast:
+        profiles = profiles[::3]
+    configs = _CONFIGS if not fast else _CONFIGS[:1] + _CONFIGS[-1:]
+    result.lines.append("config    no-SIMD wins (paper)   SUIT wins (paper)")
+    for label, cpu, cores, strategy in configs:
+        suit = SuitSystem.for_cpu(cpu, strategy_name=strategy, n_cores=cores,
+                                  voltage_offset=-0.097, seed=seed)
+        for p in profiles:
+            suit.prime_trace(p, cached_trace(p, seed))
+        nosimd_wins = 0
+        for p in profiles:
+            with_suit = suit.run_profile(p).perf_change
+            without_simd = suit.run_profile_nosimd(p).perf_change
+            if without_simd > with_suit:
+                nosimd_wins += 1
+        suit_wins = len(profiles) - nosimd_wins
+        paper_n, paper_s = PAPER_TABLE8[label]
+        result.lines.append(
+            f"{label:<9s} {nosimd_wins:>3d} ({paper_n})              "
+            f"{suit_wins:>3d} ({paper_s})")
+        if not fast:
+            result.add_metric(f"{label}.nosimd_wins", nosimd_wins, paper_n,
+                              unit="count")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    print(run(fast="--fast" in sys.argv).report())

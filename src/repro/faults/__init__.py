@@ -1,0 +1,31 @@
+"""Undervolting fault model.
+
+Models *which* instruction faults at *which* voltage (paper sections 2.3
+and 3.1): each instruction class has a minimum stable voltage a fixed
+margin below the conservative DVFS curve, spread by per-chip and per-core
+process variation.  :mod:`repro.faults.characterize` reruns the
+Kogler-style sweep that produced Table 1, and :mod:`repro.faults.injector`
+corrupts computation results when an instruction executes below its
+minimum voltage — the primitive behind the Plundervolt-style attacks SUIT
+defends against.
+"""
+
+from repro.faults.model import (
+    FaultModel,
+    CpuInstanceFaults,
+    BASE_VMIN_MARGINS,
+    NON_FAULTABLE_MARGIN_V,
+)
+from repro.faults.injector import FaultInjector, FaultEvent
+from repro.faults.characterize import CharacterizationSweep, SweepConfig
+
+__all__ = [
+    "FaultModel",
+    "CpuInstanceFaults",
+    "BASE_VMIN_MARGINS",
+    "NON_FAULTABLE_MARGIN_V",
+    "FaultInjector",
+    "FaultEvent",
+    "CharacterizationSweep",
+    "SweepConfig",
+]

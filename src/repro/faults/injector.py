@@ -1,0 +1,105 @@
+"""Fault injection: corrupting results of undervolted instructions.
+
+When an instruction executes below its minimum stable voltage the typical
+silicon failure mode is a late-arriving data signal — observed by
+software as one or a few flipped bits in the result (Plundervolt,
+V0LTpwn).  :class:`FaultInjector` reproduces that: given a chip instance
+and an operating point, it decides per execution whether to fault and, if
+so, flips a random low-weight bit pattern in the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.faults.model import CpuInstanceFaults
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injected fault.
+
+    Attributes:
+        opcode: the faulting instruction class.
+        core: core it executed on.
+        frequency: clock at execution time (Hz).
+        voltage: supply at execution time (V).
+        flipped_mask: XOR mask applied to the result.
+    """
+
+    opcode: Opcode
+    core: int
+    frequency: float
+    voltage: float
+    flipped_mask: int
+
+
+class FaultInjector:
+    """Stateful injector bound to one chip instance.
+
+    Args:
+        chip: the sampled chip (fault thresholds).
+        rng: randomness source for fault occurrence and bit positions.
+        max_flips: maximum number of simultaneously flipped bits.
+    """
+
+    def __init__(self, chip: CpuInstanceFaults, rng: np.random.Generator,
+                 max_flips: int = 2) -> None:
+        if max_flips < 1:
+            raise ValueError("max_flips must be at least 1")
+        self._chip = chip
+        self._rng = rng
+        self._max_flips = max_flips
+        self.events: List[FaultEvent] = []
+
+    def execute(self, opcode: Opcode, correct_result: int, *,
+                core: int, frequency: float, voltage: float,
+                result_bits: int = 64) -> int:
+        """Execute an instruction; return its (possibly corrupted) result.
+
+        A fault is injected with the chip's soft probability at the given
+        operating point; the corruption is an XOR with 1..``max_flips``
+        random bits within ``result_bits``.
+        """
+        p = self._chip.fault_probability(opcode, core, frequency, voltage)
+        if p <= 0.0 or self._rng.random() >= p:
+            return correct_result
+        n_flips = int(self._rng.integers(1, self._max_flips + 1))
+        positions = self._rng.choice(result_bits, size=n_flips, replace=False)
+        mask = 0
+        for pos in positions:
+            mask |= 1 << int(pos)
+        self.events.append(FaultEvent(opcode, core, frequency, voltage, mask))
+        return correct_result ^ mask
+
+    def would_fault(self, opcode: Opcode, *, core: int, frequency: float,
+                    voltage: float) -> bool:
+        """Deterministic threshold check (no randomness, no event)."""
+        return self._chip.faults(opcode, core, frequency, voltage)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.events)
+
+    def reset(self) -> None:
+        """Forget recorded fault events."""
+        self.events.clear()
+
+
+def faulty_imul(a: int, b: int, injector: FaultInjector, *,
+                core: int, frequency: float, voltage: float,
+                bits: int = 64) -> int:
+    """A 64-bit IMUL routed through the fault injector.
+
+    Used by the security demos: multiplications inside RSA-CRT become
+    corruptible when the CPU is undervolted without SUIT's protections.
+    """
+    mask = (1 << bits) - 1
+    correct = (a * b) & mask
+    return injector.execute(Opcode.IMUL, correct, core=core,
+                            frequency=frequency, voltage=voltage,
+                            result_bits=bits)

@@ -1,0 +1,226 @@
+"""Per-instruction minimum-voltage model (paper sections 2.3, 3.1).
+
+Undervolting studies (Murdock et al., Kogler et al.) consistently find
+that data-path-heavy instructions fault *first* when the voltage drops:
+``IMUL`` starts producing wrong results around 45-100 mV below the
+guardbanded supply, the SIMD/crypto instructions of Table 1 follow over
+the next ~100 mV, and everything else (control logic, simple ALU ops)
+stays correct down to roughly -250 mV.
+
+We model each instruction class's minimum stable voltage as the
+conservative-curve voltage plus a negative *margin* drawn around a
+class-specific mean, with Gaussian per-chip and per-core process
+variation.  Some chips (e.g. Intel 6th gen) do not exhibit the
+instruction-variation effect at all; the model reproduces that with a
+per-chip flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.faultable import FAULTABLE_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import DVFSCurve
+
+#: Mean margin (volts, negative) below the conservative curve at which
+#: each faultable instruction starts to fault.  The ordering follows the
+#: sensitivity ranking of Table 1: IMUL faults first (smallest margin).
+BASE_VMIN_MARGINS: Dict[Opcode, float] = {
+    Opcode.IMUL: -0.048,
+    Opcode.VOR: -0.068,
+    Opcode.AESENC: -0.078,
+    Opcode.VXOR: -0.078,
+    Opcode.VANDN: -0.088,
+    Opcode.VAND: -0.091,
+    Opcode.VSQRTPD: -0.095,
+    Opcode.VPCLMULQDQ: -0.105,
+    Opcode.VPSRAD: -0.118,
+    Opcode.VPCMP: -0.128,
+    Opcode.VPMAX: -0.136,
+    Opcode.VPADDQ: -0.148,
+}
+
+#: Margin for instructions outside the faultable set (Murdock et al.:
+#: stable down to about -250 mV).
+NON_FAULTABLE_MARGIN_V: float = -0.250
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Population-level fault model; sample chips from it.
+
+    Attributes:
+        chip_sigma_v: per-chip Gaussian shift of all margins (process
+            variation between dies).
+        core_sigma_v: additional per-core shift within a die.
+        instr_sigma_v: residual per-(core, instruction) spread.
+        frequency_slope_v_per_hz: margins shrink (get closer to the
+            curve) at higher frequency: timing slack decreases, so faults
+            appear at smaller undervolts.
+        exhibit_probability: fraction of chips that exhibit the
+            instruction-variation effect at all (Intel 6th gen did not).
+    """
+
+    chip_sigma_v: float = 0.012
+    core_sigma_v: float = 0.008
+    instr_sigma_v: float = 0.009
+    frequency_slope_v_per_hz: float = 4.0e-12  # 4 mV per GHz
+    exhibit_probability: float = 0.8
+
+    def sample_chip(self, curve: DVFSCurve, n_cores: int,
+                    rng: np.random.Generator,
+                    exhibits: Optional[bool] = None) -> "CpuInstanceFaults":
+        """Sample one concrete chip.
+
+        Args:
+            curve: the chip's conservative DVFS curve.
+            n_cores: cores on the die.
+            rng: randomness source (seeded for reproducibility).
+            exhibits: force the instruction-variation effect on/off, or
+                None to sample it with ``exhibit_probability``.
+        """
+        if n_cores < 1:
+            raise ValueError("chips need at least one core")
+        if exhibits is None:
+            exhibits = bool(rng.random() < self.exhibit_probability)
+        chip_shift = rng.normal(0.0, self.chip_sigma_v)
+        margins: Dict[Opcode, np.ndarray] = {}
+        core_shift = rng.normal(0.0, self.core_sigma_v, size=n_cores)
+        for op in Opcode:
+            base = BASE_VMIN_MARGINS.get(op, NON_FAULTABLE_MARGIN_V)
+            if not exhibits and op in FAULTABLE_OPCODES and op is not Opcode.IMUL:
+                # Chips without the effect: everything but IMUL behaves
+                # like the non-faultable mass.
+                base = NON_FAULTABLE_MARGIN_V
+            noise = rng.normal(0.0, self.instr_sigma_v, size=n_cores)
+            margins[op] = base + chip_shift + core_shift + noise
+        return CpuInstanceFaults(
+            curve=curve,
+            margins=margins,
+            frequency_slope_v_per_hz=self.frequency_slope_v_per_hz,
+            exhibits_variation=exhibits,
+        )
+
+
+@dataclass
+class CpuInstanceFaults:
+    """Fault behaviour of one concrete chip.
+
+    Attributes:
+        curve: conservative DVFS curve of the chip.
+        margins: per-opcode array of per-core margins (negative volts).
+        frequency_slope_v_per_hz: margin shrink per Hz of clock.
+        exhibits_variation: whether this chip shows the
+            instruction-voltage-variation effect.
+    """
+
+    curve: DVFSCurve
+    margins: Dict[Opcode, np.ndarray]
+    frequency_slope_v_per_hz: float
+    exhibits_variation: bool
+    _reference_frequency: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._reference_frequency = self.curve.f_max
+
+    @property
+    def n_cores(self) -> int:
+        return len(next(iter(self.margins.values())))
+
+    def vmin(self, opcode: Opcode, core: int, frequency: float) -> float:
+        """Minimum stable voltage for *opcode* on *core* at *frequency*.
+
+        Above the reference frequency the margin shrinks (less slack),
+        below it grows, at ``frequency_slope_v_per_hz``.
+        """
+        margin = float(self.margins[opcode][core])
+        margin += (frequency - self._reference_frequency) * self.frequency_slope_v_per_hz
+        return self.curve.voltage_at(frequency) + margin
+
+    def faults(self, opcode: Opcode, core: int, frequency: float,
+               voltage: float) -> bool:
+        """Whether *opcode* produces wrong results at this operating point."""
+        return voltage < self.vmin(opcode, core, frequency)
+
+    def fault_probability(self, opcode: Opcode, core: int, frequency: float,
+                          voltage: float, width_v: float = 0.004) -> float:
+        """Soft fault probability near the threshold.
+
+        Real faults are intermittent close to Vmin; probability ramps from
+        0 to 1 over a ~``width_v`` band below the threshold.
+        """
+        depth = self.vmin(opcode, core, frequency) - voltage
+        if depth <= 0:
+            return 0.0
+        return min(1.0, depth / width_v)
+
+    def max_safe_offset(self, opcode: Opcode, core: int, frequency: float) -> float:
+        """Largest (most negative) curve offset at which *opcode* is still
+        stable, i.e. the margin itself."""
+        return self.vmin(opcode, core, frequency) - self.curve.voltage_at(frequency)
+
+    def aged(self, years: float, temp_c: float = 60.0,
+             lifetime_degradation: float = 0.15,
+             lifetime_years: float = 10.0) -> "CpuInstanceFaults":
+        """This chip after *years* of operation at *temp_c*.
+
+        Two effects raise every transistor's voltage requirement, both
+        applied as a uniform margin shift toward the conservative curve:
+
+        * BTI/HCI aging — the delay degradation accumulated over the
+          years at *temp_c*, converted through the local curve gradient
+          (the aging-guardband construction of section 5.6);
+        * operating temperature — hot silicon needs more voltage *now*
+          (section 5.7's 35 mV guardband between 50 and 88 degC).
+        """
+        from repro.power.guardband import AgingModel, TemperatureGuardband
+
+        aging = AgingModel(lifetime_degradation=lifetime_degradation,
+                           lifetime_years=lifetime_years)
+        degradation = aging.degradation(years, temp_c)
+        f_ref = self._reference_frequency
+        # Voltage needed to compensate the slowed transistors.
+        shift = f_ref * degradation * self.curve.gradient_at(f_ref)
+        # Plus the instantaneous temperature requirement above the cool
+        # reference point the margins were characterised at.
+        temp_band = TemperatureGuardband()
+        shift += max(0.0, temp_band.max_undervolt(min(temp_c,
+                                                      temp_band.hot_temp_c))
+                     - temp_band.max_undervolt(temp_band.cool_temp_c))
+        margins = {op: values + shift for op, values in self.margins.items()}
+        return CpuInstanceFaults(
+            curve=self.curve,
+            margins=margins,
+            frequency_slope_v_per_hz=self.frequency_slope_v_per_hz,
+            exhibits_variation=self.exhibits_variation,
+        )
+
+    def with_hardened_imul(self, old_latency: int = 3,
+                           new_latency: int = 4) -> "CpuInstanceFaults":
+        """A copy of this chip with the SUIT-hardened IMUL (section 4.2).
+
+        Stretching IMUL's critical path over one more cycle moves its
+        minimum voltage down to the conservative voltage at
+        ``frequency * old/new`` — the same construction as
+        :func:`repro.power.dvfs.modified_imul_curve`.  The per-core
+        process-variation component is preserved.
+        """
+        if new_latency <= old_latency:
+            raise ValueError("latency must increase")
+        scale = old_latency / new_latency
+        f_ref = self._reference_frequency
+        v_ref = self.curve.voltage_at(f_ref)
+        # Voltage head-room gained at the reference frequency.
+        gain = v_ref - self.curve.voltage_at(f_ref * scale)
+        margins = dict(self.margins)
+        margins[Opcode.IMUL] = self.margins[Opcode.IMUL] - gain
+        return CpuInstanceFaults(
+            curve=self.curve,
+            margins=margins,
+            frequency_slope_v_per_hz=self.frequency_slope_v_per_hz,
+            exhibits_variation=self.exhibits_variation,
+        )

@@ -1,0 +1,69 @@
+"""CPU hardware model.
+
+Models the hardware SUIT runs on and modifies: model-specific registers
+(including the new SUIT MSRs, section 3.2/3.3), time-stamp and
+APERF/MPERF counters, DVFS domain topology (single vs per-core frequency
+and voltage domains, section 6.2), and the transition dynamics of voltage
+regulators and clock sources measured in section 5.2 (Figs 8-11).
+
+:mod:`repro.hardware.models` bundles everything into the paper's three
+evaluation CPUs (A: i9-9900K, B: Ryzen 7 7700X, C: Xeon Silver 4208) plus
+the i5-1035G1 used in Table 2.
+"""
+
+from repro.hardware.msr import (
+    Msr,
+    MsrFile,
+    encode_voltage_offset,
+    decode_voltage_offset,
+    encode_voltage_reading,
+    decode_voltage_reading,
+)
+from repro.hardware.counters import CoreCounters, DelaySpec
+from repro.hardware.domains import DomainKind, DomainTopology
+from repro.hardware.transitions import (
+    VoltageTransitionSpec,
+    FrequencyTransitionSpec,
+    PStateTransitionModel,
+)
+from repro.hardware.cpu import CpuModel, OperatingPoints
+from repro.hardware.interface import (
+    SuitMsrInterface,
+    CurveSelectError,
+    encode_disable_mask,
+    decode_disable_mask,
+)
+from repro.hardware.models import (
+    cpu_a_i9_9900k,
+    cpu_b_ryzen_7700x,
+    cpu_c_xeon_4208,
+    cpu_i5_1035g1,
+    ALL_CPU_FACTORIES,
+)
+
+__all__ = [
+    "Msr",
+    "MsrFile",
+    "encode_voltage_offset",
+    "decode_voltage_offset",
+    "encode_voltage_reading",
+    "decode_voltage_reading",
+    "CoreCounters",
+    "DelaySpec",
+    "DomainKind",
+    "DomainTopology",
+    "VoltageTransitionSpec",
+    "FrequencyTransitionSpec",
+    "PStateTransitionModel",
+    "CpuModel",
+    "OperatingPoints",
+    "SuitMsrInterface",
+    "CurveSelectError",
+    "encode_disable_mask",
+    "decode_disable_mask",
+    "cpu_a_i9_9900k",
+    "cpu_b_ryzen_7700x",
+    "cpu_c_xeon_4208",
+    "cpu_i5_1035g1",
+    "ALL_CPU_FACTORIES",
+]

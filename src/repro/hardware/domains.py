@@ -1,0 +1,69 @@
+"""DVFS domain topology (paper sections 4.1, 6.2).
+
+Whether SUIT pays a system-wide or a per-core cost for a DVFS-curve
+switch depends on the domain layout: the i9-9900K has a single frequency
+and voltage domain (a switch affects *all* cores), the Ryzen 7 7700X has
+per-core frequency domains but one voltage domain, and Xeon CPUs since
+Haswell-EP have fully per-core voltage and frequency domains (PCPS).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class DomainKind(enum.Enum):
+    """Granularity of a DVFS control domain."""
+
+    SHARED = "shared"  # one domain spans every core
+    PER_CORE = "per-core"
+
+
+@dataclass(frozen=True)
+class DomainTopology:
+    """Core count and domain granularity of a package.
+
+    Attributes:
+        n_cores: physical cores.
+        frequency_domains: granularity of clock control.
+        voltage_domains: granularity of voltage control.
+    """
+
+    n_cores: int
+    frequency_domains: DomainKind
+    voltage_domains: DomainKind
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("a CPU needs at least one core")
+        if (self.voltage_domains is DomainKind.PER_CORE
+                and self.frequency_domains is DomainKind.SHARED):
+            raise ValueError("per-core voltage with shared frequency is not a real topology")
+
+    @property
+    def per_core_frequency(self) -> bool:
+        return self.frequency_domains is DomainKind.PER_CORE
+
+    @property
+    def per_core_voltage(self) -> bool:
+        return self.voltage_domains is DomainKind.PER_CORE
+
+    def cores_affected_by_frequency_change(self, core: int) -> Tuple[int, ...]:
+        """Cores whose clock changes when *core*'s frequency domain moves."""
+        self._check_core(core)
+        if self.per_core_frequency:
+            return (core,)
+        return tuple(range(self.n_cores))
+
+    def cores_affected_by_voltage_change(self, core: int) -> Tuple[int, ...]:
+        """Cores whose supply changes when *core*'s voltage domain moves."""
+        self._check_core(core)
+        if self.per_core_voltage:
+            return (core,)
+        return tuple(range(self.n_cores))
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range for {self.n_cores}-core CPU")

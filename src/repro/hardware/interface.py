@@ -1,0 +1,140 @@
+"""The SUIT MSR software interface (paper sections 3.2, 3.3).
+
+SUIT adds three model-specific registers:
+
+* ``SUIT_DISABLE_MASK`` — one bit per faultable instruction class;
+  setting a bit disables the class (execution raises #DO).
+* ``SUIT_CURVE_SELECT`` — 0 = conservative, 1 = efficient.  The hardware
+  *refuses* to select the efficient curve unless every trapped
+  instruction is disabled — the invariant SUIT's security rests on.
+* ``SUIT_DEADLINE`` — the deadline in TSC ticks.
+
+:class:`SuitMsrInterface` is the OS-level wrapper a kernel would use;
+it drives a plain :class:`~repro.hardware.msr.MsrFile` so the register
+semantics (including the refusal) are observable at the bit level.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.hardware.msr import Msr, MsrFile
+from repro.isa.faultable import TRAPPED_OPCODES, faultable_sorted_by_sensitivity
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import CurveKind
+
+#: Stable bit assignment: Table 1 order, most sensitive first.
+DISABLE_BITS = {op: bit for bit, op in enumerate(faultable_sorted_by_sensitivity())}
+
+
+def encode_disable_mask(opcodes: Iterable[Opcode]) -> int:
+    """Bitmask for ``SUIT_DISABLE_MASK`` disabling *opcodes*."""
+    mask = 0
+    for op in opcodes:
+        try:
+            mask |= 1 << DISABLE_BITS[op]
+        except KeyError:
+            raise ValueError(f"{op.name} is not in the faultable set")
+    return mask
+
+
+def decode_disable_mask(mask: int) -> FrozenSet[Opcode]:
+    """The opcodes disabled by *mask*."""
+    return frozenset(op for op, bit in DISABLE_BITS.items() if mask >> bit & 1)
+
+
+class CurveSelectError(RuntimeError):
+    """Raised when software selects the efficient curve while a trapped
+    instruction is still enabled (the hardware guard of section 3.2)."""
+
+
+class SuitMsrInterface:
+    """OS-level driver for the SUIT MSRs.
+
+    Args:
+        msrs: the core's register file (a fresh one if omitted).
+        tsc_frequency: TSC rate for deadline conversions (Hz).
+    """
+
+    def __init__(self, msrs: MsrFile = None, tsc_frequency: float = 3.0e9) -> None:
+        if tsc_frequency <= 0:
+            raise ValueError("TSC frequency must be positive")
+        self.msrs = msrs if msrs is not None else MsrFile()
+        self.tsc_frequency = tsc_frequency
+        self.msrs.install_write_hook(Msr.SUIT_CURVE_SELECT, self._check_curve_write)
+
+    # -- disable mask ----------------------------------------------------
+
+    def disable(self, opcodes: Iterable[Opcode]) -> None:
+        """Disable *opcodes* (in addition to already-disabled ones)."""
+        current = self.msrs.read(Msr.SUIT_DISABLE_MASK)
+        self.msrs.write(Msr.SUIT_DISABLE_MASK,
+                        current | encode_disable_mask(opcodes))
+
+    def enable_all(self) -> None:
+        """Re-enable every instruction (conservative-curve operation)."""
+        if self.current_curve() is CurveKind.EFFICIENT:
+            raise CurveSelectError(
+                "cannot enable faultable instructions on the efficient curve; "
+                "select the conservative curve first")
+        self.msrs.write(Msr.SUIT_DISABLE_MASK, 0)
+
+    def disabled_opcodes(self) -> FrozenSet[Opcode]:
+        """The currently disabled instruction classes."""
+        return decode_disable_mask(self.msrs.read(Msr.SUIT_DISABLE_MASK))
+
+    def is_disabled(self, opcode: Opcode) -> bool:
+        """Whether *opcode* is currently disabled."""
+        return opcode in self.disabled_opcodes()
+
+    # -- curve select ------------------------------------------------------
+
+    def select_curve(self, kind: CurveKind) -> None:
+        """Write ``SUIT_CURVE_SELECT``.
+
+        Raises:
+            CurveSelectError: selecting the efficient curve while any
+                trapped instruction is enabled.
+        """
+        self.msrs.write(Msr.SUIT_CURVE_SELECT,
+                        1 if kind is CurveKind.EFFICIENT else 0)
+
+    def current_curve(self) -> CurveKind:
+        """The selected DVFS curve."""
+        return (CurveKind.EFFICIENT
+                if self.msrs.read(Msr.SUIT_CURVE_SELECT)
+                else CurveKind.CONSERVATIVE)
+
+    def _check_curve_write(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError("SUIT_CURVE_SELECT is a single-bit register")
+        if value == 1 and not TRAPPED_OPCODES <= self.disabled_opcodes():
+            missing = TRAPPED_OPCODES - self.disabled_opcodes()
+            # Reject the write: restore the conservative selection.
+            self.msrs.write(Msr.SUIT_CURVE_SELECT, 0)
+            raise CurveSelectError(
+                "efficient curve refused: "
+                + ", ".join(sorted(op.name for op in missing))
+                + " still enabled")
+
+    # -- deadline ---------------------------------------------------------
+
+    def set_deadline(self, seconds: float) -> None:
+        """Program the deadline register (converted to TSC ticks)."""
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.msrs.write(Msr.SUIT_DEADLINE,
+                        int(round(seconds * self.tsc_frequency)))
+
+    def deadline_seconds(self) -> float:
+        """The programmed deadline converted back to seconds."""
+        return self.msrs.read(Msr.SUIT_DEADLINE) / self.tsc_frequency
+
+    # -- convenience -------------------------------------------------------
+
+    def enter_efficient_mode(self, deadline_s: float) -> None:
+        """The full sequence the OS performs to enter SUIT's steady state:
+        disable the trapped set, program the deadline, select the curve."""
+        self.disable(TRAPPED_OPCODES)
+        self.set_deadline(deadline_s)
+        self.select_curve(CurveKind.EFFICIENT)

@@ -1,0 +1,220 @@
+"""The evaluation CPUs (paper sections 5 and 6.2).
+
+Factory functions build the paper's simulated CPUs:
+
+* ``A`` — Intel Core i9-9900K: 8 cores, a *single* frequency+voltage
+  domain, fast frequency switches (22 us, all cores stall), 350 us
+  voltage settles.
+* ``B`` — AMD Ryzen 7 7700X: per-core frequency domains, no direct
+  voltage control, slow 668 us frequency ramps without stall.
+* ``C`` — Intel Xeon Silver 4208: per-core frequency *and* voltage
+  domains (PCPS), coupled voltage-then-frequency changes.
+* the Intel i5-1035G1 from Table 2 (TDP-limited laptop part).
+
+Undervolting responses are calibrated against Table 2; the Xeon (which
+Intel does not allow to undervolt) reuses the i9-derived response, as the
+paper's simulation does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hardware.counters import DelaySpec
+from repro.hardware.cpu import CpuModel
+from repro.hardware.domains import DomainKind, DomainTopology
+from repro.hardware.transitions import (
+    FrequencyTransitionSpec,
+    PStateTransitionModel,
+    VoltageTransitionSpec,
+)
+from repro.power.cmos import CmosPowerModel
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.power.thermal import TdpModel, UndervoltResponse
+
+#: Exception and emulation-call delays measured in section 5.3.
+INTEL_EXCEPTION_DELAY = DelaySpec(0.34e-6, 0.04e-6)
+INTEL_EMULATION_DELAY = DelaySpec(0.77e-6, 0.14e-6)
+AMD_EXCEPTION_DELAY = DelaySpec(0.11e-6, 0.02e-6)
+AMD_EMULATION_DELAY = DelaySpec(0.27e-6, 0.02e-6)
+
+
+def cpu_a_i9_9900k() -> CpuModel:
+    """CPU A: Intel Core i9-9900K (single frequency+voltage domain)."""
+    curve = DVFSCurve(I9_9900K_CURVE_POINTS, name="i9-9900K")
+    f0 = 4.55e9  # mean SPEC all-core clock from Fig 12
+    cmos = CmosPowerModel.calibrated(
+        frequency=f0, voltage=curve.voltage_at(f0), total_power=93.0,
+        dynamic_share=0.90, uncore_share=0.03,
+    )
+    response = UndervoltResponse(
+        tdp=TdpModel(cmos=cmos, curve=curve, power_limit=100.0, f_max=4.7e9),
+        nominal_frequency=f0,
+        tdp_bound_fraction=0.06,
+        perf_sensitivity=1.15,
+        thermal_boost_per_volt=0.33,
+        voltage_leverage=1.25,
+        voltage_leverage_slope=18.0,
+    )
+    transitions = PStateTransitionModel(
+        frequency=FrequencyTransitionSpec(
+            delay=DelaySpec(22e-6, 0.21e-6),
+            stall=DelaySpec(20e-6, 0.4e-6),
+            aperf_lags=True,
+        ),
+        voltage=VoltageTransitionSpec(delay=DelaySpec(350e-6, 22e-6)),
+    )
+    return CpuModel(
+        name="Intel Core i9-9900K",
+        vendor="intel",
+        topology=DomainTopology(8, DomainKind.SHARED, DomainKind.SHARED),
+        conservative_curve=curve,
+        nominal_frequency=f0,
+        cmos=cmos,
+        transitions=transitions,
+        exception_delay=INTEL_EXCEPTION_DELAY,
+        emulation_call_delay=INTEL_EMULATION_DELAY,
+        response=response,
+    )
+
+
+def cpu_b_ryzen_7700x() -> CpuModel:
+    """CPU B: AMD Ryzen 7 7700X (per-core frequency domains, no MSR 0x150)."""
+    curve = DVFSCurve(
+        [(2.0e9, 0.800), (3.0e9, 0.870), (4.0e9, 0.950),
+         (4.7e9, 1.050), (5.4e9, 1.250)],
+        name="7700X",
+    )
+    f0 = 5.25e9
+    cmos = CmosPowerModel.calibrated(
+        frequency=f0, voltage=curve.voltage_at(f0), total_power=134.0,
+        dynamic_share=0.93, uncore_share=0.03,
+    )
+    response = UndervoltResponse(
+        tdp=TdpModel(cmos=cmos, curve=curve, power_limit=142.0, f_max=5.35e9),
+        nominal_frequency=f0,
+        tdp_bound_fraction=0.04,
+        perf_sensitivity=0.75,
+        thermal_boost_per_volt=0.27,
+        voltage_leverage=1.22,
+        voltage_leverage_slope=6.0,
+    )
+    transitions = PStateTransitionModel(
+        frequency=FrequencyTransitionSpec(
+            delay=DelaySpec(668e-6, 292e-6),
+            staircase_steps=6,
+        ),
+        voltage=None,  # undervolting only via BIOS Curve Optimizer
+    )
+    return CpuModel(
+        name="AMD Ryzen 7 7700X",
+        vendor="amd",
+        topology=DomainTopology(8, DomainKind.PER_CORE, DomainKind.SHARED),
+        conservative_curve=curve,
+        nominal_frequency=f0,
+        cmos=cmos,
+        transitions=transitions,
+        exception_delay=AMD_EXCEPTION_DELAY,
+        emulation_call_delay=AMD_EMULATION_DELAY,
+        response=response,
+    )
+
+
+def cpu_c_xeon_4208() -> CpuModel:
+    """CPU C: Intel Xeon Silver 4208 (per-core frequency and voltage domains).
+
+    Intel does not permit undervolting this part, so its undervolting
+    response is i9-derived (same microarchitecture family), exactly as in
+    the paper's trace-based evaluation.
+    """
+    curve = DVFSCurve(
+        [(1.0e9, 0.680), (1.8e9, 0.750), (2.5e9, 0.820), (3.2e9, 1.000)],
+        name="Xeon-4208",
+    )
+    f0 = 3.0e9
+    cmos = CmosPowerModel.calibrated(
+        frequency=f0, voltage=curve.voltage_at(f0), total_power=82.0,
+        dynamic_share=0.88, uncore_share=0.06,
+    )
+    response = UndervoltResponse(
+        tdp=TdpModel(cmos=cmos, curve=curve, power_limit=88.0, f_max=3.2e9),
+        nominal_frequency=f0,
+        tdp_bound_fraction=0.06,
+        perf_sensitivity=1.15,
+        thermal_boost_per_volt=0.33,
+        voltage_leverage=1.25,
+        voltage_leverage_slope=18.0,
+    )
+    transitions = PStateTransitionModel(
+        frequency=FrequencyTransitionSpec(
+            delay=DelaySpec(31e-6, 2.3e-6),
+            stall=DelaySpec(27e-6, 2.5e-6),
+            aperf_lags=True,
+        ),
+        voltage=VoltageTransitionSpec(delay=DelaySpec(335e-6, 60e-6)),
+        voltage_first=True,
+    )
+    return CpuModel(
+        name="Intel Xeon Silver 4208",
+        vendor="intel",
+        topology=DomainTopology(8, DomainKind.PER_CORE, DomainKind.PER_CORE),
+        conservative_curve=curve,
+        nominal_frequency=f0,
+        cmos=cmos,
+        transitions=transitions,
+        exception_delay=INTEL_EXCEPTION_DELAY,
+        emulation_call_delay=INTEL_EMULATION_DELAY,
+        response=response,
+        allows_undervolting=False,
+    )
+
+
+def cpu_i5_1035g1() -> CpuModel:
+    """Intel Core i5-1035G1: the TDP-limited laptop part of Table 2."""
+    curve = DVFSCurve(
+        [(1.0e9, 0.630), (2.0e9, 0.720), (3.0e9, 0.830), (3.6e9, 0.950)],
+        name="i5-1035G1",
+    )
+    f0 = 2.9e9
+    cmos = CmosPowerModel.calibrated(
+        frequency=f0, voltage=curve.voltage_at(f0), total_power=15.0,
+        dynamic_share=0.88, uncore_share=0.06,
+    )
+    response = UndervoltResponse(
+        tdp=TdpModel(cmos=cmos, curve=curve, power_limit=15.0, f_max=3.6e9),
+        nominal_frequency=f0,
+        tdp_bound_fraction=0.97,
+        perf_sensitivity=0.72,
+        thermal_boost_per_volt=0.0,
+        voltage_leverage=1.20,
+        voltage_leverage_slope=4.0,
+    )
+    transitions = PStateTransitionModel(
+        frequency=FrequencyTransitionSpec(
+            delay=DelaySpec(24e-6, 0.5e-6),
+            stall=DelaySpec(21e-6, 0.5e-6),
+            aperf_lags=True,
+        ),
+        voltage=VoltageTransitionSpec(delay=DelaySpec(360e-6, 25e-6)),
+    )
+    return CpuModel(
+        name="Intel Core i5-1035G1",
+        vendor="intel",
+        topology=DomainTopology(4, DomainKind.SHARED, DomainKind.SHARED),
+        conservative_curve=curve,
+        nominal_frequency=f0,
+        cmos=cmos,
+        transitions=transitions,
+        exception_delay=INTEL_EXCEPTION_DELAY,
+        emulation_call_delay=INTEL_EMULATION_DELAY,
+        response=response,
+    )
+
+
+#: All CPU factories by short name.
+ALL_CPU_FACTORIES: Dict[str, Callable[[], CpuModel]] = {
+    "A": cpu_a_i9_9900k,
+    "B": cpu_b_ryzen_7700x,
+    "C": cpu_c_xeon_4208,
+    "i5": cpu_i5_1035g1,
+}

@@ -1,0 +1,124 @@
+"""Model-specific registers (paper sections 2.4, 3.2, 3.3, 5.2).
+
+Implements the MSR addresses the paper touches — the undocumented Intel
+overclocking mailbox ``0x150`` used to apply voltage offsets,
+``IA32_PERF_CTL/STATUS`` for p-state control, ``APERF/MPERF`` — plus the
+three MSRs SUIT adds: curve select, disabled-opcode mask and the deadline.
+
+The voltage-offset encoding follows the de-facto-documented mailbox
+format (two's-complement offset in 1/1.024 mV units, left-shifted by 21),
+and ``IA32_PERF_STATUS`` reports the core voltage in units of 2^-13 V in
+bits 47:32, as on real Intel parts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional
+
+
+class Msr(enum.IntEnum):
+    """MSR addresses used by the reproduction."""
+
+    IA32_TSC = 0x10
+    IA32_MPERF = 0xE7
+    IA32_APERF = 0xE8
+    OC_MAILBOX = 0x150  # undocumented voltage-offset interface
+    IA32_PERF_STATUS = 0x198
+    IA32_PERF_CTL = 0x199
+
+    # SUIT additions (vendor-defined range).
+    SUIT_CURVE_SELECT = 0xC0011000  # 0 = conservative, 1 = efficient
+    SUIT_DISABLE_MASK = 0xC0011001  # bitmask over the faultable set
+    SUIT_DEADLINE = 0xC0011002  # deadline in TSC ticks
+
+
+_OFFSET_BITS = 11
+_OFFSET_SHIFT = 21
+_OFFSET_UNIT_V = 1.0 / 1.024 * 1e-3  # one step ~ 0.9766 mV
+
+
+def encode_voltage_offset(offset_v: float) -> int:
+    """Encode a voltage offset for the 0x150 mailbox.
+
+    Args:
+        offset_v: offset in volts; negative undervolts.  Must fit the
+            11-bit two's complement range (~ -1.0 .. +0.999 V).
+
+    Returns:
+        The mailbox payload (offset field only, already shifted).
+    """
+    steps = round(offset_v / _OFFSET_UNIT_V)
+    limit = 1 << (_OFFSET_BITS - 1)
+    if not -limit <= steps < limit:
+        raise ValueError(f"offset {offset_v} V outside encodable range")
+    return (steps & ((1 << _OFFSET_BITS) - 1)) << _OFFSET_SHIFT
+
+
+def decode_voltage_offset(value: int) -> float:
+    """Inverse of :func:`encode_voltage_offset` (returns volts)."""
+    raw = (value >> _OFFSET_SHIFT) & ((1 << _OFFSET_BITS) - 1)
+    if raw >= 1 << (_OFFSET_BITS - 1):
+        raw -= 1 << _OFFSET_BITS
+    return raw * _OFFSET_UNIT_V
+
+
+_READING_UNIT_V = 2.0 ** -13
+_READING_SHIFT = 32
+
+
+def encode_voltage_reading(voltage_v: float) -> int:
+    """Encode a core voltage as IA32_PERF_STATUS would report it."""
+    if voltage_v < 0:
+        raise ValueError("voltage must be non-negative")
+    return round(voltage_v / _READING_UNIT_V) << _READING_SHIFT
+
+
+def decode_voltage_reading(value: int) -> float:
+    """Core voltage in volts from an IA32_PERF_STATUS read."""
+    return ((value >> _READING_SHIFT) & 0xFFFF) * _READING_UNIT_V
+
+
+class MsrFile:
+    """A per-core MSR register file with optional read/write hooks.
+
+    Hooks let hardware components expose live values (counters, voltage
+    sensors) and react to writes (p-state change requests) while plain
+    MSRs behave as storage.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+
+    def install_read_hook(self, address: int, hook: Callable[[], int]) -> None:
+        """Route reads of *address* through *hook*."""
+        self._read_hooks[int(address)] = hook
+
+    def install_write_hook(self, address: int, hook: Callable[[int], None]) -> None:
+        """Invoke *hook* with the value on every write to *address*
+        (the value is stored as well)."""
+        self._write_hooks[int(address)] = hook
+
+    def read(self, address: int) -> int:
+        """rdmsr: current value (0 for never-written plain MSRs)."""
+        address = int(address)
+        hook = self._read_hooks.get(address)
+        if hook is not None:
+            return int(hook())
+        return self._values.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        """wrmsr: store *value* and fire any write hook."""
+        address = int(address)
+        if not 0 <= value < 1 << 64:
+            raise ValueError("MSR values are unsigned 64-bit")
+        self._values[address] = value
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            hook(value)
+
+    def stored(self, address: int) -> Optional[int]:
+        """The raw stored value, bypassing read hooks (None if unset)."""
+        return self._values.get(int(address))

@@ -1,0 +1,203 @@
+"""Voltage and frequency transition dynamics (paper section 5.2, Figs 8-11).
+
+The trace-based evaluation of SUIT is driven entirely by how long p-state
+changes take and whether the core stalls meanwhile.  The paper measures:
+
+* Intel i9-9900K: voltage settles in 350 us (sigma 22, max 379); a
+  frequency change takes 22 us (sigma 0.21) during which *all* cores
+  stall, and the first APERF sample after the stall still reports the old
+  frequency (late update).
+* AMD Ryzen 7 7700X: a frequency change ramps over 668 us on average
+  (sigma 292) through intermediate steps, without stalling the core.
+* Intel Xeon Silver 4208 (per-core domains): a p-state change always
+  moves the voltage first (335 us, sigma 135) and then the frequency
+  (31 us, sigma 2.3) with a 27 us core stall (sigma 2.5).
+
+Besides the scalar delays the simulator consumes, each spec can generate
+a full sampled *measurement trajectory* reproducing the corresponding
+figure, including the sampling artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.counters import DelaySpec
+
+
+@dataclass(frozen=True)
+class VoltageTransitionSpec:
+    """Voltage-regulator step response.
+
+    Attributes:
+        delay: total settle time distribution.
+        step_v: regulator output quantisation (volts per step).
+        sample_interval_s: poll period of the measuring kernel module
+            (MSR_IA32_PERF_STATUS reads in the paper's setup).
+        noise_v: sensor noise on each voltage sample.
+    """
+
+    delay: DelaySpec
+    step_v: float = 0.005
+    sample_interval_s: float = 10e-6
+    noise_v: float = 0.0015
+
+    def sample_delay(self, rng: np.random.Generator) -> float:
+        """One settle-time realisation in seconds."""
+        return self.delay.sample(rng)
+
+    def trajectory(self, v_from: float, v_to: float,
+                   rng: np.random.Generator,
+                   tail_s: float = 250e-6) -> Tuple[np.ndarray, np.ndarray]:
+        """A sampled voltage trace for one transition (Fig 8).
+
+        The regulator slews linearly from *v_from* to *v_to* over a
+        sampled settle time, quantised to ``step_v``; sampling continues
+        for *tail_s* after settling.
+
+        Returns:
+            ``(times_s, volts)`` arrays; time 0 is the change request.
+        """
+        settle = self.sample_delay(rng)
+        times = np.arange(0.0, settle + tail_s, self.sample_interval_s)
+        frac = np.clip(times / settle, 0.0, 1.0)
+        volts = v_from + (v_to - v_from) * frac
+        volts = np.round(volts / self.step_v) * self.step_v
+        volts = volts + rng.normal(0.0, self.noise_v, size=volts.shape)
+        return times, volts
+
+    def settle_time_from_trajectory(self, times: np.ndarray, volts: np.ndarray,
+                                    v_to: float, tolerance_v: float = 0.008) -> float:
+        """Recover the settle time the way the paper's kernel module does:
+        the first sample after which the voltage stays within tolerance of
+        the target."""
+        within = np.abs(volts - v_to) <= tolerance_v
+        for i in range(len(times)):
+            if within[i:].all():
+                return float(times[i])
+        return float(times[-1])
+
+
+@dataclass(frozen=True)
+class FrequencyTransitionSpec:
+    """Clock-source transition behaviour.
+
+    Attributes:
+        delay: end-to-end frequency-change delay distribution.
+        stall: distribution of the core-stall portion (mean 0 on AMD).
+        staircase_steps: number of intermediate frequency plateaus during
+            the ramp (1 = a single step, Intel style; >1 = AMD-style ramp).
+        aperf_lags: whether the first post-stall APERF/MPERF sample still
+            reports the pre-change frequency (Intel artifact, Fig 9).
+        sample_interval_s: poll period of the measurement loop.
+    """
+
+    delay: DelaySpec
+    stall: DelaySpec = DelaySpec(0.0)
+    staircase_steps: int = 1
+    aperf_lags: bool = False
+    sample_interval_s: float = 2e-6
+
+    def sample_delay(self, rng: np.random.Generator) -> float:
+        """Total frequency-change delay in seconds."""
+        return self.delay.sample(rng)
+
+    def sample_stall(self, rng: np.random.Generator) -> float:
+        """Core-stall duration within the change, in seconds."""
+        if self.stall.mean_s == 0:
+            return 0.0
+        return min(self.stall.sample(rng), self.delay.mean_s * 4.0)
+
+    def trajectory(self, f_from: float, f_to: float,
+                   rng: np.random.Generator,
+                   lead_s: float = 10e-6,
+                   tail_s: float = 25e-6) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled frequency measurements around one change (Figs 9-11).
+
+        Returns ``(times_s, freqs_hz)``; time 0 is the write to the
+        p-state control register.  During a stall no samples exist (the
+        measuring core does not run); on Intel the first sample after the
+        stall still shows the old frequency because APERF is updated late.
+        """
+        total = self.sample_delay(rng)
+        stall = self.sample_stall(rng)
+        times: List[float] = []
+        freqs: List[float] = []
+        t = -lead_s
+        while t < 0.0:
+            times.append(t)
+            freqs.append(f_from)
+            t += self.sample_interval_s
+        if stall > 0.0:
+            # No samples during the stall; one lagging sample right after.
+            t = stall
+            if self.aperf_lags:
+                times.append(t)
+                freqs.append(f_from)
+                t += self.sample_interval_s
+            while t < stall + tail_s:
+                times.append(t)
+                freqs.append(f_to)
+                t += self.sample_interval_s
+        else:
+            # Staircase ramp, core keeps running.
+            steps = max(1, self.staircase_steps)
+            plateau = total / steps
+            while t < total:
+                k = min(int(t / plateau) + 1, steps)
+                times.append(t)
+                freqs.append(f_from + (f_to - f_from) * k / steps)
+                t += self.sample_interval_s
+            while t < total + tail_s:
+                times.append(t)
+                freqs.append(f_to)
+                t += self.sample_interval_s
+        jitter = rng.normal(0.0, 0.004 * abs(f_from), size=len(freqs))
+        return np.asarray(times), np.asarray(freqs) + jitter
+
+
+@dataclass(frozen=True)
+class PStateTransitionModel:
+    """Full p-state transition behaviour of one CPU.
+
+    Attributes:
+        frequency: clock transition spec.
+        voltage: regulator spec, or None if the platform exposes no
+            direct voltage control (AMD consumer parts).
+        voltage_first: Xeon PCPS behaviour — a p-state change always
+            applies the voltage change before the frequency change,
+            regardless of direction.
+    """
+
+    frequency: FrequencyTransitionSpec
+    voltage: Optional[VoltageTransitionSpec] = None
+    voltage_first: bool = False
+
+    def frequency_change(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """(total_delay_s, stall_s) for a frequency-only change."""
+        return self.frequency.sample_delay(rng), self.frequency.sample_stall(rng)
+
+    def voltage_change(self, rng: np.random.Generator) -> float:
+        """Settle time for a voltage-only change.
+
+        Raises:
+            ValueError: if the platform has no voltage control.
+        """
+        if self.voltage is None:
+            raise ValueError("this CPU exposes no direct voltage control")
+        return self.voltage.sample_delay(rng)
+
+    def pstate_change(self, rng: np.random.Generator,
+                      needs_voltage: bool) -> Tuple[float, float]:
+        """(total_delay_s, stall_s) for a combined p-state change.
+
+        With ``voltage_first`` the total is the voltage settle plus the
+        frequency change; the stall only covers the frequency part.
+        """
+        f_delay, f_stall = self.frequency_change(rng)
+        if needs_voltage and self.voltage is not None and self.voltage_first:
+            return self.voltage.sample_delay(rng) + f_delay, f_stall
+        return f_delay, f_stall

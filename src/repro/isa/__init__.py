@@ -1,0 +1,38 @@
+"""x86-64 instruction metadata substrate.
+
+This package models the slice of the x86-64 ISA that SUIT cares about:
+opcode classes, their pipeline characteristics (latency, throughput,
+execution-port class) and, centrally, the *faultable* instruction set of
+Table 1 — the instructions observed by Kogler et al. to produce erroneous
+results first when a CPU is undervolted.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    InstructionSpec,
+    PortClass,
+    SPEC_TABLE,
+    spec_for,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.faultable import (
+    FAULTABLE_OPCODES,
+    SIMD_FAULTABLE_OPCODES,
+    TABLE1_FAULT_COUNTS,
+    is_faultable,
+    faultable_sorted_by_sensitivity,
+)
+
+__all__ = [
+    "Opcode",
+    "InstructionSpec",
+    "PortClass",
+    "SPEC_TABLE",
+    "spec_for",
+    "Instruction",
+    "FAULTABLE_OPCODES",
+    "SIMD_FAULTABLE_OPCODES",
+    "TABLE1_FAULT_COUNTS",
+    "is_faultable",
+    "faultable_sorted_by_sensitivity",
+]

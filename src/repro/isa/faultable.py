@@ -1,0 +1,62 @@
+"""The faultable instruction set (paper Table 1).
+
+Kogler et al. (USENIX Security 2022, "Minefield") systematically
+undervolted several Intel CPUs and counted, per instruction, on how many
+(core, frequency, voltage-offset) points it produced wrong results.  The
+paper's Table 1 reports those counts; instructions that fault on *more*
+points start faulting at *higher* voltages, i.e. they are the most
+voltage-sensitive and define the gap between the conservative and the
+efficient DVFS curve.
+
+SUIT disables exactly this set on the efficient curve — except ``IMUL``,
+which is too frequent to trap and is instead statically hardened with one
+extra pipeline stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.isa.opcodes import Opcode
+
+#: Fault counts from paper Table 1 (reference data, used to calibrate the
+#: fault model and as the ground truth the Table 1 experiment compares to).
+TABLE1_FAULT_COUNTS: Dict[Opcode, int] = {
+    Opcode.IMUL: 79,
+    Opcode.VOR: 47,
+    Opcode.AESENC: 40,
+    Opcode.VXOR: 40,
+    Opcode.VANDN: 30,
+    Opcode.VAND: 28,
+    Opcode.VSQRTPD: 24,
+    Opcode.VPCLMULQDQ: 16,
+    Opcode.VPSRAD: 9,
+    Opcode.VPCMP: 5,
+    Opcode.VPMAX: 3,
+    Opcode.VPADDQ: 1,
+}
+
+#: All faultable opcodes (Table 1).
+FAULTABLE_OPCODES: FrozenSet[Opcode] = frozenset(TABLE1_FAULT_COUNTS)
+
+#: The faultable opcodes that are SIMD instructions.  Everything in
+#: Table 1 except IMUL and AESENC is a SIMD instruction; AESENC is counted
+#: here too because it operates on XMM registers and disappears when
+#: compiling without SSE/AVX (paper section 5.8 keeps only IMUL).
+SIMD_FAULTABLE_OPCODES: FrozenSet[Opcode] = frozenset(
+    op for op in FAULTABLE_OPCODES if op is not Opcode.IMUL
+)
+
+#: Faultable opcodes SUIT traps at runtime: the infrequent ones.  IMUL is
+#: excluded because SUIT hardens it statically (section 4.2).
+TRAPPED_OPCODES: FrozenSet[Opcode] = SIMD_FAULTABLE_OPCODES
+
+
+def is_faultable(opcode: Opcode) -> bool:
+    """Whether *opcode* belongs to the Table 1 faultable set."""
+    return opcode in FAULTABLE_OPCODES
+
+
+def faultable_sorted_by_sensitivity() -> List[Opcode]:
+    """Faultable opcodes ordered most-sensitive first (Table 1 order)."""
+    return sorted(TABLE1_FAULT_COUNTS, key=lambda op: -TABLE1_FAULT_COUNTS[op])

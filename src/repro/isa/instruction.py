@@ -1,0 +1,45 @@
+"""Dynamic instruction instances.
+
+An :class:`Instruction` is one element of an instruction stream: an opcode
+class plus the dataflow information the pipeline simulator needs (which
+earlier instructions produce its inputs) and, optionally, concrete operand
+values so the emulation layer can execute it functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import Opcode, InstructionSpec, spec_for
+
+
+@dataclass
+class Instruction:
+    """One dynamic instruction in a stream.
+
+    Attributes:
+        opcode: instruction class.
+        sources: indices (into the same stream) of the instructions whose
+            results this one consumes.  Empty for instructions with no
+            register inputs being modelled.
+        operands: optional concrete input values for functional emulation
+            (integers; 128-bit SIMD values are plain Python ints).
+    """
+
+    opcode: Opcode
+    sources: Tuple[int, ...] = ()
+    operands: Optional[Tuple[int, ...]] = None
+
+    @property
+    def spec(self) -> InstructionSpec:
+        """Pipeline metadata for this instruction's opcode class."""
+        return spec_for(self.opcode)
+
+    @property
+    def latency(self) -> int:
+        return self.spec.latency
+
+    @property
+    def is_simd(self) -> bool:
+        return self.spec.is_simd

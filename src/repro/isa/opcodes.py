@@ -1,0 +1,139 @@
+"""Opcode classes and per-instruction pipeline metadata.
+
+The model is deliberately coarser than a full x86 decoder: SUIT's analysis
+and simulation only need instruction *classes* (an ``IMUL`` is an ``IMUL``
+regardless of operand width), their steady-state pipeline characteristics,
+and whether they belong to the faultable set.  Latency and throughput
+values follow Agner Fog's tables for recent Intel/AMD cores (3-cycle fully
+pipelined ``IMUL`` etc.), which is also the source the paper cites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PortClass(enum.Enum):
+    """Coarse execution-resource class used by the pipeline simulator.
+
+    Real cores have numbered issue ports; for the latency-sensitivity study
+    of Fig. 14 only the *contention group* matters, so instructions are
+    bucketed by the functional unit family they occupy.
+    """
+
+    ALU = "alu"  # simple integer ops, plentiful (4/cycle on modern cores)
+    MUL = "mul"  # integer multiplier (1 pipe)
+    DIV = "div"  # iterative divider (unpipelined)
+    LOAD = "load"  # load AGU + L1D port
+    STORE = "store"  # store AGU + store-data port
+    BRANCH = "branch"  # branch unit
+    FP = "fp"  # FP add/mul pipes
+    SIMD = "simd"  # vector integer/logic pipes
+    CRYPTO = "crypto"  # AES-NI / CLMUL unit
+
+
+class Opcode(enum.Enum):
+    """Instruction classes known to the reproduction.
+
+    The first group are generic classes used to fill out instruction
+    streams; the second group are the Table 1 faultable instructions,
+    named exactly as in the paper (a trailing ``*`` family like ``VPCMP*``
+    is represented by its stem).
+    """
+
+    # --- generic, never faultable -------------------------------------
+    NOP = "NOP"
+    ALU = "ALU"  # add/sub/logic/mov between registers
+    LEA = "LEA"
+    LOAD = "LOAD"
+    STORE = "STORE"
+    BRANCH = "BRANCH"
+    DIV = "DIV"
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FDIV = "FDIV"
+    SIMD_OTHER = "SIMD_OTHER"  # SIMD ops outside the faultable set
+
+    # --- faultable: frequent (statically hardened by SUIT) -------------
+    IMUL = "IMUL"  # covers IMUL and MUL, as in the paper
+
+    # --- faultable: infrequent (trapped by SUIT) ------------------------
+    VOR = "VOR"
+    AESENC = "AESENC"
+    VXOR = "VXOR"
+    VANDN = "VANDN"
+    VAND = "VAND"
+    VSQRTPD = "VSQRTPD"
+    VPCLMULQDQ = "VPCLMULQDQ"
+    VPSRAD = "VPSRAD"
+    VPCMP = "VPCMP"
+    VPMAX = "VPMAX"
+    VPADDQ = "VPADDQ"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Steady-state pipeline metadata for one opcode class.
+
+    Attributes:
+        opcode: the instruction class this spec describes.
+        latency: result latency in clock cycles (dependency-to-dependency).
+        throughput: reciprocal throughput in cycles per instruction for one
+            execution pipe (1.0 = fully pipelined).
+        port: functional-unit family the instruction contends on.
+        is_simd: whether the instruction is a vector (SSE/AVX) operation;
+            these disappear when a program is compiled without SIMD.
+    """
+
+    opcode: Opcode
+    latency: int
+    throughput: float
+    port: PortClass
+    is_simd: bool = False
+
+
+def _spec(op: Opcode, lat: int, tput: float, port: PortClass, simd: bool = False) -> InstructionSpec:
+    return InstructionSpec(op, lat, tput, port, simd)
+
+
+#: Pipeline metadata per opcode class (Agner Fog-style numbers).
+SPEC_TABLE: dict = {
+    Opcode.NOP: _spec(Opcode.NOP, 1, 0.25, PortClass.ALU),
+    Opcode.ALU: _spec(Opcode.ALU, 1, 0.25, PortClass.ALU),
+    Opcode.LEA: _spec(Opcode.LEA, 1, 0.5, PortClass.ALU),
+    Opcode.LOAD: _spec(Opcode.LOAD, 5, 0.5, PortClass.LOAD),
+    Opcode.STORE: _spec(Opcode.STORE, 1, 1.0, PortClass.STORE),
+    Opcode.BRANCH: _spec(Opcode.BRANCH, 1, 0.5, PortClass.BRANCH),
+    Opcode.DIV: _spec(Opcode.DIV, 25, 20.0, PortClass.DIV),
+    Opcode.FADD: _spec(Opcode.FADD, 4, 0.5, PortClass.FP),
+    Opcode.FMUL: _spec(Opcode.FMUL, 4, 0.5, PortClass.FP),
+    Opcode.FDIV: _spec(Opcode.FDIV, 14, 5.0, PortClass.FP),
+    Opcode.SIMD_OTHER: _spec(Opcode.SIMD_OTHER, 1, 0.5, PortClass.SIMD, simd=True),
+    # IMUL: 3 cycles latency, fully pipelined (throughput 1) on Intel/AMD.
+    Opcode.IMUL: _spec(Opcode.IMUL, 3, 1.0, PortClass.MUL),
+    Opcode.VOR: _spec(Opcode.VOR, 1, 0.33, PortClass.SIMD, simd=True),
+    Opcode.AESENC: _spec(Opcode.AESENC, 4, 1.0, PortClass.CRYPTO, simd=True),
+    Opcode.VXOR: _spec(Opcode.VXOR, 1, 0.33, PortClass.SIMD, simd=True),
+    Opcode.VANDN: _spec(Opcode.VANDN, 1, 0.33, PortClass.SIMD, simd=True),
+    Opcode.VAND: _spec(Opcode.VAND, 1, 0.33, PortClass.SIMD, simd=True),
+    Opcode.VSQRTPD: _spec(Opcode.VSQRTPD, 18, 12.0, PortClass.FP, simd=True),
+    Opcode.VPCLMULQDQ: _spec(Opcode.VPCLMULQDQ, 6, 1.0, PortClass.CRYPTO, simd=True),
+    Opcode.VPSRAD: _spec(Opcode.VPSRAD, 1, 0.5, PortClass.SIMD, simd=True),
+    Opcode.VPCMP: _spec(Opcode.VPCMP, 1, 0.5, PortClass.SIMD, simd=True),
+    Opcode.VPMAX: _spec(Opcode.VPMAX, 1, 0.5, PortClass.SIMD, simd=True),
+    Opcode.VPADDQ: _spec(Opcode.VPADDQ, 1, 0.33, PortClass.SIMD, simd=True),
+}
+
+
+def spec_for(opcode: Opcode) -> InstructionSpec:
+    """Return the :class:`InstructionSpec` for *opcode*.
+
+    Raises:
+        KeyError: if the opcode has no registered spec (never happens for
+            members of :class:`Opcode`, which are all covered).
+    """
+    return SPEC_TABLE[opcode]

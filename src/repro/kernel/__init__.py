@@ -1,0 +1,24 @@
+"""Operating-system model (paper sections 3.3, 3.4, 5.3).
+
+SUIT's software half lives in the kernel: the new Disabled Opcode
+(``#DO``) exception and its handler, the deadline timer that switches
+back to the efficient curve, and the user-space emulation path with its
+double kernel transition.  The costs are the microbenchmarked delays of
+section 5.3.
+"""
+
+from repro.kernel.exceptions import ExceptionVector, TrapFrame, DisabledOpcodeError
+from repro.kernel.handler import ExceptionTable, KernelCosts
+from repro.kernel.timer import DeadlineTimer
+from repro.kernel.suit_os import SuitOs, SuitOsLog
+
+__all__ = [
+    "ExceptionVector",
+    "TrapFrame",
+    "DisabledOpcodeError",
+    "ExceptionTable",
+    "KernelCosts",
+    "DeadlineTimer",
+    "SuitOs",
+    "SuitOsLog",
+]

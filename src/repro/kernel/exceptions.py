@@ -1,0 +1,58 @@
+"""CPU exceptions, including SUIT's Disabled Opcode exception (section 3.3).
+
+SUIT reuses a reserved interrupt vector for the new ``#DO`` exception.
+Like other CPU exceptions it preserves the full register set so the
+program can continue after handling — either re-executing the instruction
+(once the conservative curve is active) or skipping it (after emulation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.opcodes import Opcode
+
+
+class ExceptionVector(enum.IntEnum):
+    """x86 exception vectors relevant to SUIT."""
+
+    DIVIDE_ERROR = 0
+    INVALID_OPCODE = 6  # #UD, the closest existing relative of #DO
+    GENERAL_PROTECTION = 13
+    DISABLED_OPCODE = 21  # #DO, on a reserved vector (paper section 3.3)
+
+
+@dataclass
+class TrapFrame:
+    """Saved architectural state at exception entry.
+
+    Attributes:
+        rip: instruction pointer of the faulting instruction (so the CPU
+            re-executes it on return, unless the handler advances it).
+        opcode: decoded class of the faulting instruction.
+        registers: saved general-purpose register values.
+        core: core the exception occurred on.
+        timestamp_s: simulation time of the exception.
+    """
+
+    rip: int
+    opcode: Optional[Opcode] = None
+    registers: Dict[str, int] = field(default_factory=dict)
+    core: int = 0
+    timestamp_s: float = 0.0
+
+    def advance(self, instruction_bytes: int = 4) -> None:
+        """Skip the faulting instruction (emulation completed it)."""
+        self.rip += instruction_bytes
+
+
+class DisabledOpcodeError(RuntimeError):
+    """Raised when a disabled instruction executes with no handler
+    registered — the software model of an unhandled #DO (kernel panic)."""
+
+    def __init__(self, frame: TrapFrame) -> None:
+        super().__init__(
+            f"unhandled #DO at rip={frame.rip:#x} opcode={frame.opcode}")
+        self.frame = frame

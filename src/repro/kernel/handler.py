@@ -1,0 +1,86 @@
+"""Exception dispatch and kernel transition costs (section 5.3).
+
+The measured end-to-end delays: entering the kernel on an exception and
+returning takes 0.34 us on the Intel parts (0.11 us on the 7700X); the
+user-space emulation path enters the kernel twice (exception in,
+emulation code out, syscall back in, program out) for 0.77 us (0.27 us
+on AMD) plus the emulation routine itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.hardware.counters import DelaySpec
+from repro.kernel.exceptions import DisabledOpcodeError, ExceptionVector, TrapFrame
+
+Handler = Callable[[TrapFrame], None]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Kernel-transition cost model of one CPU.
+
+    Attributes:
+        exception_delay: exception entry + return (one round trip).
+        emulation_call_delay: the double round trip of user-space
+            emulation, excluding the emulation routine itself.
+    """
+
+    exception_delay: DelaySpec
+    emulation_call_delay: DelaySpec
+
+    def sample_exception(self, rng: np.random.Generator) -> float:
+        """One sampled exception round-trip delay."""
+        return self.exception_delay.sample(rng)
+
+    def sample_emulation_call(self, rng: np.random.Generator) -> float:
+        """One sampled emulation double-round-trip delay."""
+        return self.emulation_call_delay.sample(rng)
+
+
+class ExceptionTable:
+    """Kernel exception vector table.
+
+    Register handlers per vector; :meth:`dispatch` invokes them and
+    accounts the transition cost.
+    """
+
+    def __init__(self, costs: KernelCosts) -> None:
+        self._costs = costs
+        self._handlers: Dict[ExceptionVector, Handler] = {}
+        self.dispatch_count: Dict[ExceptionVector, int] = {}
+
+    def register(self, vector: ExceptionVector, handler: Handler) -> None:
+        """Install *handler* for *vector* (replacing any previous one)."""
+        self._handlers[vector] = handler
+
+    def registered(self, vector: ExceptionVector) -> bool:
+        """Whether a handler is installed for *vector*."""
+        return vector in self._handlers
+
+    def dispatch(self, vector: ExceptionVector, frame: TrapFrame,
+                 rng: Optional[np.random.Generator] = None) -> float:
+        """Deliver an exception.
+
+        Returns:
+            The kernel-transition cost in seconds (handler-internal work
+            is modelled by the handler itself).
+
+        Raises:
+            DisabledOpcodeError: for an unhandled #DO.
+            KeyError: for any other unhandled vector.
+        """
+        handler = self._handlers.get(vector)
+        if handler is None:
+            if vector is ExceptionVector.DISABLED_OPCODE:
+                raise DisabledOpcodeError(frame)
+            raise KeyError(f"no handler registered for {vector.name}")
+        self.dispatch_count[vector] = self.dispatch_count.get(vector, 0) + 1
+        handler(frame)
+        if rng is None:
+            return self._costs.exception_delay.mean_s
+        return self._costs.sample_exception(rng)

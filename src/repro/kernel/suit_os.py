@@ -1,0 +1,149 @@
+"""The SUIT kernel subsystem: MSR-level OS choreography (sections 3, 4).
+
+:class:`SuitOs` is the operating-system half of SUIT assembled from its
+parts: on boot it programs the SUIT MSRs (disable mask, deadline, curve
+select), registers the #DO handler on the reserved vector, and then
+walks the exact register-level sequence of Listing 1 on every trap and
+timer interrupt.  The trace simulator abstracts this choreography away
+for speed; this class makes it inspectable — every step is visible as
+an MSR read/write — and is validated against the simulator's semantics
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.params import StrategyParams
+from repro.hardware.interface import SuitMsrInterface
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.kernel.exceptions import ExceptionVector, TrapFrame
+from repro.kernel.handler import ExceptionTable, KernelCosts
+from repro.kernel.timer import DeadlineTimer
+from repro.power.dvfs import CurveKind
+
+
+@dataclass
+class SuitOsLog:
+    """Audit log of the kernel's SUIT actions."""
+
+    entries: List[Tuple[float, str]] = field(default_factory=list)
+
+    def record(self, time_s: float, action: str) -> None:
+        """Append one timestamped action."""
+        self.entries.append((time_s, action))
+
+    def actions(self) -> List[str]:
+        """The actions without timestamps."""
+        return [a for _, a in self.entries]
+
+
+class SuitOs:
+    """The OS-side SUIT state machine over the MSR interface.
+
+    Args:
+        msrs: the SUIT MSR interface of the core.
+        costs: kernel transition costs (section 5.3).
+        params: operating-strategy parameters (Table 7).
+        emulate: handle traps by user-space emulation instead of curve
+            switching (the ``e`` strategy).
+    """
+
+    def __init__(self, msrs: SuitMsrInterface, costs: KernelCosts,
+                 params: StrategyParams, emulate: bool = False) -> None:
+        self.msrs = msrs
+        self.params = params
+        self.emulate = emulate
+        self.timer = DeadlineTimer()
+        self.exceptions = ExceptionTable(costs)
+        self.log = SuitOsLog()
+        self._exception_times: List[float] = []
+        self._booted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self) -> None:
+        """Bring the core into SUIT steady state (efficient curve)."""
+        self.exceptions.register(ExceptionVector.DISABLED_OPCODE,
+                                 self._do_handler)
+        self.msrs.enter_efficient_mode(self.params.deadline_s)
+        self.log.record(0.0, "boot: efficient curve, trapped set disabled")
+        self._booted = True
+
+    def shutdown(self) -> None:
+        """Return the core to stock behaviour."""
+        self._check_booted()
+        self.msrs.select_curve(CurveKind.CONSERVATIVE)
+        self.msrs.enable_all()
+        self.timer.cancel()
+        self.log.record(self._last_time, "shutdown: conservative, all enabled")
+        self._booted = False
+
+    # -- events ------------------------------------------------------------
+
+    def on_disabled_opcode(self, opcode: Opcode, time_s: float,
+                           rip: int = 0) -> float:
+        """Deliver a #DO exception; returns the kernel cost charged."""
+        self._check_booted()
+        self._last_time = time_s
+        frame = TrapFrame(rip=rip, opcode=opcode, timestamp_s=time_s)
+        return self.exceptions.dispatch(ExceptionVector.DISABLED_OPCODE, frame)
+
+    def on_faultable_executed(self, time_s: float) -> None:
+        """Hardware notification: an (enabled) faultable instruction
+        retired — the deadline countdown restarts."""
+        self._check_booted()
+        self.timer.reset(time_s)
+
+    def on_timer_interrupt(self, time_s: float) -> None:
+        """Deadline expiry: back to the efficient curve (Listing 1)."""
+        self._check_booted()
+        self._last_time = time_s
+        if not self.timer.expired(time_s):
+            return
+        self.timer.cancel()
+        self.msrs.disable(TRAPPED_OPCODES)
+        self.msrs.select_curve(CurveKind.EFFICIENT)
+        self.log.record(time_s, "timer: disabled set, efficient curve")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def on_efficient_curve(self) -> bool:
+        return self.msrs.current_curve() is CurveKind.EFFICIENT
+
+    def exception_count_in(self, window_s: float, now_s: float) -> int:
+        """#DO exceptions within the trailing window."""
+        cutoff = now_s - window_s
+        return sum(1 for t in self._exception_times if t >= cutoff)
+
+    # -- internals -----------------------------------------------------------
+
+    _last_time: float = 0.0
+
+    def _do_handler(self, frame: TrapFrame) -> None:
+        time_s = frame.timestamp_s
+        self._exception_times.append(time_s)
+        if self.emulate:
+            self.log.record(time_s, f"#DO {frame.opcode.name}: emulated")
+            frame.advance()  # skip the instruction: emulation produced it
+            return
+        # Listing 1: conservative curve, enable, arm (stretched) deadline.
+        self.msrs.select_curve(CurveKind.CONSERVATIVE)
+        self.msrs.enable_all()
+        thrashing = (self.exception_count_in(self.params.thrash_timespan_s,
+                                             time_s)
+                     >= self.params.thrash_exception_count)
+        deadline = self.params.scaled_deadline(thrashing)
+        self.timer.arm(time_s, deadline)
+        self.msrs.set_deadline(deadline)
+        self.log.record(
+            time_s,
+            f"#DO {frame.opcode.name}: conservative, enabled, deadline "
+            f"{deadline * 1e6:.0f}us" + (" (thrash)" if thrashing else ""))
+
+    def _check_booted(self) -> None:
+        if not self._booted:
+            raise RuntimeError("SuitOs not booted")

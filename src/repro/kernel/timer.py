@@ -1,0 +1,76 @@
+"""The deadline timer (paper section 4.1).
+
+Initialised with the deadline, the timer counts down at constant speed;
+at zero it fires an interrupt that switches back to the efficient DVFS
+curve.  Whenever a would-be-disabled instruction executes, the countdown
+restarts from the armed deadline — so SUIT stays conservative exactly as
+long as faultable instructions keep arriving within one deadline of each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class DeadlineTimer:
+    """Countdown deadline timer.
+
+    All times are absolute simulation seconds; the timer stores the armed
+    deadline so resets restart the same countdown.
+    """
+
+    _deadline_s: Optional[float] = None
+    _fires_at: Optional[float] = None
+
+    def arm(self, now_s: float, deadline_s: float) -> None:
+        """Start (or re-start) the countdown of *deadline_s* seconds."""
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        self._deadline_s = deadline_s
+        self._fires_at = now_s + deadline_s
+
+    def reset(self, now_s: float) -> None:
+        """Restart the countdown (a faultable instruction executed).
+
+        No-op when the timer is not armed.
+        """
+        if self._deadline_s is not None:
+            self._fires_at = now_s + self._deadline_s
+
+    def defer(self, duration_s: float) -> None:
+        """Push the expiry out by *duration_s*.
+
+        The hardware countdown is core-clock driven: while the core is
+        stalled (e.g. during a frequency switch) no cycles elapse, so
+        the deadline does not shrink.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if self._fires_at is not None:
+            self._fires_at += duration_s
+
+    def cancel(self) -> None:
+        """Disarm without firing."""
+        self._deadline_s = None
+        self._fires_at = None
+
+    @property
+    def armed(self) -> bool:
+        return self._fires_at is not None
+
+    @property
+    def fires_at(self) -> Optional[float]:
+        """Absolute expiry time, or None when disarmed."""
+        return self._fires_at
+
+    @property
+    def armed_deadline(self) -> Optional[float]:
+        """The deadline value the countdown restarts from."""
+        return self._deadline_s
+
+    def expired(self, now_s: float) -> bool:
+        """Whether the countdown has reached zero by *now_s*."""
+        return self._fires_at is not None and now_s >= self._fires_at

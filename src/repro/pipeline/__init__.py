@@ -1,0 +1,26 @@
+"""Out-of-order pipeline simulator (the gem5 substitute, section 6.1).
+
+A dataflow-limited out-of-order core model: instructions issue when their
+operands are ready, a reorder-buffer slot is free and an execution pipe
+of the right family is available, and retire in order.  It reproduces the
+one microarchitectural effect the paper studies in gem5 (Table 5,
+Fig 14): a one-cycle IMUL latency increase vanishes in the out-of-order
+window except where multiply chains make it architecturally visible,
+while large increases degrade performance almost linearly.
+"""
+
+from repro.pipeline.config import PipelineConfig, GEM5_REFERENCE_CONFIG
+from repro.pipeline.generator import StreamSpec, generate_stream
+from repro.pipeline.scoreboard import OutOfOrderCore, PipelineStats
+from repro.pipeline.uarch import MemoryModel, BranchModel
+
+__all__ = [
+    "PipelineConfig",
+    "GEM5_REFERENCE_CONFIG",
+    "StreamSpec",
+    "generate_stream",
+    "OutOfOrderCore",
+    "PipelineStats",
+    "MemoryModel",
+    "BranchModel",
+]

@@ -1,0 +1,55 @@
+"""Pipeline configuration (paper Table 5).
+
+The paper's gem5 setup: a 2-core 3 GHz x86-64 out-of-order (O3) system
+with 64 kB L1I / 32 kB L1D / 2 MB LLC running Ubuntu in full-system
+mode.  Our dataflow model needs only the core parameters; the memory
+hierarchy collapses into the load latency distribution of the stream
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opcodes import PortClass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Out-of-order core parameters.
+
+    Attributes:
+        rob_size: reorder-buffer entries (in-flight instruction window).
+        issue_width: instructions issued per cycle.
+        retire_width: instructions retired per cycle.
+        pipes: execution pipes per functional-unit family.
+        frequency: core clock in hertz (for time conversions only).
+    """
+
+    rob_size: int = 192
+    issue_width: int = 6
+    retire_width: int = 6
+    pipes: Dict[PortClass, int] = field(default_factory=lambda: {
+        PortClass.ALU: 4,
+        PortClass.MUL: 1,
+        PortClass.DIV: 1,
+        PortClass.LOAD: 2,
+        PortClass.STORE: 1,
+        PortClass.BRANCH: 2,
+        PortClass.FP: 2,
+        PortClass.SIMD: 3,
+        PortClass.CRYPTO: 1,
+    })
+    frequency: float = 3.0e9
+
+    def __post_init__(self) -> None:
+        if self.rob_size < 1 or self.issue_width < 1 or self.retire_width < 1:
+            raise ValueError("pipeline dimensions must be positive")
+        for port, n in self.pipes.items():
+            if n < 1:
+                raise ValueError(f"need at least one pipe for {port}")
+
+
+#: The Table 5 system, as far as the dataflow model is concerned.
+GEM5_REFERENCE_CONFIG = PipelineConfig()

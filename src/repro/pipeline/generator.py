@@ -1,0 +1,131 @@
+"""Synthetic dependency-annotated instruction streams.
+
+The IMUL latency study needs streams whose *dataflow structure* mirrors
+real benchmarks: a realistic opcode mix, short-distance register
+dependencies, and — decisive for Fig 14 — dependent multiply chains
+(hashing, address arithmetic, x264's motion-estimation cost functions)
+in benchmark-specific proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.workloads.profile import WorkloadProfile
+
+#: Baseline dynamic opcode mix (weights; IMUL is added per-stream).
+DEFAULT_MIX: Dict[Opcode, float] = {
+    Opcode.ALU: 0.42,
+    Opcode.LOAD: 0.22,
+    Opcode.STORE: 0.08,
+    Opcode.BRANCH: 0.13,
+    Opcode.LEA: 0.05,
+    Opcode.FADD: 0.04,
+    Opcode.FMUL: 0.03,
+    Opcode.SIMD_OTHER: 0.03,
+}
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Parameters of one synthetic stream.
+
+    Attributes:
+        n_instructions: stream length.
+        imul_density: IMUL fraction of the dynamic stream.
+        imul_chain_fraction: fraction of IMULs depending on the previous
+            IMUL's result (multiply chains).
+        dependency_window: how far back register dependencies reach.
+        mean_sources: average register inputs per instruction.
+        mix: opcode weights for the non-IMUL body.
+    """
+
+    n_instructions: int = 50_000
+    imul_density: float = 0.0007
+    imul_chain_fraction: float = 0.10
+    dependency_window: int = 32
+    mean_sources: float = 1.1
+    mix: Dict[Opcode, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+
+    @classmethod
+    def from_profile(cls, profile: WorkloadProfile,
+                     n_instructions: int = 50_000) -> "StreamSpec":
+        """Stream spec matching a workload profile's IMUL statistics."""
+        return cls(
+            n_instructions=n_instructions,
+            imul_density=profile.imul_density,
+            imul_chain_fraction=profile.imul_chain_fraction,
+        )
+
+
+def generate_stream(spec: StreamSpec,
+                    rng: Optional[np.random.Generator] = None,
+                    seed: int = 0) -> List[Instruction]:
+    """Generate a dependency-annotated instruction stream.
+
+    Sources point backwards at geometrically distributed distances within
+    the dependency window; a chained IMUL additionally consumes the
+    previous IMUL's result, which makes its latency architecturally
+    visible.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n = spec.n_instructions
+    ops = list(spec.mix)
+    weights = np.array([spec.mix[o] for o in ops], dtype=float)
+    weights /= weights.sum()
+
+    body_codes = rng.choice(len(ops), size=n, p=weights)
+    n_sources = rng.poisson(spec.mean_sources, size=n).clip(0, 2)
+    distances = rng.geometric(p=2.0 / spec.dependency_window, size=(n, 2))
+
+    # Place IMULs: a fraction lives in tight dependent chains (each IMUL
+    # consuming the previous one's product, a couple of instructions
+    # apart — the structure of hashing and multiply-accumulate kernels);
+    # the rest is isolated.
+    chained_imuls: dict = {}
+    isolated_imuls = set()
+    target_imuls = int(n * spec.imul_density)
+    n_chained = int(target_imuls * spec.imul_chain_fraction)
+    mean_chain = 4.0
+    placed = 0
+    while placed < n_chained:
+        length = max(2, int(rng.geometric(1.0 / mean_chain)))
+        length = min(length, n_chained - placed + 1)
+        start = int(rng.integers(0, max(n - 8 * length, 1)))
+        prev = None
+        pos = start
+        for _ in range(length):
+            if pos >= n:
+                break
+            if pos not in chained_imuls:
+                chained_imuls[pos] = prev
+                prev = pos
+                placed += 1
+            pos += int(rng.integers(2, 4))
+    n_isolated = max(target_imuls - len(chained_imuls), 0)
+    if n_isolated:
+        for pos in rng.integers(0, n, size=n_isolated):
+            isolated_imuls.add(int(pos))
+
+    stream: List[Instruction] = []
+    for i in range(n):
+        chain_prev = chained_imuls.get(i, None) if i in chained_imuls else None
+        if i in chained_imuls or i in isolated_imuls:
+            opcode = Opcode.IMUL
+        else:
+            opcode = ops[body_codes[i]]
+        sources = []
+        for k in range(int(n_sources[i])):
+            j = i - int(distances[i, k])
+            if j >= 0:
+                sources.append(j)
+        if opcode is Opcode.IMUL and chain_prev is not None:
+            sources = [chain_prev] + sources[:1]
+        stream.append(Instruction(opcode=opcode, sources=tuple(sources)))
+    return stream

@@ -1,0 +1,152 @@
+"""Dataflow-limited out-of-order core model.
+
+Each instruction issues at the earliest cycle when (a) its register
+inputs are ready, (b) a reorder-buffer slot is free (the instruction
+``rob_size`` older must have retired), (c) the per-cycle issue bandwidth
+is not exhausted and (d) an execution pipe of its family is free; it
+completes after its latency and retires in order.
+
+This captures exactly the mechanism behind Fig 14: extra IMUL latency is
+invisible while consumers are far away in the dataflow graph, and fully
+visible on dependent multiply chains.
+
+Latency overrides let the same stream run with the SUIT-hardened 4-cycle
+IMUL (or the 5/6/15/30-cycle sensitivity points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, PortClass, spec_for
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.uarch import BranchModel, MemoryModel
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Result of one pipeline run.
+
+    Attributes:
+        cycles: total cycles to retire the stream.
+        instructions: stream length.
+    """
+
+    cycles: int
+    instructions: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def slowdown_vs(self, baseline: "PipelineStats") -> float:
+        """Fractional cycle increase relative to *baseline*."""
+        return self.cycles / baseline.cycles - 1.0
+
+
+class OutOfOrderCore:
+    """Execute instruction streams on the dataflow model.
+
+    Args:
+        config: core dimensions.
+        latency_overrides: per-opcode latency replacements (e.g.
+            ``{Opcode.IMUL: 4}`` for the SUIT-hardened multiplier).
+        memory: optional cache-hierarchy model for load latencies
+            (default: the flat L1 latency of the spec table).
+        branch: optional front-end model (mispredictions insert fetch
+            bubbles).
+        seed: RNG seed for the optional stochastic models.
+    """
+
+    def __init__(self, config: PipelineConfig,
+                 latency_overrides: Optional[Dict[Opcode, int]] = None,
+                 memory: Optional[MemoryModel] = None,
+                 branch: Optional[BranchModel] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        self._overrides = dict(latency_overrides or {})
+        self.memory = memory
+        self.branch = branch
+        self._seed = seed
+        for op, lat in self._overrides.items():
+            if lat < 1:
+                raise ValueError(f"latency override for {op} must be >= 1")
+
+    def latency_of(self, opcode: Opcode) -> int:
+        """Effective latency of *opcode*, honouring overrides."""
+        return self._overrides.get(opcode, spec_for(opcode).latency)
+
+    def run(self, stream: Sequence[Instruction]) -> PipelineStats:
+        """Simulate *stream* and return cycle statistics."""
+        cfg = self.config
+        n = len(stream)
+        if n == 0:
+            return PipelineStats(cycles=0, instructions=0)
+
+        finish: List[int] = [0] * n
+        retire: List[int] = [0] * n
+        # Next-free cycle per execution pipe, grouped by family.
+        pipes: Dict[PortClass, List[int]] = {
+            port: [0] * count for port, count in cfg.pipes.items()
+        }
+        issue_load: Dict[int, int] = {}  # issue-bandwidth use per cycle
+        rng = np.random.default_rng(self._seed)
+        fetch_barrier = 0  # front-end bubble after a misprediction
+
+        for i, instr in enumerate(stream):
+            spec = spec_for(instr.opcode)
+            latency = self.latency_of(instr.opcode)
+            if self.memory is not None and instr.opcode is Opcode.LOAD:
+                latency = self.memory.sample_latency(rng)
+            busy = max(int(round(spec.throughput)), 1)
+
+            ready = fetch_barrier
+            for src in instr.sources:
+                if 0 <= src < i:
+                    ready = max(ready, finish[src])
+            if i >= cfg.rob_size:
+                # ROB slot frees when the (i - rob_size)-th retires.
+                ready = max(ready, retire[i - cfg.rob_size])
+
+            family = pipes[spec.port]
+            pipe_idx = min(range(len(family)), key=family.__getitem__)
+            cycle = max(ready, family[pipe_idx])
+            while issue_load.get(cycle, 0) >= cfg.issue_width:
+                cycle += 1
+            issue_load[cycle] = issue_load.get(cycle, 0) + 1
+
+            family[pipe_idx] = cycle + busy
+            finish[i] = cycle + latency
+            if (self.branch is not None and instr.opcode is Opcode.BRANCH
+                    and self.branch.mispredicts(rng)):
+                # Younger instructions fetch only after the resolve+refill.
+                fetch_barrier = max(fetch_barrier,
+                                    finish[i] + self.branch.refill_cycles)
+            if i == 0:
+                retire[i] = finish[i]
+            elif i < cfg.retire_width:
+                retire[i] = max(finish[i], retire[i - 1])
+            else:
+                # In-order retire, retire_width per cycle.
+                retire[i] = max(finish[i], retire[i - 1],
+                                retire[i - cfg.retire_width] + 1)
+
+        return PipelineStats(cycles=retire[-1], instructions=n)
+
+    def imul_latency_sweep(self, stream: Sequence[Instruction],
+                           latencies: Sequence[int] = (3, 4, 5, 6, 15, 30),
+                           ) -> Dict[int, PipelineStats]:
+        """Run *stream* once per IMUL latency (Fig 14's x-axis)."""
+        results: Dict[int, PipelineStats] = {}
+        for lat in latencies:
+            overrides = dict(self._overrides)
+            overrides[Opcode.IMUL] = lat
+            core = OutOfOrderCore(self.config, overrides,
+                                  memory=self.memory, branch=self.branch,
+                                  seed=self._seed)
+            results[lat] = core.run(stream)
+        return results

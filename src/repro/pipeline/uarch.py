@@ -1,0 +1,85 @@
+"""Optional microarchitectural detail: branch prediction and memory.
+
+The Table 5 gem5 system has a real front end and cache hierarchy; the
+baseline dataflow model abstracts both away.  These opt-in models add
+them back:
+
+* :class:`MemoryModel` — per-load latencies drawn from an L1/L2/DRAM
+  hit distribution instead of a flat L1 latency.
+* :class:`BranchModel` — mispredicted branches stall the front end for
+  a refill period, creating fetch bubbles.
+
+They exist mainly for the robustness ablation: the headline Fig 14
+result (a 4-cycle IMUL is almost free) must not depend on the idealised
+front end — with bubbles and misses there is *more* slack, so the
+latency hides at least as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Load-latency distribution over the cache hierarchy.
+
+    Attributes:
+        l1_latency / l2_latency / dram_latency: access latencies (cycles).
+        l1_hit_rate: fraction of loads hitting L1.
+        l2_hit_rate: fraction of L1 misses hitting L2/LLC.
+    """
+
+    l1_latency: int = 5
+    l2_latency: int = 14
+    dram_latency: int = 150
+    l1_hit_rate: float = 0.92
+    l2_hit_rate: float = 0.70
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.l1_hit_rate <= 1.0 or not 0.0 <= self.l2_hit_rate <= 1.0:
+            raise ValueError("hit rates must be fractions")
+        if not self.l1_latency <= self.l2_latency <= self.dram_latency:
+            raise ValueError("latencies must increase down the hierarchy")
+
+    def sample_latency(self, rng: np.random.Generator) -> int:
+        """Latency of one load."""
+        draw = rng.random()
+        if draw < self.l1_hit_rate:
+            return self.l1_latency
+        if draw < self.l1_hit_rate + (1 - self.l1_hit_rate) * self.l2_hit_rate:
+            return self.l2_latency
+        return self.dram_latency
+
+    @property
+    def mean_latency(self) -> float:
+        p_l1 = self.l1_hit_rate
+        p_l2 = (1 - p_l1) * self.l2_hit_rate
+        p_mem = 1 - p_l1 - p_l2
+        return (p_l1 * self.l1_latency + p_l2 * self.l2_latency
+                + p_mem * self.dram_latency)
+
+
+@dataclass(frozen=True)
+class BranchModel:
+    """Front-end behaviour of branches.
+
+    Attributes:
+        mispredict_rate: fraction of branches mispredicted.
+        refill_cycles: front-end refill penalty after a misprediction.
+    """
+
+    mispredict_rate: float = 0.03
+    refill_cycles: int = 14
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mispredict_rate <= 1.0:
+            raise ValueError("mispredict rate must be a fraction")
+        if self.refill_cycles < 0:
+            raise ValueError("refill penalty must be non-negative")
+
+    def mispredicts(self, rng: np.random.Generator) -> bool:
+        """Whether one branch mispredicts."""
+        return bool(rng.random() < self.mispredict_rate)

@@ -1,0 +1,60 @@
+"""CMOS power and DVFS substrate.
+
+Models the physical layer SUIT builds on: dynamic/leakage power of CMOS
+circuits (paper section 2.1), voltage-frequency curves and p-states
+(section 2.4, Fig 13), the aging and temperature guardbands (sections
+2.2, 5.6, 5.7, Fig 1/2), TDP-limited boost behaviour under undervolting
+(section 5.4, Fig 12, Table 2) and a RAPL-style energy meter.
+"""
+
+from repro.power.cmos import CmosPowerModel, dynamic_power, leakage_power
+from repro.power.dvfs import (
+    PState,
+    DVFSCurve,
+    CurveKind,
+    SwitchPath,
+    modified_imul_curve,
+    switch_targets,
+    I9_9900K_CURVE_POINTS,
+)
+from repro.power.guardband import (
+    AgingModel,
+    TemperatureGuardband,
+    GuardbandBudget,
+    INSTRUCTION_VARIATION_V,
+)
+from repro.power.thermal import TdpModel, UndervoltResponse, FanCurve
+from repro.power.rapl import EnergyMeter, RaplCounter
+from repro.power.pstates import PStateLadder, OndemandGovernor, DualCurveLadder
+from repro.power.thermal_runtime import ThermalIntegrator, TemperatureAdaptiveOffset
+from repro.power.avx_license import AvxLicenseModel, LicenseLevel, LicenseTracker
+
+__all__ = [
+    "CmosPowerModel",
+    "dynamic_power",
+    "leakage_power",
+    "PState",
+    "DVFSCurve",
+    "CurveKind",
+    "SwitchPath",
+    "modified_imul_curve",
+    "switch_targets",
+    "I9_9900K_CURVE_POINTS",
+    "AgingModel",
+    "TemperatureGuardband",
+    "GuardbandBudget",
+    "INSTRUCTION_VARIATION_V",
+    "TdpModel",
+    "UndervoltResponse",
+    "FanCurve",
+    "EnergyMeter",
+    "RaplCounter",
+    "PStateLadder",
+    "OndemandGovernor",
+    "DualCurveLadder",
+    "ThermalIntegrator",
+    "TemperatureAdaptiveOffset",
+    "AvxLicenseModel",
+    "LicenseLevel",
+    "LicenseTracker",
+]

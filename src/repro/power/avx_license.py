@@ -1,0 +1,179 @@
+"""AVX frequency licensing (paper sections 5.8 / 6.7, Table 4).
+
+Table 4 contains a surprise the paper attributes to "AVX throttling":
+525.x264 and 548.exchange2 get *faster* when compiled without SIMD.
+The mechanism is Intel's frequency licensing: wide vector instructions
+draw so much current that the core must drop to a lower frequency
+license (L1 for heavy AVX2, L2 for AVX-512) before executing them, and
+the downclock persists for a hysteresis window (~670 us) after the last
+wide instruction.  Sparse AVX use therefore taxes the *scalar* code
+around it — removing the vector instructions can win more frequency
+than their data-parallelism was worth.
+
+This module models the license state machine and the resulting
+effective frequency of a workload, reproducing Table 4's sign structure
+mechanistically: dense, efficient SIMD wins; sparse SIMD sprinkled
+through hot scalar loops loses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+
+class LicenseLevel(enum.IntEnum):
+    """Intel-style frequency license levels (higher = slower)."""
+
+    L0 = 0  # scalar / light SIMD: full turbo
+    L1 = 1  # heavy AVX2 (FP / multiply-like wide ops)
+    L2 = 2  # AVX-512 heavy
+
+
+@dataclass(frozen=True)
+class AvxLicenseModel:
+    """License frequency caps and hysteresis.
+
+    Attributes:
+        l1_frequency_ratio: frequency at L1 relative to L0 (Skylake-X
+            class parts: ~0.85–0.95; client Skylake ~0.97).
+        l2_frequency_ratio: frequency at L2 relative to L0 (~0.80).
+        hysteresis_s: how long the lower license persists after the
+            last wide instruction (~670 us measured on real parts).
+        transition_stall_s: stall while the license level drops (the
+            core halts ~20 us during the voltage/frequency shuffle).
+    """
+
+    l1_frequency_ratio: float = 0.94
+    l2_frequency_ratio: float = 0.82
+    hysteresis_s: float = 670e-6
+    transition_stall_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.l2_frequency_ratio <= self.l1_frequency_ratio <= 1.0:
+            raise ValueError("license ratios must satisfy 0 < L2 <= L1 <= 1")
+        if self.hysteresis_s < 0 or self.transition_stall_s < 0:
+            raise ValueError("times must be non-negative")
+
+    def frequency_ratio(self, level: LicenseLevel) -> float:
+        """Frequency at *level* relative to the scalar license."""
+        if level is LicenseLevel.L0:
+            return 1.0
+        if level is LicenseLevel.L1:
+            return self.l1_frequency_ratio
+        return self.l2_frequency_ratio
+
+
+@dataclass
+class LicenseTracker:
+    """The per-core license state machine.
+
+    Feed it wide-instruction events (time + demanded level); query the
+    effective level at any time.  Upgrades (to a slower license) are
+    immediate with a stall; downgrades wait out the hysteresis.
+    """
+
+    model: AvxLicenseModel
+    _level: LicenseLevel = LicenseLevel.L0
+    _last_wide_s: float = field(default=-1e9, repr=False)
+    transitions: int = 0
+
+    def demand(self, time_s: float, level: LicenseLevel) -> float:
+        """A wide instruction at *time_s* demanding *level*.
+
+        Returns:
+            The stall charged (0 unless the license had to drop).
+        """
+        self._expire(time_s)
+        self._last_wide_s = time_s
+        if level > self._level:
+            self._level = level
+            self.transitions += 1
+            return self.model.transition_stall_s
+        return 0.0
+
+    def level_at(self, time_s: float) -> LicenseLevel:
+        """The license level in force at *time_s*."""
+        self._expire(time_s)
+        return self._level
+
+    def _expire(self, time_s: float) -> None:
+        if (self._level is not LicenseLevel.L0
+                and time_s - self._last_wide_s > self.model.hysteresis_s):
+            self._level = LicenseLevel.L0
+            self.transitions += 1
+
+
+def effective_frequency_ratio(
+        model: AvxLicenseModel,
+        wide_events: Iterable[Tuple[float, LicenseLevel]],
+        duration_s: float) -> Tuple[float, int]:
+    """Mean frequency ratio of a run with the given wide-instruction events.
+
+    Args:
+        model: the license model.
+        wide_events: sorted (time, level) wide-instruction occurrences.
+        duration_s: total run duration at the L0 clock.
+
+    Returns:
+        (time-weighted mean frequency ratio, number of license transitions).
+    """
+    tracker = LicenseTracker(model)
+    t_prev = 0.0
+    level_prev = LicenseLevel.L0
+    weighted = 0.0
+    stall_total = 0.0
+    for time_s, level in wide_events:
+        if time_s < t_prev:
+            raise ValueError("wide events must be time-sorted")
+        time_s = min(time_s, duration_s)
+        # Segment [t_prev, time_s) runs at level_prev, possibly expiring.
+        expiry = tracker._last_wide_s + model.hysteresis_s
+        if level_prev is not LicenseLevel.L0 and expiry < time_s:
+            weighted += (expiry - t_prev) * model.frequency_ratio(level_prev)
+            weighted += (time_s - expiry) * 1.0
+        else:
+            weighted += (time_s - t_prev) * model.frequency_ratio(
+                level_prev if expiry >= time_s else LicenseLevel.L0)
+        stall_total += tracker.demand(time_s, level)
+        level_prev = tracker.level_at(time_s)
+        t_prev = time_s
+    # Tail after the last event.
+    expiry = tracker._last_wide_s + model.hysteresis_s
+    if level_prev is not LicenseLevel.L0 and expiry < duration_s:
+        weighted += (expiry - t_prev) * model.frequency_ratio(level_prev)
+        weighted += (duration_s - expiry) * 1.0
+    else:
+        weighted += (duration_s - t_prev) * model.frequency_ratio(level_prev)
+    mean_ratio = weighted / duration_s if duration_s > 0 else 1.0
+    # Stalls shave additional effective frequency.
+    mean_ratio *= duration_s / (duration_s + stall_total)
+    return mean_ratio, tracker.transitions
+
+
+def nosimd_tradeoff(model: AvxLicenseModel, *, simd_speedup: float,
+                    wide_event_rate_hz: float, demanded: LicenseLevel,
+                    duration_s: float = 1.0) -> Tuple[float, float]:
+    """Score ratios of the SIMD and scalar builds of one workload.
+
+    Args:
+        model: license model.
+        simd_speedup: algorithmic speedup the vector code provides over
+            scalar at *equal* frequency (>= 1).
+        wide_event_rate_hz: rate of license-demanding instruction bursts.
+        demanded: license level the workload's wide instructions need.
+        duration_s: nominal run duration.
+
+    Returns:
+        (simd_score, scalar_score), both relative to the scalar build at
+        full frequency: the SIMD build scores ``speedup x freq_ratio``.
+        ``scalar_score > simd_score`` reproduces Table 4's positive
+        no-SIMD entries.
+    """
+    if simd_speedup < 1.0:
+        raise ValueError("simd_speedup is >= 1 by definition")
+    n = max(int(wide_event_rate_hz * duration_s), 0)
+    events = [(k / max(wide_event_rate_hz, 1e-9), demanded) for k in range(n)]
+    freq_ratio, _ = effective_frequency_ratio(model, events, duration_s)
+    return simd_speedup * freq_ratio, 1.0

@@ -1,0 +1,92 @@
+"""CMOS circuit power model (paper section 2.1).
+
+The dynamic power of a CMOS circuit is ``P_dyn = C_L * V_DD^2 * f_CLK``:
+switching energy per cycle grows with the supply voltage squared, which is
+exactly why undervolting pays off so strongly.  Leakage (static) power is
+modelled as a lower-order term proportional to ``V_DD`` — accurate enough
+for the voltage range a CPU is operated in (a few hundred mV around
+nominal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def dynamic_power(c_load: float, voltage: float, frequency: float) -> float:
+    """Dynamic switching power ``C_L * V^2 * f`` in watts.
+
+    Args:
+        c_load: effective switched capacitance in farads.
+        voltage: supply voltage in volts.
+        frequency: clock frequency in hertz.
+    """
+    if c_load < 0 or voltage < 0 or frequency < 0:
+        raise ValueError("capacitance, voltage and frequency must be non-negative")
+    return c_load * voltage * voltage * frequency
+
+
+def leakage_power(leak_coeff: float, voltage: float) -> float:
+    """First-order leakage power ``k * V`` in watts."""
+    if leak_coeff < 0 or voltage < 0:
+        raise ValueError("leakage coefficient and voltage must be non-negative")
+    return leak_coeff * voltage
+
+
+@dataclass(frozen=True)
+class CmosPowerModel:
+    """Package power model of a CPU as one big CMOS circuit.
+
+    Attributes:
+        c_eff: effective switched capacitance of the whole package (F).
+            Captures both the circuit and its average activity factor.
+        leak_coeff: leakage coefficient (A): static power = leak_coeff * V.
+        uncore_power: constant floor (W) for memory controller, fabric and
+            board components inside the measured power domain.
+    """
+
+    c_eff: float
+    leak_coeff: float = 0.0
+    uncore_power: float = 0.0
+
+    def power(self, frequency: float, voltage: float) -> float:
+        """Total package power in watts at the given operating point."""
+        return (
+            dynamic_power(self.c_eff, voltage, frequency)
+            + leakage_power(self.leak_coeff, voltage)
+            + self.uncore_power
+        )
+
+    def power_ratio(self, frequency: float, voltage: float,
+                    base_frequency: float, base_voltage: float) -> float:
+        """Power at (f, V) relative to power at (f0, V0)."""
+        base = self.power(base_frequency, base_voltage)
+        if base <= 0:
+            raise ValueError("baseline operating point has non-positive power")
+        return self.power(frequency, voltage) / base
+
+    @classmethod
+    def calibrated(cls, frequency: float, voltage: float, total_power: float,
+                   dynamic_share: float = 0.80, uncore_share: float = 0.08) -> "CmosPowerModel":
+        """Build a model hitting *total_power* at one measured point.
+
+        Args:
+            frequency: measured operating frequency (Hz).
+            voltage: measured core voltage (V).
+            total_power: measured package power (W) at that point.
+            dynamic_share: fraction of total power that is switching power.
+            uncore_share: fraction that is a constant uncore floor; the
+                remainder is leakage.
+        """
+        if not 0.0 < dynamic_share <= 1.0:
+            raise ValueError("dynamic_share must be in (0, 1]")
+        if not 0.0 <= uncore_share < 1.0 or dynamic_share + uncore_share > 1.0:
+            raise ValueError("invalid uncore_share")
+        p_dyn = total_power * dynamic_share
+        p_unc = total_power * uncore_share
+        p_leak = total_power - p_dyn - p_unc
+        return cls(
+            c_eff=p_dyn / (voltage * voltage * frequency),
+            leak_coeff=p_leak / voltage,
+            uncore_power=p_unc,
+        )

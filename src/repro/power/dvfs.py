@@ -1,0 +1,213 @@
+"""DVFS curves and p-states (paper sections 2.4, 3.2, Fig 4 and Fig 13).
+
+A DVFS curve is a monotone mapping from clock frequency to the minimum
+supply voltage (including guardband) at which the CPU operates reliably.
+Vendors publish it as a discrete set of p-states; we model the underlying
+curve as piecewise-linear interpolation through measured anchor points and
+derive p-states from it.
+
+SUIT adds a second, *efficient* curve: the conservative curve shifted down
+by the instruction-voltage-variation margin (and optionally part of the
+aging guardband), valid only while the faultable instruction set is
+disabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class CurveKind(enum.Enum):
+    """Which DVFS curve a p-state belongs to."""
+
+    CONSERVATIVE = "conservative"
+    EFFICIENT = "efficient"
+
+
+class SwitchPath(enum.Enum):
+    """How to move from the efficient to the conservative curve (Fig 4).
+
+    ``CF`` keeps the voltage and lowers the frequency; ``CV`` keeps the
+    frequency and raises the voltage.
+    """
+
+    CF = "frequency"
+    CV = "voltage"
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point.
+
+    Attributes:
+        frequency: core clock in hertz.
+        voltage: core supply voltage in volts.
+        kind: the curve this p-state lies on.
+    """
+
+    frequency: float
+    voltage: float
+    kind: CurveKind = CurveKind.CONSERVATIVE
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency}")
+        if self.voltage <= 0:
+            raise ValueError(f"voltage must be positive, got {self.voltage}")
+
+
+#: Anchor points (Hz, V) of the stable frequency-voltage pairs measured on
+#: the Intel Core i9-9900K in paper Fig 13.  The 4->5 GHz gradient is the
+#: 183 mV/GHz the paper uses to size the aging guardband; 4 GHz sits at
+#: 991 mV (section 5.7) and 5 GHz at 1.174 V (section 5.6).
+I9_9900K_CURVE_POINTS: Tuple[Tuple[float, float], ...] = (
+    (0.8e9, 0.760),
+    (1.0e9, 0.775),
+    (2.0e9, 0.840),
+    (3.0e9, 0.910),
+    (4.0e9, 0.991),
+    (5.0e9, 1.174),
+)
+
+
+class DVFSCurve:
+    """Piecewise-linear voltage(frequency) curve.
+
+    The curve must be strictly increasing in both coordinates; this makes
+    it invertible, which :meth:`frequency_at` relies on.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]],
+                 kind: CurveKind = CurveKind.CONSERVATIVE,
+                 name: str = "") -> None:
+        """Args:
+            points: (frequency_hz, voltage_v) anchors, any order.
+            kind: which role this curve plays.
+            name: optional label for reports.
+        """
+        pts = sorted((float(f), float(v)) for f, v in points)
+        if len(pts) < 2:
+            raise ValueError("a DVFS curve needs at least two points")
+        for (f0, v0), (f1, v1) in zip(pts, pts[1:]):
+            if f1 <= f0:
+                raise ValueError("duplicate frequency in DVFS curve")
+            if v1 <= v0:
+                raise ValueError("DVFS curve voltage must strictly increase with frequency")
+        if pts[0][1] <= 0:
+            raise ValueError("voltages must be positive")
+        self._freqs = [p[0] for p in pts]
+        self._volts = [p[1] for p in pts]
+        self.kind = kind
+        self.name = name
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """The (frequency, voltage) anchors, ascending in frequency."""
+        return list(zip(self._freqs, self._volts))
+
+    @property
+    def f_min(self) -> float:
+        return self._freqs[0]
+
+    @property
+    def f_max(self) -> float:
+        return self._freqs[-1]
+
+    def voltage_at(self, frequency: float) -> float:
+        """Minimum stable voltage at *frequency* (linear extrapolation
+        beyond the anchor range)."""
+        fs, vs = self._freqs, self._volts
+        i = bisect.bisect_left(fs, frequency)
+        if i == 0:
+            i = 1
+        elif i == len(fs):
+            i = len(fs) - 1
+        f0, f1 = fs[i - 1], fs[i]
+        v0, v1 = vs[i - 1], vs[i]
+        return v0 + (v1 - v0) * (frequency - f0) / (f1 - f0)
+
+    def frequency_at(self, voltage: float) -> float:
+        """Maximum stable frequency at *voltage* (inverse of the curve)."""
+        fs, vs = self._freqs, self._volts
+        i = bisect.bisect_left(vs, voltage)
+        if i == 0:
+            i = 1
+        elif i == len(vs):
+            i = len(vs) - 1
+        f0, f1 = fs[i - 1], fs[i]
+        v0, v1 = vs[i - 1], vs[i]
+        return f0 + (f1 - f0) * (voltage - v0) / (v1 - v0)
+
+    def gradient_at(self, frequency: float) -> float:
+        """Local slope dV/df in volts per hertz at *frequency*."""
+        fs, vs = self._freqs, self._volts
+        i = bisect.bisect_left(fs, frequency)
+        if i == 0:
+            i = 1
+        elif i == len(fs):
+            i = len(fs) - 1
+        return (vs[i] - vs[i - 1]) / (fs[i] - fs[i - 1])
+
+    def with_offset(self, voltage_offset: float,
+                    kind: CurveKind = CurveKind.EFFICIENT,
+                    name: str = "") -> "DVFSCurve":
+        """A copy of this curve shifted by *voltage_offset* volts.
+
+        SUIT's efficient curve is the conservative one shifted by the
+        (negative) undervolting margin.
+        """
+        return DVFSCurve(
+            [(f, v + voltage_offset) for f, v in self.points],
+            kind=kind,
+            name=name or (self.name + f"{voltage_offset * 1e3:+.0f}mV"),
+        )
+
+    def pstate(self, frequency: float) -> PState:
+        """The p-state on this curve at *frequency*."""
+        return PState(frequency, self.voltage_at(frequency), self.kind)
+
+    def pstates(self, frequencies: Sequence[float]) -> List[PState]:
+        """P-states at each of *frequencies*."""
+        return [self.pstate(f) for f in frequencies]
+
+
+def modified_imul_curve(conservative: DVFSCurve,
+                        old_latency: int = 3,
+                        new_latency: int = 4) -> DVFSCurve:
+    """Safe voltages for IMUL after a static latency increase (Fig 13).
+
+    Stretching IMUL from ``old_latency`` to ``new_latency`` pipeline stages
+    gives each stage ``new/old`` times the time budget, which is equivalent
+    to running the original circuit at ``old/new`` of the clock: the safe
+    voltage at frequency ``f`` becomes the conservative voltage at
+    ``f * old/new``.  At 5 GHz on the i9-9900K curve this is roughly
+    220 mV below the conservative voltage — the paper's best case — and it
+    shrinks toward low frequencies where the curve flattens.
+    """
+    if new_latency <= old_latency:
+        raise ValueError("latency must increase")
+    scale = old_latency / new_latency
+    return DVFSCurve(
+        [(f, conservative.voltage_at(f * scale)) for f, _ in conservative.points],
+        kind=CurveKind.EFFICIENT,
+        name=f"imul-{new_latency}cyc",
+    )
+
+
+def switch_targets(efficient: DVFSCurve, conservative: DVFSCurve,
+                   frequency: float) -> Tuple[PState, PState]:
+    """The two conservative targets reachable from the efficient p-state
+    at *frequency* (Fig 4).
+
+    Returns:
+        ``(cf, cv)`` where ``cf`` keeps the current (efficient) voltage and
+        lowers the frequency onto the conservative curve, and ``cv`` keeps
+        the frequency and raises the voltage onto the conservative curve.
+    """
+    v_eff = efficient.voltage_at(frequency)
+    cf = PState(conservative.frequency_at(v_eff), v_eff, CurveKind.CONSERVATIVE)
+    cv = PState(frequency, conservative.voltage_at(frequency), CurveKind.CONSERVATIVE)
+    return cf, cv

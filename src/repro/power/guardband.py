@@ -1,0 +1,139 @@
+"""Voltage guardband models (paper sections 2.2, 3.1, 5.6, 5.7).
+
+The supply voltage of a shipped CPU sits well above the nominal minimum to
+absorb process variation, aging (BTI / hot-carrier injection), temperature
+and supply noise (Fig 1).  SUIT does *not* consume the aging or
+temperature guardband; its margin comes from the variation in per-
+instruction voltage requirements (Fig 2), optionally plus a small,
+explicitly budgeted fraction of the aging guardband.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.dvfs import DVFSCurve
+
+#: Average instruction-voltage-variation margin across the CPUs measured
+#: by Murdock et al. and Kogler et al. that exhibit the effect
+#: (n = 6, sigma = 44 mV, max 150 mV) — paper section 3.1.
+INSTRUCTION_VARIATION_V: float = 0.070
+
+#: Maximum observed instruction voltage variation (Murdock et al.).
+INSTRUCTION_VARIATION_MAX_V: float = 0.150
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """FinFET aging model (section 5.6).
+
+    Sub-20 nm FinFET propagation delay degrades by ~15 % over 10 years at
+    >100 degC.  To keep the shipped maximum frequency reachable for the
+    whole lifetime, the day-one voltage must support a 15 % higher
+    frequency than nominal — that surplus is the aging guardband.
+
+    Attributes:
+        lifetime_degradation: fractional propagation-delay increase over
+            the rated lifetime (0.15 for 10 years at high temperature).
+        lifetime_years: rated lifetime in years.
+        reference_temp_c: temperature the worst-case degradation assumes.
+    """
+
+    lifetime_degradation: float = 0.15
+    lifetime_years: float = 10.0
+    reference_temp_c: float = 100.0
+
+    def degradation(self, years: float, temp_c: float = 100.0) -> float:
+        """Fractional delay degradation after *years* at *temp_c*.
+
+        Degradation follows a sub-linear (square-root, BTI-like) time law
+        and roughly halves for every 25 degC below the reference
+        temperature (Arrhenius-style acceleration).
+        """
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        time_factor = (years / self.lifetime_years) ** 0.5
+        temp_factor = 2.0 ** ((temp_c - self.reference_temp_c) / 25.0)
+        return self.lifetime_degradation * time_factor * min(temp_factor, 1.0)
+
+    def guardband_voltage(self, curve: DVFSCurve, frequency: float) -> float:
+        """Aging guardband in volts at *frequency* on *curve* (section 5.6).
+
+        The guardband must cover a ``lifetime_degradation`` higher
+        frequency at day one: ``f * 0.15 * dV/df``.  For the i9-9900K at
+        5 GHz with the 183 mV/GHz top-end gradient this yields ~137 mV
+        (about 12 % of the supply voltage), matching the paper.
+        """
+        return frequency * self.lifetime_degradation * curve.gradient_at(frequency)
+
+    def guardband_fraction(self, curve: DVFSCurve, frequency: float) -> float:
+        """Aging guardband as a fraction of the supply voltage."""
+        return self.guardband_voltage(curve, frequency) / curve.voltage_at(frequency)
+
+
+@dataclass(frozen=True)
+class TemperatureGuardband:
+    """Temperature guardband (section 5.7, Table 3).
+
+    The minimum stable voltage rises with core temperature.  The paper
+    measures the maximum undervolt offset at two operating points of an
+    i9-9900K: -90 mV at 50 degC and -55 mV at 88 degC, i.e. a 35 mV
+    (~3.5 % of the 991 mV supply at 4 GHz) temperature guardband; we
+    interpolate linearly between (and beyond) those anchors.
+
+    Attributes:
+        cool_temp_c / cool_offset_v: low-temperature anchor.
+        hot_temp_c / hot_offset_v: high-temperature anchor.
+    """
+
+    cool_temp_c: float = 50.0
+    cool_offset_v: float = -0.090
+    hot_temp_c: float = 88.0
+    hot_offset_v: float = -0.055
+
+    def max_undervolt(self, temp_c: float) -> float:
+        """Maximum safe undervolt offset (negative volts) at *temp_c*."""
+        span = self.hot_temp_c - self.cool_temp_c
+        frac = (temp_c - self.cool_temp_c) / span
+        return self.cool_offset_v + frac * (self.hot_offset_v - self.cool_offset_v)
+
+    def guardband_voltage(self) -> float:
+        """Size of the temperature guardband in volts (positive)."""
+        return abs(self.cool_offset_v - self.hot_offset_v)
+
+
+@dataclass(frozen=True)
+class GuardbandBudget:
+    """SUIT's undervolting budget (section 3.1, Fig 2).
+
+    SUIT's efficient-curve offset is the instruction-voltage-variation
+    margin, optionally plus a bounded fraction of the aging guardband
+    (justified by the short procurement cycles of data-center CPUs and
+    well-controlled core temperatures).
+
+    Attributes:
+        instruction_variation_v: margin from disabling faultable
+            instructions (positive volts; default 70 mV, the study mean).
+        aging_guardband_v: full aging guardband in volts (137 mV for the
+            i9-9900K at 5 GHz).
+        aging_fraction: fraction of the aging guardband consumed
+            (paper evaluates 0 and 0.20).
+    """
+
+    instruction_variation_v: float = INSTRUCTION_VARIATION_V
+    aging_guardband_v: float = 0.137
+    aging_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.aging_fraction <= 1.0:
+            raise ValueError("aging_fraction must be in [0, 1]")
+        if self.instruction_variation_v < 0 or self.aging_guardband_v < 0:
+            raise ValueError("guardband components must be non-negative")
+
+    def offset(self) -> float:
+        """The efficient-curve voltage offset in volts (negative).
+
+        With the defaults plus ``aging_fraction=0.20`` this is the paper's
+        combined -97 mV operating point.
+        """
+        return -(self.instruction_variation_v + self.aging_fraction * self.aging_guardband_v)

@@ -1,0 +1,151 @@
+"""Discrete p-state ladders and the OS frequency governor (section 2.4).
+
+Real CPUs expose DVFS as a *discrete* ladder of p-states (100 MHz bins
+on Intel), and an OS governor walks it based on utilisation.  SUIT's
+curve selection is orthogonal to the governor's p-state selection: both
+curves define a voltage for every ladder rung.  This module provides
+the ladder, a classic ondemand-style governor, and the combined view a
+SUIT system sees (rung x curve -> operating point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.power.dvfs import CurveKind, DVFSCurve, PState
+
+#: Intel p-state granularity.
+DEFAULT_BIN_HZ: float = 100e6
+
+
+@dataclass(frozen=True)
+class PStateLadder:
+    """The discrete p-states of one DVFS curve.
+
+    Attributes:
+        curve: the underlying continuous curve.
+        bin_hz: frequency granularity.
+    """
+
+    curve: DVFSCurve
+    bin_hz: float = DEFAULT_BIN_HZ
+
+    def __post_init__(self) -> None:
+        if self.bin_hz <= 0:
+            raise ValueError("bin size must be positive")
+
+    @property
+    def frequencies(self) -> List[float]:
+        """Ladder rungs from f_min to f_max, inclusive."""
+        rungs = []
+        f = self.curve.f_min
+        while f <= self.curve.f_max + 1e-3:
+            rungs.append(round(f / self.bin_hz) * self.bin_hz)
+            f += self.bin_hz
+        return sorted(set(rungs))
+
+    @property
+    def n_states(self) -> int:
+        return len(self.frequencies)
+
+    def pstate(self, index: int) -> PState:
+        """The *index*-th rung (0 = slowest)."""
+        return self.curve.pstate(self.frequencies[index])
+
+    def nearest_index(self, frequency: float) -> int:
+        """Index of the rung closest to *frequency*."""
+        freqs = self.frequencies
+        return min(range(len(freqs)), key=lambda i: abs(freqs[i] - frequency))
+
+    def clamp(self, frequency: float) -> float:
+        """Snap *frequency* onto the ladder."""
+        return self.frequencies[self.nearest_index(frequency)]
+
+
+@dataclass
+class OndemandGovernor:
+    """A classic utilisation-driven frequency governor.
+
+    Jumps to the highest rung when utilisation exceeds ``up_threshold``
+    (the ondemand heuristic) and steps down proportionally as load
+    falls; the sampled decision is sticky for one sampling period.
+
+    Attributes:
+        ladder: the p-state ladder to walk.
+        up_threshold: utilisation that triggers the jump to max.
+        sampling_period_s: governor decision period.
+    """
+
+    ladder: PStateLadder
+    up_threshold: float = 0.80
+    sampling_period_s: float = 10e-3
+    _index: int = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        if self.sampling_period_s <= 0:
+            raise ValueError("sampling period must be positive")
+        if self._index is None:
+            self._index = self.ladder.n_states - 1
+
+    @property
+    def current(self) -> PState:
+        return self.ladder.pstate(self._index)
+
+    def sample(self, utilization: float) -> PState:
+        """One governor decision for the observed *utilization*."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be a fraction")
+        top = self.ladder.n_states - 1
+        if utilization >= self.up_threshold:
+            self._index = top
+        else:
+            # Proportional target: freq scaled to current load.
+            target = (self.ladder.frequencies[0]
+                      + utilization / self.up_threshold
+                      * (self.ladder.frequencies[top]
+                         - self.ladder.frequencies[0]))
+            self._index = self.ladder.nearest_index(target)
+        return self.current
+
+    def run_profile(self, utilizations: List[float]) -> List[PState]:
+        """Walk a utilisation time series; one decision per sample."""
+        return [self.sample(u) for u in utilizations]
+
+
+@dataclass(frozen=True)
+class DualCurveLadder:
+    """The SUIT view: every ladder rung exists on both curves.
+
+    Attributes:
+        conservative: ladder on the stock curve.
+        efficient: ladder on the offset curve (same rungs, lower volts).
+    """
+
+    conservative: PStateLadder
+    efficient: PStateLadder
+
+    @classmethod
+    def from_curve(cls, curve: DVFSCurve, voltage_offset: float,
+                   bin_hz: float = DEFAULT_BIN_HZ) -> "DualCurveLadder":
+        if voltage_offset >= 0:
+            raise ValueError("the efficient curve needs a negative offset")
+        return cls(
+            conservative=PStateLadder(curve, bin_hz),
+            efficient=PStateLadder(
+                curve.with_offset(voltage_offset, CurveKind.EFFICIENT), bin_hz),
+        )
+
+    def operating_point(self, index: int, efficient: bool) -> PState:
+        """The p-state at rung *index* on the selected curve."""
+        ladder = self.efficient if efficient else self.conservative
+        return ladder.pstate(index)
+
+    def power_saving_at(self, index: int) -> float:
+        """Fractional dynamic-power saving of the efficient curve at
+        rung *index* (quadratic in the voltage ratio)."""
+        cons = self.conservative.pstate(index)
+        eff = self.efficient.pstate(index)
+        return 1.0 - (eff.voltage / cons.voltage) ** 2

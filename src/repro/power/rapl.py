@@ -1,0 +1,85 @@
+"""RAPL-style energy metering (paper section 5.4).
+
+The paper measures package power via Intel/AMD's Running Average Power
+Limit interface: a monotonically increasing energy counter in fixed
+energy units that wraps around at 32 bits.  :class:`RaplCounter`
+reproduces that register semantics (quantisation + wraparound) and
+:class:`EnergyMeter` is the convenient continuous accumulator the
+simulator uses internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default RAPL energy unit: 2^-14 J ~ 61 uJ (Intel ESU default).
+DEFAULT_ENERGY_UNIT_J: float = 2.0 ** -14
+
+_WRAP = 2 ** 32
+
+
+@dataclass
+class EnergyMeter:
+    """Continuous energy accumulator.
+
+    Attributes:
+        energy_j: accumulated energy in joules.
+        time_s: accumulated time in seconds.
+    """
+
+    energy_j: float = 0.0
+    time_s: float = 0.0
+
+    def accumulate(self, power_w: float, duration_s: float) -> None:
+        """Add *duration_s* seconds at *power_w* watts."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        self.energy_j += power_w * duration_s
+        self.time_s += duration_s
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average power over the accumulated interval (0 if empty)."""
+        if self.time_s == 0:
+            return 0.0
+        return self.energy_j / self.time_s
+
+
+@dataclass
+class RaplCounter:
+    """The MSR-visible face of an energy meter.
+
+    Software reads a 32-bit register that counts energy in units of
+    ``energy_unit_j`` and silently wraps around; meters must poll often
+    enough to observe at most one wrap per interval.
+
+    Attributes:
+        energy_unit_j: joules per counter increment.
+    """
+
+    energy_unit_j: float = DEFAULT_ENERGY_UNIT_J
+    _energy_j: float = field(default=0.0, repr=False)
+
+    def accumulate(self, power_w: float, duration_s: float) -> None:
+        """Add energy, as the hardware would while running."""
+        if duration_s < 0 or power_w < 0:
+            raise ValueError("power and duration must be non-negative")
+        self._energy_j += power_w * duration_s
+
+    def read(self) -> int:
+        """Current register value (quantised, wrapped at 32 bits)."""
+        return int(self._energy_j / self.energy_unit_j) % _WRAP
+
+    @staticmethod
+    def delta(before: int, after: int) -> int:
+        """Counter increments between two reads, handling one wraparound."""
+        for reading in (before, after):
+            if not 0 <= reading < _WRAP:
+                raise ValueError(f"reading {reading} outside 32-bit range")
+        return (after - before) % _WRAP
+
+    def energy_between(self, before: int, after: int) -> float:
+        """Joules elapsed between two reads of :meth:`read`."""
+        return self.delta(before, after) * self.energy_unit_j

@@ -1,0 +1,164 @@
+"""TDP throttling, thermal behaviour and undervolting response.
+
+Covers paper section 5.4 (Fig 12, Table 2): most CPUs are limited by their
+thermal design power, so lowering the core voltage both cuts power *and*
+lets the CPU sustain higher boost frequencies — undervolting can increase
+performance.  Also covers the fan/temperature model behind Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.cmos import CmosPowerModel
+from repro.power.dvfs import DVFSCurve
+
+
+@dataclass(frozen=True)
+class TdpModel:
+    """Power-limit model: the sustained frequency is the highest one whose
+    package power stays below the limit.
+
+    Attributes:
+        cmos: package power model.
+        curve: conservative DVFS curve giving V(f).
+        power_limit: sustained package power limit in watts (PL1).
+        f_max: maximum boost frequency in hertz (never exceeded).
+    """
+
+    cmos: CmosPowerModel
+    curve: DVFSCurve
+    power_limit: float
+    f_max: float
+
+    def power_at(self, frequency: float, voltage_offset: float = 0.0) -> float:
+        """Package power at *frequency* on the curve shifted by *voltage_offset*."""
+        return self.cmos.power(frequency, self.curve.voltage_at(frequency) + voltage_offset)
+
+    def sustained_frequency(self, voltage_offset: float = 0.0) -> float:
+        """Highest frequency (<= f_max) within the power limit at *voltage_offset*.
+
+        Solved by bisection on the monotone power(frequency) function.
+        """
+        if self.power_at(self.f_max, voltage_offset) <= self.power_limit:
+            return self.f_max
+        lo, hi = self.curve.f_min, self.f_max
+        if self.power_at(lo, voltage_offset) > self.power_limit:
+            return lo
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.power_at(mid, voltage_offset) <= self.power_limit:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+@dataclass(frozen=True)
+class UndervoltResponse:
+    """Calibrated per-CPU response to an undervolt offset (Table 2, Fig 12).
+
+    Real workloads alternate between power-limited phases (where the
+    undervolt converts into higher sustained frequency at constant power)
+    and unconstrained phases (where it converts into lower power).  A
+    thermal-headroom term captures boost algorithms granting extra bins
+    when the package runs cooler even without hitting the power limit.
+
+    Attributes:
+        tdp: power-limit model of the package.
+        nominal_frequency: average core clock of the workload mix at 0 mV.
+        tdp_bound_fraction: fraction of runtime spent at the power limit.
+        perf_sensitivity: d(score)/d(frequency) ratio (< 1 for
+            memory-bound workload mixes).
+        thermal_boost_per_volt: extra relative frequency gained per volt of
+            undervolt from thermal headroom (boost-bin effect).
+        voltage_leverage: effective multiplier on the offset when computing
+            power, calibrated at the -97 mV reference point.  Workloads
+            spend part of their time in lower-voltage p-states where a
+            fixed absolute offset is relatively larger, so the
+            fleet-average power reduction exceeds the one computed at the
+            nominal operating point alone.
+        voltage_leverage_slope: change of the leverage per volt of
+            additional undervolt (empirical: the measured power response
+            in Table 2 is super-quadratic in the offset; shallow offsets
+            are partially absorbed by load-line regulation).
+    """
+
+    tdp: TdpModel
+    nominal_frequency: float
+    tdp_bound_fraction: float
+    perf_sensitivity: float
+    thermal_boost_per_volt: float = 0.0
+    voltage_leverage: float = 1.0
+    voltage_leverage_slope: float = 0.0
+
+    _LEVERAGE_REF_V = 0.097  # leverage is quoted at the paper's -97 mV point
+
+    def _effective_offset(self, voltage_offset: float) -> float:
+        """Offset scaled by the (offset-dependent) leverage."""
+        depth = abs(min(voltage_offset, 0.0))
+        leverage = self.voltage_leverage + self.voltage_leverage_slope * (
+            depth - self._LEVERAGE_REF_V)
+        return voltage_offset * max(leverage, 0.2)
+
+    def frequency_ratio(self, voltage_offset: float) -> float:
+        """Mean sustained frequency at *voltage_offset* relative to nominal."""
+        f0 = self.nominal_frequency
+        f_tdp0 = self.tdp.sustained_frequency(0.0)
+        f_tdp = self.tdp.sustained_frequency(voltage_offset)
+        tdp_gain = f_tdp / f_tdp0 - 1.0
+        thermal_gain = self.thermal_boost_per_volt * abs(min(voltage_offset, 0.0))
+        f_mean = f0 * (1.0 + self.tdp_bound_fraction * tdp_gain + thermal_gain)
+        return min(f_mean, self.tdp.f_max) / f0
+
+    def power_ratio(self, voltage_offset: float) -> float:
+        """Mean package power at *voltage_offset* relative to nominal.
+
+        Power-limited phases stay pinned at the limit (ratio 1); in
+        unconstrained phases power follows the CMOS model at the boosted
+        frequency and reduced voltage.
+        """
+        f0 = self.nominal_frequency
+        v0 = self.tdp.curve.voltage_at(f0)
+        f1 = f0 * self.frequency_ratio(voltage_offset)
+        v1 = v0 + self._effective_offset(voltage_offset)
+        free = self.tdp.cmos.power_ratio(f1, v1, f0, v0)
+        theta = self.tdp_bound_fraction
+        return theta * 1.0 + (1.0 - theta) * free
+
+    def score_ratio(self, voltage_offset: float) -> float:
+        """Benchmark score (1 / duration) relative to nominal."""
+        return 1.0 + self.perf_sensitivity * (self.frequency_ratio(voltage_offset) - 1.0)
+
+    def efficiency_ratio(self, voltage_offset: float) -> float:
+        """Efficiency change factor, paper definition (section 5.4):
+        ``1 / (duration_ratio * power_ratio)``."""
+        duration_ratio = 1.0 / self.score_ratio(voltage_offset)
+        return 1.0 / (duration_ratio * self.power_ratio(voltage_offset))
+
+
+@dataclass(frozen=True)
+class FanCurve:
+    """Fan-speed to core-temperature model (Table 3).
+
+    Core temperature = ambient + dissipated power * thermal resistance,
+    with the cooler's thermal resistance falling like 1/sqrt(rpm).
+    Calibrated to the paper's i9-9900K measurements: 50 degC at 1800 rpm
+    and 88 degC at 300 rpm while dissipating ~120 W at 4 GHz.
+
+    Attributes:
+        ambient_c: room temperature in degC.
+        resistance_coeff: thermal resistance at 1 rpm (K/W); the effective
+            resistance is ``resistance_coeff / sqrt(rpm)``.
+    """
+
+    ambient_c: float = 25.0
+    resistance_coeff: float = 8.84
+
+    def core_temperature(self, power_w: float, fan_rpm: float) -> float:
+        """Steady-state core temperature at *power_w* and *fan_rpm*."""
+        if fan_rpm <= 0:
+            raise ValueError("fan speed must be positive")
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        return self.ambient_c + power_w * self.resistance_coeff / fan_rpm ** 0.5

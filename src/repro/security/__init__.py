@@ -1,0 +1,49 @@
+"""Security analysis of SUIT (paper sections 3.5, 6.9, 8).
+
+Three artifacts:
+
+* :mod:`repro.security.analysis` — the reductionist argument as an
+  executable check: the efficient curve is safe for every *enabled*
+  instruction (the faultable set is disabled; the hardened IMUL's
+  minimum voltage lies below the efficient curve).
+* :mod:`repro.security.invariants` — a runtime monitor over simulation
+  runs verifying that no faultable instruction ever executes below its
+  minimum stable voltage.
+* :mod:`repro.security.attacks` — Plundervolt-style software fault
+  attacks (the Bellcore RSA-CRT attack on IMUL faults, and AES round
+  corruption) demonstrating what undervolting *without* SUIT enables and
+  that SUIT closes the vector.
+"""
+
+from repro.security.analysis import (
+    CurveSafetyReport,
+    check_efficient_curve,
+    reductionist_argument,
+)
+from repro.security.invariants import SecurityMonitor, ExecutionRecord, SecurityReport
+from repro.security.covert import CurveSwitchCovertChannel, CovertChannelResult
+from repro.security.model_check import explore as model_check_explore, AbstractState, ModelCheckResult
+from repro.security.attacks import (
+    RsaCrtSigner,
+    bellcore_attack,
+    rsa_keygen,
+    AesFaultDemo,
+)
+
+__all__ = [
+    "CurveSafetyReport",
+    "check_efficient_curve",
+    "reductionist_argument",
+    "SecurityMonitor",
+    "ExecutionRecord",
+    "SecurityReport",
+    "RsaCrtSigner",
+    "bellcore_attack",
+    "rsa_keygen",
+    "AesFaultDemo",
+    "CurveSwitchCovertChannel",
+    "CovertChannelResult",
+    "model_check_explore",
+    "AbstractState",
+    "ModelCheckResult",
+]

@@ -1,0 +1,219 @@
+"""Software fault attacks enabled by unsafe undervolting (sections 1, 8).
+
+Plundervolt, V0LTpwn and CLKSCREW showed that undervolting-induced
+computation faults break every security guarantee of a CPU.  The classic
+demonstration is the Bellcore attack on RSA-CRT: a *single* faulty
+multiplication while computing one CRT half of a signature lets the
+attacker factor the modulus with one gcd.
+
+These demos drive real (toy-sized but genuine) RSA and AES computations
+through the fault injector at a chosen operating point:
+
+* undervolted without SUIT, IMUL faults corrupt signatures and the
+  private key falls out;
+* with SUIT, IMUL is hardened (its minimum voltage drops below the
+  efficient curve) and AESENC is disabled-and-trapped onto the
+  conservative curve, so the same operating points produce no faults.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.emulation.aes import aes128_encrypt_block, aes128_expand_key, aesenc, aesenclast
+from repro.emulation.vector import Vec128
+from repro.faults.injector import FaultInjector
+from repro.isa.opcodes import Opcode
+
+_MR_ROUNDS = 24
+
+
+def _is_probable_prime(n: int, rng: random.Random) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MR_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """A random *bits*-bit prime."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKey:
+    """An RSA key pair with CRT parameters.
+
+    Attributes mirror the PKCS#1 naming: modulus ``n``, public exponent
+    ``e``, private exponent ``d``, primes ``p``/``q``, CRT exponents
+    ``d_p``/``d_q`` and coefficient ``q_inv``.
+    """
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    d_p: int
+    d_q: int
+    q_inv: int
+
+
+def rsa_keygen(bits: int = 512, seed: int = 7) -> RsaKey:
+    """Generate a toy RSA key (deterministic for a given seed)."""
+    if bits < 64:
+        raise ValueError("need at least 64-bit keys")
+    rng = random.Random(seed)
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if math.gcd(e, phi) == 1:
+            break
+    d = pow(e, -1, phi)
+    return RsaKey(n=p * q, e=e, d=d, p=p, q=q,
+                  d_p=d % (p - 1), d_q=d % (q - 1), q_inv=pow(q, -1, p))
+
+
+class RsaCrtSigner:
+    """RSA-CRT signer whose arithmetic runs on (possibly undervolted)
+    hardware.
+
+    Each CRT half-exponentiation ends in big multiplications built from
+    64-bit limb IMULs; the injector decides, from the operating point,
+    whether one of those multiplies faults — corrupting the half-result
+    exactly the way the Bellcore attack requires.
+
+    Args:
+        key: the RSA key.
+        injector: fault source, or None for ideal hardware.
+        core / frequency / voltage: operating point of the signing run.
+    """
+
+    def __init__(self, key: RsaKey, injector: Optional[FaultInjector] = None,
+                 core: int = 0, frequency: float = 4.0e9,
+                 voltage: float = 1.0) -> None:
+        self.key = key
+        self._injector = injector
+        self._core = core
+        self._frequency = frequency
+        self._voltage = voltage
+
+    def _half_exponent(self, message: int, prime: int, exponent: int) -> int:
+        """One CRT half: ``message^exponent mod prime``, with the final
+        modular multiplication routed through the fault injector."""
+        result = pow(message % prime, exponent, prime)
+        if self._injector is None:
+            return result
+        corrupted = self._injector.execute(
+            Opcode.IMUL, result,
+            core=self._core, frequency=self._frequency, voltage=self._voltage,
+            result_bits=max(prime.bit_length() - 1, 8),
+        )
+        return corrupted % prime
+
+    def sign(self, message: int) -> int:
+        """Produce an RSA-CRT signature of *message* (< n).
+
+        The fault window covers the ``q`` half-exponentiation — the
+        Bellcore setting: one of the two CRT halves computed while the
+        supply is unstable.  (A fault in *both* halves merely yields
+        garbage; the attack needs the asymmetry.)
+        """
+        key = self.key
+        if not 0 <= message < key.n:
+            raise ValueError("message must be reduced modulo n")
+        s_p = pow(message % key.p, key.d_p, key.p)
+        s_q = self._half_exponent(message, key.q, key.d_q)
+        h = (key.q_inv * (s_p - s_q)) % key.p
+        return (s_q + h * key.q) % key.n
+
+    def verify(self, message: int, signature: int) -> bool:
+        """Check *signature* against the public key."""
+        return pow(signature, self.key.e, self.key.n) == message
+
+
+def bellcore_attack(n: int, e: int, message: int, signature: int) -> Optional[int]:
+    """Recover a prime factor of *n* from one faulty CRT signature.
+
+    If the fault hit the ``q`` half, ``sig^e - m`` is divisible by ``p``
+    but not ``q`` (and vice versa), so the gcd reveals a factor.
+
+    Returns:
+        A nontrivial factor, or None (signature was correct or the fault
+        destroyed the CRT structure).
+    """
+    candidate = math.gcd((pow(signature, e, n) - message) % n, n)
+    if 1 < candidate < n:
+        return candidate
+    return None
+
+
+class AesFaultDemo:
+    """AES-128 encryption on (possibly undervolted) AES-NI hardware.
+
+    Every AESENC round passes through the fault injector; on a SUIT
+    system the rounds are executed at the conservative voltage instead
+    (the #DO trap switched the curve), which callers express by passing
+    the conservative operating point.
+    """
+
+    def __init__(self, key: bytes, injector: Optional[FaultInjector] = None,
+                 core: int = 0, frequency: float = 4.0e9,
+                 voltage: float = 1.0) -> None:
+        self._round_keys = aes128_expand_key(key)
+        self._key = key
+        self._injector = injector
+        self._core = core
+        self._frequency = frequency
+        self._voltage = voltage
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one block; round outputs may be corrupted by faults."""
+        state = Vec128(Vec128.from_bytes(block).value ^ self._round_keys[0].value)
+        for r in range(1, 10):
+            state = aesenc(state, self._round_keys[r])
+            state = self._maybe_fault(state)
+        state = aesenclast(state, self._round_keys[10])
+        return self._maybe_fault(state).to_bytes()
+
+    def reference(self, block: bytes) -> bytes:
+        """The correct ciphertext (ideal hardware)."""
+        return aes128_encrypt_block(block, self._key)
+
+    def _maybe_fault(self, state: Vec128) -> Vec128:
+        if self._injector is None:
+            return state
+        value = self._injector.execute(
+            Opcode.AESENC, state.value,
+            core=self._core, frequency=self._frequency, voltage=self._voltage,
+            result_bits=128,
+        )
+        return Vec128(value)

@@ -1,0 +1,133 @@
+"""The curve-switch covert channel (paper section 8, "Side-Channel
+Leakage").
+
+On a CPU with a *shared* DVFS domain, SUIT's curve switches are globally
+observable: when any core traps, every core's clock drops to Cf.  A
+sender can therefore signal bits to a receiver on another core without
+any architectural channel — execute one disabled instruction for a "1",
+stay quiet for a "0"; the receiver times a calibrated spin loop and
+reads the frequency dip.  (On per-core-domain CPUs like the Xeon the
+channel closes; the paper lists this as a residual risk of shared
+domains.)
+
+This is an analysis artifact: it quantifies the leak SUIT's design
+accepts, it does not make the attack practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hardware.cpu import CpuModel
+
+
+@dataclass(frozen=True)
+class CovertChannelResult:
+    """Outcome of one covert transmission.
+
+    Attributes:
+        sent: transmitted bits.
+        received: decoded bits.
+        slot_s: signalling slot duration.
+    """
+
+    sent: Sequence[int]
+    received: Sequence[int]
+    slot_s: float
+
+    @property
+    def bit_error_rate(self) -> float:
+        errors = sum(1 for a, b in zip(self.sent, self.received) if a != b)
+        return errors / len(self.sent) if self.sent else 0.0
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return 1.0 / self.slot_s
+
+
+class CurveSwitchCovertChannel:
+    """Simulate the sender/receiver pair on one CPU.
+
+    The sender occupies one core; in each slot it either executes a
+    disabled instruction (forcing the domain to the conservative curve
+    for at least the deadline) or idles.  The receiver, on another core
+    of the same domain, counts iterations of a timed spin loop; on the
+    efficient curve it completes ``speed_e / speed_cf`` times as many.
+
+    Args:
+        cpu: the CPU model (the channel only works if the frequency
+            domain is shared).
+        voltage_offset: SUIT's efficient-curve offset.
+        deadline_s: SUIT deadline (how long one trap keeps the domain
+            conservative).
+        noise: relative jitter on the receiver's loop counts.
+    """
+
+    def __init__(self, cpu: CpuModel, voltage_offset: float = -0.097,
+                 deadline_s: float = 30e-6, noise: float = 0.01) -> None:
+        self.cpu = cpu
+        self.points = cpu.operating_points(voltage_offset)
+        self.deadline_s = deadline_s
+        self.noise = noise
+
+    @property
+    def channel_exists(self) -> bool:
+        """Shared frequency domain => observable switches."""
+        return not self.cpu.topology.per_core_frequency
+
+    @property
+    def contrast(self) -> float:
+        """Relative speed difference the receiver must resolve."""
+        return self.points.speed_e / self.points.speed_cf - 1.0
+
+    def transmit(self, bits: Sequence[int], rng: np.random.Generator,
+                 slot_s: float = None) -> CovertChannelResult:
+        """Send *bits*; returns the decode result.
+
+        Raises:
+            RuntimeError: on per-core-domain CPUs (no shared observable).
+        """
+        if not self.channel_exists:
+            raise RuntimeError(
+                f"{self.cpu.name} has per-core frequency domains; "
+                "curve switches are not globally observable")
+        if slot_s is None:
+            # One trap pins the domain conservative for ~deadline; the
+            # slot must exceed it so "0" slots recover to E.
+            slot_s = 2.5 * self.deadline_s
+        if slot_s <= self.deadline_s:
+            raise ValueError("slot must be longer than the deadline")
+
+        received: List[int] = []
+        for bit in bits:
+            if bit:
+                # Trap at slot start: conservative for ~deadline, then E.
+                cons = min(self.deadline_s, slot_s)
+                eff = slot_s - cons
+                speed = (cons * self.points.speed_cf
+                         + eff * self.points.speed_e) / slot_s
+            else:
+                speed = self.points.speed_e
+            observed = speed * (1.0 + rng.normal(0.0, self.noise))
+            threshold = 0.5 * (self.points.speed_e + self._one_speed(slot_s))
+            received.append(1 if observed < threshold else 0)
+        return CovertChannelResult(sent=list(bits), received=received,
+                                   slot_s=slot_s)
+
+    def _one_speed(self, slot_s: float) -> float:
+        cons = min(self.deadline_s, slot_s)
+        return (cons * self.points.speed_cf
+                + (slot_s - cons) * self.points.speed_e) / slot_s
+
+    def capacity_estimate(self, rng: np.random.Generator,
+                          n_bits: int = 512) -> float:
+        """Error-free-equivalent bandwidth in bits/s (Shannon-style
+        penalty for the measured bit-error rate)."""
+        bits = rng.integers(0, 2, size=n_bits).tolist()
+        result = self.transmit(bits, rng)
+        p = min(max(result.bit_error_rate, 1e-9), 0.5 - 1e-9)
+        h = -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+        return result.bandwidth_bps * (1.0 - h)

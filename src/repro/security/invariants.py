@@ -1,0 +1,75 @@
+"""Runtime security monitor.
+
+Observes instruction executions (opcode + operating point) and flags any
+faultable instruction that ran below its minimum stable voltage — the
+event SUIT must make impossible.  Used by tests and the attack demos to
+contrast plain undervolting (violations occur) with SUIT (none, ever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.faults.model import CpuInstanceFaults
+from repro.isa.faultable import is_faultable
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One observed instruction execution."""
+
+    opcode: Opcode
+    core: int
+    frequency: float
+    voltage: float
+    time_s: float = 0.0
+
+
+@dataclass
+class SecurityReport:
+    """Audit outcome.
+
+    Attributes:
+        observed: executions inspected.
+        violations: executions below the instruction's minimum voltage.
+    """
+
+    observed: int = 0
+    violations: List[ExecutionRecord] = field(default_factory=list)
+
+    @property
+    def secure(self) -> bool:
+        return not self.violations
+
+
+class SecurityMonitor:
+    """Checks executions against a chip's fault thresholds.
+
+    Args:
+        chip: the chip instance providing per-instruction Vmin.
+        hardened_imul: whether the chip runs SUIT's 4-cycle IMUL.
+    """
+
+    def __init__(self, chip: CpuInstanceFaults, hardened_imul: bool = True) -> None:
+        self._chip = chip.with_hardened_imul() if hardened_imul else chip
+        self.report = SecurityReport()
+
+    def observe(self, record: ExecutionRecord) -> bool:
+        """Inspect one execution; returns True when it was safe."""
+        self.report.observed += 1
+        if not is_faultable(record.opcode):
+            return True
+        if self._chip.faults(record.opcode, record.core,
+                             record.frequency, record.voltage):
+            self.report.violations.append(record)
+            return False
+        return True
+
+    def audit_operating_point(self, opcodes, core: int, frequency: float,
+                              voltage: float) -> SecurityReport:
+        """Batch-inspect a set of opcodes at one operating point."""
+        for op in opcodes:
+            self.observe(ExecutionRecord(op, core, frequency, voltage))
+        return self.report

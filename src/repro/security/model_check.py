@@ -1,0 +1,211 @@
+"""Explicit-state model checking of the SUIT state machine (section 3.5).
+
+The simulator samples *one* schedule of traps, timer expiries and
+regulator completions; the security argument must hold for *all* of
+them.  This module abstracts SUIT's per-domain state into a small finite
+machine and exhaustively explores every interleaving of the abstract
+events up to a bound, checking the invariants at every reachable state:
+
+* **safety** — a trapped-class instruction never executes enabled on the
+  efficient curve (the reductionist argument's hardware premise);
+* **liveness** (bounded) — from every reachable state the machine can
+  return to the efficient steady state (no deadlock, no state where the
+  deadline can never fire);
+* **consistency** — the disable mask and curve select never disagree in
+  the forbidden direction (efficient + enabled).
+
+The abstract machine mirrors the rules of
+:class:`~repro.core.simulator.TraceSimulator` for the fV strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+#: Abstract events the environment can inject.
+EVENTS = (
+    "faultable_instr",   # the program reaches a trapped-class instruction
+    "timer_fire",        # the armed deadline expires
+    "voltage_done",      # the in-flight regulator request completes
+)
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """One abstract SUIT domain state.
+
+    Attributes:
+        curve: "E", "Cf" or "CV" (the physical operating point).
+        disabled: whether the trapped set is disabled.
+        timer_armed: whether the deadline timer is counting.
+        pending: in-flight regulator request ("CV", "E") or None.
+    """
+
+    curve: str = "E"
+    disabled: bool = True
+    timer_armed: bool = False
+    pending: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.curve not in ("E", "Cf", "CV"):
+            raise ValueError(f"unknown curve {self.curve}")
+        if self.pending not in (None, "CV", "E"):
+            raise ValueError(f"unknown pending target {self.pending}")
+
+
+#: The SUIT boot state: efficient curve, trapped set disabled.
+INITIAL_STATE = AbstractState()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """An invariant violation found during exploration.
+
+    Attributes:
+        invariant: which property failed.
+        state: the violating state.
+        trace: the event sequence that reached it.
+    """
+
+    invariant: str
+    state: AbstractState
+    trace: Tuple[str, ...]
+
+
+def step(state: AbstractState, event: str) -> Optional[AbstractState]:
+    """The fV transition relation; None if *event* cannot occur.
+
+    Mirrors the simulator: a faultable instruction while disabled traps
+    (wait Cf, request CV, enable, arm); while enabled it only re-arms
+    the timer.  Timer expiry disables and requests E (cancelling an
+    in-flight CV).  A pending completion applies its target.
+    """
+    if event == "faultable_instr":
+        if state.disabled:
+            # #DO trap -> Listing 1.
+            return AbstractState(curve="Cf", disabled=False,
+                                 timer_armed=True, pending="CV")
+        # Enabled execution: deadline restarts (already armed).
+        return state if state.timer_armed else None
+    if event == "timer_fire":
+        if not state.timer_armed:
+            return None
+        # Back to E: speed immediately, power via pending; the CV
+        # request (if any) is cancelled by the new E request.
+        return AbstractState(curve="E", disabled=True,
+                             timer_armed=False, pending="E")
+    if event == "voltage_done":
+        if state.pending is None:
+            return None
+        if state.pending == "CV":
+            if state.curve != "Cf":
+                return None  # stale completion; the request was replaced
+            return replace(state, curve="CV", pending=None)
+        # pending == "E": the regulator reached the efficient level.
+        if state.curve != "E":
+            return None
+        return replace(state, pending=None)
+    raise ValueError(f"unknown event {event}")
+
+
+def check_state(state: AbstractState) -> List[str]:
+    """Invariants that must hold in *state*; returns violated names."""
+    violated = []
+    # Safety: on the efficient curve the trapped set must be disabled.
+    if state.curve == "E" and not state.disabled:
+        violated.append("enabled-on-efficient-curve")
+    # Consistency: conservative operation must keep the timer armed
+    # (otherwise the domain could stay conservative forever).
+    if state.curve in ("Cf", "CV") and not state.timer_armed:
+        violated.append("conservative-without-deadline")
+    # The CV request only makes sense from Cf.
+    if state.pending == "CV" and state.curve not in ("Cf",):
+        violated.append("stale-cv-request")
+    return violated
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of an exhaustive exploration.
+
+    Attributes:
+        states_explored: distinct abstract states reached.
+        transitions: explored (state, event) pairs.
+        violations: invariant violations (empty = verified).
+        non_returning: states from which E is unreachable (empty =
+            bounded liveness holds).
+    """
+
+    states_explored: int
+    transitions: int
+    violations: List[Violation]
+    non_returning: List[AbstractState]
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations and not self.non_returning
+
+
+def explore(initial: AbstractState = INITIAL_STATE,
+            max_depth: int = 12) -> ModelCheckResult:
+    """BFS over all event interleavings up to *max_depth*.
+
+    The abstract state space is tiny (<= 3*2*2*3 = 36 states), so the
+    exploration saturates long before any realistic depth bound.
+    """
+    seen: Dict[AbstractState, Tuple[str, ...]] = {initial: ()}
+    frontier: List[AbstractState] = [initial]
+    violations: List[Violation] = []
+    transitions = 0
+
+    for name in check_state(initial):
+        violations.append(Violation(name, initial, ()))
+
+    depth = 0
+    while frontier and depth < max_depth:
+        next_frontier: List[AbstractState] = []
+        for state in frontier:
+            for event in EVENTS:
+                successor = step(state, event)
+                if successor is None:
+                    continue
+                transitions += 1
+                if successor not in seen:
+                    seen[successor] = seen[state] + (event,)
+                    next_frontier.append(successor)
+                    for name in check_state(successor):
+                        violations.append(Violation(
+                            name, successor, seen[successor]))
+        frontier = next_frontier
+        depth += 1
+
+    non_returning = [s for s in seen if not _can_reach_steady_state(s)]
+    return ModelCheckResult(
+        states_explored=len(seen),
+        transitions=transitions,
+        violations=violations,
+        non_returning=non_returning,
+    )
+
+
+def _can_reach_steady_state(state: AbstractState,
+                            bound: int = 8) -> bool:
+    """Bounded reachability of the efficient steady state."""
+    target_ok = (lambda s: s.curve == "E" and s.disabled)
+    frontier: Set[AbstractState] = {state}
+    visited: Set[AbstractState] = set(frontier)
+    for _ in range(bound):
+        if any(target_ok(s) for s in frontier):
+            return True
+        next_frontier: Set[AbstractState] = set()
+        for s in frontier:
+            for event in EVENTS:
+                nxt = step(s, event)
+                if nxt is not None and nxt not in visited:
+                    visited.add(nxt)
+                    next_frontier.add(nxt)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return any(target_ok(s) for s in visited)

@@ -1,0 +1,67 @@
+"""Workload traces (paper section 5.1).
+
+The paper drives its evaluation with instruction traces of SPEC CPU2017,
+Nginx and VLC recorded by a QEMU plugin: for every executed faultable
+instruction, its position in the retired-instruction stream.  Here the
+traces are synthesised from per-benchmark :class:`WorkloadProfile`
+objects calibrated against the statistics the paper reports (faultable
+instructions arrive in dense bursts separated by large gaps; per-
+benchmark burst structure, IMUL densities and no-SIMD overheads).
+
+:mod:`repro.workloads.analysis` computes the gap-size representations of
+Figs 5 and 7 and summary statistics.
+"""
+
+from repro.workloads.trace import FaultableTrace
+from repro.workloads.gaps import burst_positions, lognormal_gaps
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    spec_profile,
+    all_spec_profiles,
+    SPEC_INT_NAMES,
+    SPEC_FP_NAMES,
+)
+from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE, network_profiles
+from repro.workloads.phases import Phase, PhasedWorkload
+from repro.workloads.recorder import InstructionRecorder
+from repro.workloads.programs import (
+    aes_ctr_encrypt,
+    ghash_tag,
+    tls_record_server,
+    record_tls_server_trace,
+)
+from repro.workloads.analysis import (
+    gap_sizes,
+    gap_size_timeline,
+    burst_statistics,
+    faultable_rate,
+)
+
+__all__ = [
+    "FaultableTrace",
+    "burst_positions",
+    "lognormal_gaps",
+    "WorkloadProfile",
+    "generate_trace",
+    "SPEC_PROFILES",
+    "spec_profile",
+    "all_spec_profiles",
+    "SPEC_INT_NAMES",
+    "SPEC_FP_NAMES",
+    "NGINX_PROFILE",
+    "VLC_PROFILE",
+    "network_profiles",
+    "Phase",
+    "PhasedWorkload",
+    "InstructionRecorder",
+    "aes_ctr_encrypt",
+    "ghash_tag",
+    "tls_record_server",
+    "record_tls_server_trace",
+    "gap_sizes",
+    "gap_size_timeline",
+    "burst_statistics",
+    "faultable_rate",
+]

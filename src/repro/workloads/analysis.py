@@ -1,0 +1,94 @@
+"""Trace analysis: gap sizes, bursts, rates (paper section 5.1).
+
+Produces the representations behind Figs 5 and 7: for each faultable
+instruction, the log10 size of the gap since the previous one, plotted
+over the instruction index — bursts appear as vertical drops, idle spans
+as high horizontal segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.trace import FaultableTrace
+
+
+def gap_sizes(trace: FaultableTrace) -> np.ndarray:
+    """Gap (instructions) preceding each event."""
+    return trace.gaps()
+
+
+def gap_size_timeline(trace: FaultableTrace) -> Tuple[np.ndarray, np.ndarray]:
+    """(instruction_index, log10_gap) series for Fig 5/7-style plots."""
+    gaps = trace.gaps()
+    return trace.indices, np.log10(np.maximum(gaps, 1))
+
+
+@dataclass(frozen=True)
+class BurstStatistics:
+    """Summary of the burst structure of a trace.
+
+    Attributes:
+        n_events: faultable executions.
+        n_bursts: bursts found at the given threshold.
+        mean_burst_length: mean events per burst.
+        mean_intra_gap: mean instruction gap within bursts.
+        median_inter_gap: median instruction gap between bursts.
+        burst_instruction_fraction: fraction of all instructions covered
+            by bursts (first to last event of each).
+    """
+
+    n_events: int
+    n_bursts: int
+    mean_burst_length: float
+    mean_intra_gap: float
+    median_inter_gap: float
+    burst_instruction_fraction: float
+
+
+def burst_statistics(trace: FaultableTrace,
+                     burst_threshold: int = 1_000_000) -> BurstStatistics:
+    """Segment the trace into bursts at gaps above *burst_threshold*.
+
+    A new burst starts wherever the gap since the previous faultable
+    instruction exceeds the threshold.
+    """
+    if burst_threshold < 1:
+        raise ValueError("burst_threshold must be positive")
+    gaps = trace.gaps()
+    if gaps.size == 0:
+        return BurstStatistics(0, 0, 0.0, 0.0, 0.0, 0.0)
+    breaks = np.flatnonzero(gaps > burst_threshold)
+    starts = np.concatenate([[0], breaks])
+    ends = np.concatenate([breaks, [gaps.size]])  # exclusive
+    nonempty = ends > starts  # a break at event 0 would create an empty burst
+    starts, ends = starts[nonempty], ends[nonempty]
+    lengths = ends - starts
+    spans = trace.indices[ends - 1] - trace.indices[starts]
+    intra = gaps.copy()
+    intra[breaks] = 0
+    intra_count = gaps.size - breaks.size
+    inter = gaps[breaks]
+    return BurstStatistics(
+        n_events=int(gaps.size),
+        n_bursts=int(starts.size),
+        mean_burst_length=float(lengths.mean()),
+        mean_intra_gap=float(intra.sum() / intra_count) if intra_count else 0.0,
+        median_inter_gap=float(np.median(inter)) if inter.size else 0.0,
+        burst_instruction_fraction=float(spans.sum() / trace.n_instructions),
+    )
+
+
+def faultable_rate(trace: FaultableTrace) -> float:
+    """Faultable instructions per retired instruction."""
+    return trace.faultable_rate
+
+
+def instructions_per_faultable(trace: FaultableTrace) -> float:
+    """Mean instructions between faultable executions (inf if none)."""
+    if trace.n_events == 0:
+        return float("inf")
+    return trace.n_instructions / trace.n_events

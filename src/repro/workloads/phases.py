@@ -1,0 +1,98 @@
+"""Phase-structured workloads.
+
+Real programs move through phases with different faultable-instruction
+behaviour (a build system alternating compile and link, a server
+alternating crypto-heavy peaks and idle maintenance).  A
+:class:`PhasedWorkload` concatenates per-phase profiles into one trace
+while remembering the boundaries, so phase-aware policies (section 6.8's
+dynamic strategy choice) can re-decide at each transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One workload phase.
+
+    Attributes:
+        profile: the phase's statistical description (its
+            ``n_instructions`` is the phase length).
+    """
+
+    profile: WorkloadProfile
+
+    @property
+    def n_instructions(self) -> int:
+        return self.profile.n_instructions
+
+
+@dataclass
+class PhasedWorkload:
+    """A sequence of phases forming one run.
+
+    Attributes:
+        name: workload name.
+        phases: the phases in execution order.
+    """
+
+    name: str
+    phases: List[Phase]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a phased workload needs at least one phase")
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(p.n_instructions for p in self.phases)
+
+    def boundaries(self) -> List[int]:
+        """Instruction indices where each phase starts (first is 0)."""
+        starts = [0]
+        for phase in self.phases[:-1]:
+            starts.append(starts[-1] + phase.n_instructions)
+        return starts
+
+    def concatenated_trace(self, seed: int = 0) -> FaultableTrace:
+        """One trace covering all phases back to back."""
+        offset = 0
+        parts_idx: List[np.ndarray] = []
+        parts_ops: List[np.ndarray] = []
+        table: List = []
+        code_of = {}
+        mean_ipc = 0.0
+        for k, phase in enumerate(self.phases):
+            trace = generate_trace(phase.profile, seed=seed + k)
+            ops = np.empty(trace.n_events, dtype=np.uint8)
+            for local, op in enumerate(trace.opcode_table):
+                if op not in code_of:
+                    code_of[op] = len(table)
+                    table.append(op)
+                ops[trace.opcodes == local] = code_of[op]
+            parts_idx.append(trace.indices + offset)
+            parts_ops.append(ops)
+            mean_ipc += phase.profile.ipc * phase.n_instructions
+            offset += phase.n_instructions
+        return FaultableTrace(
+            name=self.name,
+            n_instructions=self.n_instructions,
+            ipc=mean_ipc / self.n_instructions,
+            indices=np.concatenate(parts_idx),
+            opcodes=np.concatenate(parts_ops),
+            opcode_table=tuple(table),
+        )
+
+    def phase_traces(self, seed: int = 0) -> List[Tuple[Phase, FaultableTrace]]:
+        """Per-phase traces (for phase-aware policies)."""
+        return [(phase, generate_trace(phase.profile, seed=seed + k))
+                for k, phase in enumerate(self.phases)]

@@ -1,0 +1,115 @@
+"""Recording traces from real computations (the QEMU-plugin equivalent).
+
+Section 5.1's data collection instruments QEMU to log every faultable
+instruction a real program executes.  The same instrument for this
+repository: programs written against :class:`InstructionRecorder`
+perform *actual* computation (through the functional emulation layer)
+while the recorder counts retired instructions and logs each faultable
+execution — producing a :class:`~repro.workloads.trace.FaultableTrace`
+whose structure comes from the computation itself rather than from a
+statistical profile.
+
+See :mod:`repro.workloads.programs` for recorded programs (AES-CTR,
+AES-GCM-style records, a TLS-server loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.emulation.dispatch import reference_result
+from repro.emulation.vector import Vec128
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.workloads.trace import FaultableTrace
+
+
+class InstructionRecorder:
+    """Execution environment that records a faultable-instruction trace.
+
+    Args:
+        name: name of the resulting trace.
+        ipc: IPC attributed to the recorded program.
+
+    The recorder models the dynamic instruction stream with two calls:
+    :meth:`retire` advances the stream by non-faultable instructions
+    (loop control, loads, stores, protocol logic), and :meth:`execute`
+    performs one faultable instruction *functionally* (returning its
+    real result) while logging its stream position.
+    """
+
+    def __init__(self, name: str, ipc: float = 1.5) -> None:
+        if ipc <= 0:
+            raise ValueError("IPC must be positive")
+        self.name = name
+        self.ipc = ipc
+        self._position = 0
+        self._events: List[Tuple[int, Opcode]] = []
+        self._finished = False
+
+    @property
+    def position(self) -> int:
+        """Retired instructions so far."""
+        return self._position
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def retire(self, count: int) -> None:
+        """Advance the stream by *count* non-faultable instructions."""
+        if count < 0:
+            raise ValueError("cannot retire a negative instruction count")
+        self._check_open()
+        self._position += count
+
+    def execute(self, opcode: Opcode, *operands: Vec128,
+                imm8: int = 0) -> Vec128:
+        """Execute one trapped-class instruction; log it; return the
+        architecturally correct result."""
+        self._check_open()
+        if opcode not in TRAPPED_OPCODES:
+            raise ValueError(
+                f"{opcode.name} is not a trapped instruction; use retire() "
+                "for ordinary work and imul() for multiplies")
+        result = reference_result(opcode, operands, imm8)
+        self._events.append((self._position, opcode))
+        self._position += 1
+        return result
+
+    def imul(self, a: int, b: int, bits: int = 64) -> int:
+        """A multiply: counted in the stream but never logged — on SUIT
+        hardware IMUL is statically hardened, not trapped."""
+        self._check_open()
+        self._position += 1
+        return (a * b) & ((1 << bits) - 1)
+
+    def finish(self, trailing_instructions: int = 0) -> FaultableTrace:
+        """Seal the recording and build the trace."""
+        self._check_open()
+        self.retire(trailing_instructions)
+        self._finished = True
+        if self._events:
+            indices = np.array([p for p, _ in self._events], dtype=np.int64)
+            table = tuple(dict.fromkeys(op for _, op in self._events))
+            code_of = {op: i for i, op in enumerate(table)}
+            codes = np.array([code_of[op] for _, op in self._events],
+                             dtype=np.uint8)
+        else:
+            indices = np.array([], dtype=np.int64)
+            codes = np.array([], dtype=np.uint8)
+            table = (Opcode.VOR,)
+        return FaultableTrace(
+            name=self.name,
+            n_instructions=max(self._position, 1),
+            ipc=self.ipc,
+            indices=indices,
+            opcodes=codes,
+            opcode_table=table,
+        )
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise RuntimeError("recorder already finished")

@@ -1,0 +1,123 @@
+"""SPEC CPU2017 workload profiles (paper sections 5.1, 5.8, 6.2).
+
+One profile per rate benchmark of SPEC CPU2017.  The calibration sources:
+
+* ``efficient_occupancy`` — fraction of time on the efficient curve under
+  the reference fV configuration.  The paper reports 72.7 % on average,
+  97.1 % for 557.xz, 76.6 % for 502.gcc and 3.2 % for 520.omnetpp
+  (section 6.4); the remaining benchmarks are ranked following the
+  per-benchmark ordering of Fig 16.
+* ``dense_gap`` — denser episodes for low-occupancy benchmarks, sized so
+  instruction *emulation* reproduces the Table 6 spread (slightly
+  positive for trap-sparse benchmarks, catastrophic for trap-dense ones).
+* ``imul_density`` — 0.99 % for 525.x264, 0.07 % on average elsewhere
+  (section 6.1).
+* ``nosimd_overhead`` — Table 4 per-vendor score impacts; benchmarks the
+  table omits are below the 5 % reporting threshold and get small values
+  consistent with the suite means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.isa.opcodes import Opcode
+from repro.workloads.profile import WorkloadProfile
+
+#: Default mixes of trapped opcodes by suite (Table 1 instructions seen in
+#: integer vs floating-point code).
+_INT_MIX: Mapping[Opcode, float] = {
+    Opcode.VPCMP: 0.30, Opcode.VOR: 0.25, Opcode.VXOR: 0.20,
+    Opcode.VPADDQ: 0.15, Opcode.VPMAX: 0.10,
+}
+_FP_MIX: Mapping[Opcode, float] = {
+    Opcode.VOR: 0.25, Opcode.VXOR: 0.20, Opcode.VAND: 0.20,
+    Opcode.VANDN: 0.15, Opcode.VSQRTPD: 0.10, Opcode.VPSRAD: 0.10,
+}
+
+
+def _dense_gap_for(occupancy: float) -> float:
+    """Episode density tier: trap-heavy benchmarks have denser episodes."""
+    if occupancy < 0.10:
+        return 600.0
+    if occupancy < 0.40:
+        return 2500.0
+    if occupancy < 0.60:
+        return 4000.0
+    if occupancy < 0.80:
+        return 8000.0
+    if occupancy < 0.93:
+        return 15000.0
+    return 25000.0
+
+
+# name -> (suite, ipc, occupancy, episodes, imul_density, imul_chain,
+#          nosimd_intel, nosimd_amd)
+_SPEC_DATA: Dict[str, Tuple[str, float, float, int, float, float, float, float]] = {
+    # --- SPECint 2017 rate ------------------------------------------------
+    "500.perlbench": ("SPECint", 2.0, 0.60, 300, 0.0010, 0.10, -0.020, -0.010),
+    "502.gcc":       ("SPECint", 1.2, 0.766, 420, 0.0010, 0.12, -0.010, -0.020),
+    "505.mcf":       ("SPECint", 0.6, 0.95, 80, 0.0005, 0.08, -0.002, -0.010),
+    "520.omnetpp":   ("SPECint", 0.8, 0.032, 16, 0.0020, 0.15, -0.005, -0.010),
+    "523.xalancbmk": ("SPECint", 1.6, 0.97, 50, 0.0008, 0.08, -0.005, 0.000),
+    "525.x264":      ("SPECint", 2.4, 0.87, 140, 0.0099, 0.90, 0.070, 0.220),
+    "531.deepsjeng": ("SPECint", 1.7, 0.94, 70, 0.0020, 0.15, -0.010, -0.010),
+    "541.leela":     ("SPECint", 1.4, 0.90, 110, 0.0015, 0.12, -0.010, -0.010),
+    "548.exchange2": ("SPECint", 2.2, 0.93, 80, 0.0010, 0.10, 0.077, 0.068),
+    "557.xz":        ("SPECint", 1.1, 0.971, 40, 0.0020, 0.18, -0.005, -0.010),
+    # --- SPECfp 2017 rate -------------------------------------------------
+    "503.bwaves":    ("SPECfp", 2.1, 0.55, 320, 0.0003, 0.05, -0.020, -0.030),
+    "507.cactuBSSN": ("SPECfp", 1.8, 0.65, 280, 0.0004, 0.05, -0.040, -0.045),
+    "508.namd":      ("SPECfp", 2.3, 0.75, 220, 0.0004, 0.05, -0.220, -0.350),
+    "510.parest":    ("SPECfp", 1.9, 0.85, 160, 0.0005, 0.06, -0.030, -0.040),
+    "511.povray":    ("SPECfp", 2.0, 0.70, 240, 0.0006, 0.08, -0.020, -0.030),
+    "519.lbm":       ("SPECfp", 1.3, 0.92, 90, 0.0002, 0.04, -0.010, -0.020),
+    "521.wrf":       ("SPECfp", 1.6, 0.08, 20, 0.0004, 0.05, -0.014, -0.053),
+    "526.blender":   ("SPECfp", 1.9, 0.72, 230, 0.0006, 0.08, -0.045, -0.040),
+    "527.cam4":      ("SPECfp", 1.7, 0.35, 300, 0.0005, 0.06, -0.030, -0.040),
+    "538.imagick":   ("SPECfp", 2.5, 0.88, 130, 0.0007, 0.10, -0.120, -0.090),
+    "544.nab":       ("SPECfp", 2.0, 0.45, 330, 0.0005, 0.06, -0.020, -0.030),
+    "549.fotonik3d": ("SPECfp", 1.8, 0.96, 60, 0.0003, 0.04, -0.010, -0.020),
+    "554.roms":      ("SPECfp", 1.9, 0.50, 310, 0.0004, 0.05, -0.033, -0.190),
+}
+
+#: Instruction budget per synthesised run.  Dense benchmarks are scaled
+#: shorter to bound event counts; everything downstream works in ratios.
+_DEFAULT_INSTRUCTIONS = 4_000_000_000
+_DENSE_INSTRUCTIONS = 2_000_000_000
+
+SPEC_INT_NAMES: List[str] = [n for n, d in _SPEC_DATA.items() if d[0] == "SPECint"]
+SPEC_FP_NAMES: List[str] = [n for n, d in _SPEC_DATA.items() if d[0] == "SPECfp"]
+
+
+def _build(name: str) -> WorkloadProfile:
+    suite, ipc, occ, episodes, imul, chain, ns_intel, ns_amd = _SPEC_DATA[name]
+    n_instr = _DENSE_INSTRUCTIONS if occ < 0.40 else _DEFAULT_INSTRUCTIONS
+    return WorkloadProfile(
+        name=name,
+        suite=suite,
+        n_instructions=n_instr,
+        ipc=ipc,
+        efficient_occupancy=occ,
+        n_episodes=episodes,
+        dense_gap=_dense_gap_for(occ),
+        sparse_events=12,
+        imul_density=imul,
+        imul_chain_fraction=chain,
+        nosimd_overhead={"intel": ns_intel, "amd": ns_amd},
+        opcode_mix=_INT_MIX if suite == "SPECint" else _FP_MIX,
+    )
+
+
+#: All SPEC CPU2017 profiles by benchmark name.
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {name: _build(name) for name in _SPEC_DATA}
+
+
+def spec_profile(name: str) -> WorkloadProfile:
+    """Profile of one SPEC benchmark (raises KeyError for unknown names)."""
+    return SPEC_PROFILES[name]
+
+
+def all_spec_profiles() -> List[WorkloadProfile]:
+    """All 23 SPEC CPU2017 profiles, integer suite first."""
+    return [SPEC_PROFILES[n] for n in SPEC_INT_NAMES + SPEC_FP_NAMES]

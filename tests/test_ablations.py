@@ -1,0 +1,52 @@
+"""Tests for the ablation experiments (design choices DESIGN.md calls out)."""
+
+import pytest
+
+from repro.experiments import ablation_cores, ablation_imul, ablation_thrashing
+
+
+class TestImulHardeningAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_imul.run(seed=0, fast=True)
+
+    def test_trapping_imul_pins_conservative(self, result):
+        # Paper section 4.2: IMUL is so frequent that trapping it keeps
+        # the CPU permanently on the conservative curve.
+        assert result.metric("trap.occupancy").measured < 0.05
+
+    def test_hardening_preserves_the_gain(self, result):
+        assert result.metric("harden.efficiency").measured > 0.10
+        assert result.metric("trap.efficiency").measured < 0.02
+        assert result.metric("hardening_wins").measured == 1.0
+
+
+class TestThrashingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_thrashing.run(seed=0, fast=True)
+
+    def test_prevention_collapses_trap_count(self, result):
+        assert result.metric("trap_reduction").measured > 0.9
+
+    def test_prevention_improves_performance(self, result):
+        assert result.metric("prevention_improves_perf").measured == 1.0
+
+    def test_unprevented_thrashing_is_expensive(self, result):
+        assert result.metric("traps_without_prevention").measured > 50
+
+
+class TestCoreCountAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_cores.run(seed=0, fast=True)
+
+    def test_efficiency_decreases_with_cores(self, result):
+        assert result.metric("eff_monotone_decreasing").measured == 1.0
+
+    def test_occupancy_shrinks(self, result):
+        assert result.metric("occupancy_shrinks_with_cores").measured == 1.0
+
+    def test_still_positive_fully_loaded(self, result):
+        # Paper: even A4 keeps a small edge (+5.8 %).
+        assert result.metric("eff_still_positive_at_max_cores").measured == 1.0

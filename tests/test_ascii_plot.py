@@ -1,0 +1,83 @@
+"""Tests for the terminal plotting helpers and figure renderers."""
+
+import pytest
+
+from repro.experiments import ascii_plot
+from repro.experiments.figures import RENDERERS, render
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = ascii_plot.sparkline([0, 1, 2, 3])
+        assert line[0] != line[-1]
+        assert len(line) == 4
+
+    def test_resampled_to_width(self):
+        line = ascii_plot.sparkline(range(1000), width=20)
+        assert len(line) == 20
+
+    def test_constant_series(self):
+        line = ascii_plot.sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert ascii_plot.sparkline([]) == ""
+
+
+class TestScatter:
+    def test_dimensions(self):
+        chart = ascii_plot.scatter([0, 1, 2], [0, 1, 4], width=30, height=8)
+        rows = chart.split("\n")
+        assert len(rows) >= 8
+
+    def test_contains_points(self):
+        chart = ascii_plot.scatter([0, 1], [0, 1], width=10, height=5)
+        assert "•" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_plot.scatter([0, 1], [0, 1], title="T", y_label="volts")
+        assert chart.startswith("T")
+        assert "volts" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_plot.scatter([1, 2], [1])
+
+    def test_empty(self):
+        assert "empty" in ascii_plot.scatter([], [])
+
+
+class TestBars:
+    def test_signed_bars(self):
+        out = ascii_plot.bars(["a", "b"], [0.1, -0.05])
+        lines = out.split("\n")
+        assert "+10.00%" in lines[0]
+        assert "-5.00%" in lines[1]
+
+    def test_bar_direction(self):
+        out = ascii_plot.bars(["pos", "neg"], [0.1, -0.1])
+        pos_line, neg_line = out.split("\n")
+        assert pos_line.index("|") < pos_line.index("█")
+        assert neg_line.index("█") < neg_line.index("|")
+
+    def test_mismatched(self):
+        with pytest.raises(ValueError):
+            ascii_plot.bars(["a"], [1.0, 2.0])
+
+
+class TestStepSeries:
+    def test_renders_levels(self):
+        out = ascii_plot.step_series([(0.0, 1.0), (1.0, 0.0), (2.0, 1.0)])
+        assert "•" in out
+
+
+class TestFigureRenderers:
+    @pytest.mark.parametrize("figure_id", sorted(RENDERERS))
+    def test_each_figure_renders(self, figure_id):
+        text = render(figure_id, fast=True)
+        assert "Fig" in text
+        assert len(text.splitlines()) > 3
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            render("fig99")

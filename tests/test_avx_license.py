@@ -1,0 +1,124 @@
+"""Tests for the AVX frequency-licensing model."""
+
+import pytest
+
+from repro.power.avx_license import (
+    AvxLicenseModel,
+    LicenseLevel,
+    LicenseTracker,
+    effective_frequency_ratio,
+    nosimd_tradeoff,
+)
+
+
+@pytest.fixture
+def model():
+    return AvxLicenseModel()
+
+
+class TestModelBasics:
+    def test_ratios_ordered(self, model):
+        assert (model.frequency_ratio(LicenseLevel.L2)
+                < model.frequency_ratio(LicenseLevel.L1)
+                < model.frequency_ratio(LicenseLevel.L0) == 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvxLicenseModel(l1_frequency_ratio=0.8, l2_frequency_ratio=0.9)
+        with pytest.raises(ValueError):
+            AvxLicenseModel(hysteresis_s=-1.0)
+
+
+class TestLicenseTracker:
+    def test_upgrade_is_immediate_with_stall(self, model):
+        tracker = LicenseTracker(model)
+        stall = tracker.demand(0.0, LicenseLevel.L1)
+        assert stall == model.transition_stall_s
+        assert tracker.level_at(0.0) is LicenseLevel.L1
+
+    def test_same_level_no_stall(self, model):
+        tracker = LicenseTracker(model)
+        tracker.demand(0.0, LicenseLevel.L1)
+        assert tracker.demand(1e-6, LicenseLevel.L1) == 0.0
+
+    def test_hysteresis_expiry(self, model):
+        tracker = LicenseTracker(model)
+        tracker.demand(0.0, LicenseLevel.L1)
+        within = model.hysteresis_s * 0.9
+        beyond = model.hysteresis_s * 1.1
+        assert tracker.level_at(within) is LicenseLevel.L1
+        assert tracker.level_at(beyond) is LicenseLevel.L0
+
+    def test_repeated_demands_pin_the_license(self, model):
+        tracker = LicenseTracker(model)
+        step = model.hysteresis_s / 2
+        for k in range(10):
+            tracker.demand(k * step, LicenseLevel.L1)
+        assert tracker.level_at(10 * step) is LicenseLevel.L1
+
+    def test_l2_above_l1(self, model):
+        tracker = LicenseTracker(model)
+        tracker.demand(0.0, LicenseLevel.L1)
+        tracker.demand(1e-6, LicenseLevel.L2)
+        assert tracker.level_at(2e-6) is LicenseLevel.L2
+
+
+class TestEffectiveFrequency:
+    def test_no_wide_instructions_full_speed(self, model):
+        ratio, transitions = effective_frequency_ratio(model, [], 1.0)
+        assert ratio == pytest.approx(1.0)
+        assert transitions == 0
+
+    def test_single_event_costs_one_hysteresis_window(self, model):
+        ratio, _ = effective_frequency_ratio(
+            model, [(0.0, LicenseLevel.L1)], 1.0)
+        expected = (model.hysteresis_s * model.l1_frequency_ratio
+                    + (1.0 - model.hysteresis_s)) / 1.0
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_pinned_license_runs_at_l1(self, model):
+        rate = 4.0 / model.hysteresis_s
+        events = [(k / rate, LicenseLevel.L1) for k in range(int(rate))]
+        ratio, _ = effective_frequency_ratio(model, events, 1.0)
+        assert ratio == pytest.approx(model.l1_frequency_ratio, abs=0.02)
+
+    def test_denser_events_lower_frequency(self, model):
+        def ratio_at(rate_hz):
+            events = [(k / rate_hz, LicenseLevel.L1)
+                      for k in range(int(rate_hz))]
+            return effective_frequency_ratio(model, events, 1.0)[0]
+
+        assert ratio_at(10_000) <= ratio_at(100) <= 1.0
+
+    def test_unsorted_events_rejected(self, model):
+        with pytest.raises(ValueError):
+            effective_frequency_ratio(
+                model, [(1.0, LicenseLevel.L1), (0.5, LicenseLevel.L1)], 2.0)
+
+
+class TestNosimdTradeoff:
+    def test_sparse_wide_ops_lose(self, model):
+        simd, scalar = nosimd_tradeoff(
+            model, simd_speedup=1.02, wide_event_rate_hz=5_000,
+            demanded=LicenseLevel.L1)
+        assert scalar > simd
+
+    def test_strong_vectorisation_wins(self, model):
+        simd, scalar = nosimd_tradeoff(
+            model, simd_speedup=1.3, wide_event_rate_hz=5_000,
+            demanded=LicenseLevel.L1)
+        assert simd > scalar
+
+    def test_avx512_penalty_harsher(self, model):
+        l1, _ = nosimd_tradeoff(model, simd_speedup=1.1,
+                                wide_event_rate_hz=10_000,
+                                demanded=LicenseLevel.L1)
+        l2, _ = nosimd_tradeoff(model, simd_speedup=1.1,
+                                wide_event_rate_hz=10_000,
+                                demanded=LicenseLevel.L2)
+        assert l2 < l1
+
+    def test_speedup_validated(self, model):
+        with pytest.raises(ValueError):
+            nosimd_tradeoff(model, simd_speedup=0.9, wide_event_rate_hz=1,
+                            demanded=LicenseLevel.L1)

@@ -1,0 +1,109 @@
+"""Tests for the related-work baseline implementations (section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ecc import EccFeedbackUndervolting
+from repro.baselines.naive import NaiveUndervolting
+from repro.baselines.razor import RazorCore
+from repro.faults.model import FaultModel
+
+
+@pytest.fixture(scope="module")
+def chip(cpu_a_module):
+    return FaultModel().sample_chip(
+        cpu_a_module.conservative_curve, n_cores=4,
+        rng=np.random.default_rng(17), exhibits=True)
+
+
+@pytest.fixture(scope="module")
+def cpu_a_module():
+    from repro.hardware.models import cpu_a_i9_9900k
+    return cpu_a_i9_9900k()
+
+
+class TestNaiveUndervolting:
+    def test_shallow_offset_is_secure(self, cpu_a_module, chip, small_trace):
+        naive = NaiveUndervolting(cpu_a_module, chip)
+        safe = naive.first_silent_fault_offset() + 0.005
+        outcome = naive.run(small_trace, safe)
+        assert outcome.secure
+        assert outcome.efficiency_change > 0
+
+    def test_deep_offset_silently_corrupts(self, cpu_a_module, chip,
+                                           small_trace):
+        naive = NaiveUndervolting(cpu_a_module, chip)
+        outcome = naive.run(small_trace, -0.200)
+        assert outcome.silent_faults > 0
+        assert not outcome.secure
+        # ...while looking great on the power meter: the trap.
+        assert outcome.efficiency_change > 0.2
+
+    def test_beyond_crash_margin(self, cpu_a_module, chip, small_trace):
+        naive = NaiveUndervolting(cpu_a_module, chip)
+        outcome = naive.run(small_trace, -0.290)
+        assert outcome.crashed
+
+    def test_margins_ordered(self, cpu_a_module, chip):
+        naive = NaiveUndervolting(cpu_a_module, chip)
+        # Silent faults begin well before visible misbehaviour.
+        assert (naive.first_silent_fault_offset()
+                > naive.max_visible_safe_offset())
+
+    def test_consumes_aging_guardband(self, cpu_a_module, chip, small_trace):
+        naive = NaiveUndervolting(cpu_a_module, chip)
+        outcome = naive.run(small_trace, -0.150)
+        assert outcome.consumed_aging_guardband_v == pytest.approx(0.150)
+
+    def test_positive_offset_rejected(self, cpu_a_module, chip, small_trace):
+        with pytest.raises(ValueError):
+            NaiveUndervolting(cpu_a_module, chip).run(small_trace, 0.01)
+
+
+class TestRazor:
+    def test_settles_between_margins(self, cpu_a_module, chip):
+        outcome = RazorCore(cpu_a_module, chip).settle()
+        # Deeper than zero, shallower than the crash margin.
+        assert -0.26 < outcome.offset_v < -0.01
+
+    def test_error_rate_near_target(self, cpu_a_module, chip):
+        core = RazorCore(cpu_a_module, chip, target_error_rate=1e-4)
+        outcome = core.settle()
+        assert outcome.error_rate <= 1e-3
+
+    def test_costs_charged(self, cpu_a_module, chip):
+        outcome = RazorCore(cpu_a_module, chip).settle()
+        assert outcome.duration_ratio >= 1.0
+        # Power saving reduced by the circuit overhead but still net-negative.
+        assert outcome.power_change < 0
+
+    def test_error_rate_monotone_in_depth(self, cpu_a_module, chip):
+        core = RazorCore(cpu_a_module, chip)
+        assert core.error_rate_at(-0.150) >= core.error_rate_at(-0.030)
+
+    def test_target_validated(self, cpu_a_module, chip):
+        with pytest.raises(ValueError):
+            RazorCore(cpu_a_module, chip, target_error_rate=0.5)
+
+
+class TestEccFeedback:
+    def test_itanium_setting_is_secure(self, cpu_a_module, chip):
+        outcome = EccFeedbackUndervolting.itanium_like(
+            cpu_a_module, chip).calibrate()
+        assert outcome.secure
+        assert outcome.power_change < 0
+
+    def test_x86_setting_is_blind_to_datapath(self, cpu_a_module, chip):
+        outcome = EccFeedbackUndervolting.x86_like(
+            cpu_a_module, chip).calibrate()
+        assert not outcome.secure
+        assert outcome.silent_datapath_faults > 0
+
+    def test_calibration_backs_off_from_knee(self, cpu_a_module, chip):
+        ecc = EccFeedbackUndervolting(cpu_a_module, chip, cache_margin_v=-0.100)
+        outcome = ecc.calibrate()
+        assert outcome.offset_v > outcome.cache_margin_v
+
+    def test_margin_validated(self, cpu_a_module, chip):
+        with pytest.raises(ValueError):
+            EccFeedbackUndervolting(cpu_a_module, chip, cache_margin_v=0.05)

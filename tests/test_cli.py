@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("simulate", "suite", "trace", "tune", "reproduce", "audit"):
+            assert cmd in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSimulate:
+    def test_runs_and_exits_zero(self, capsys):
+        assert main(["simulate", "--cpu", "C", "--workload", "557.xz"]) == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+        assert "Xeon" in out
+
+    def test_partial_workload_name(self, capsys):
+        assert main(["simulate", "--workload", "xz"]) == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "notabenchmark"])
+
+    def test_emulation_strategy(self, capsys):
+        assert main(["simulate", "--workload", "557.xz",
+                     "--strategy", "e"]) == 0
+
+
+class TestTrace:
+    def test_gen_info_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        assert main(["trace", "gen", "--workload", "557.xz",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["trace", "info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "events" in text
+        assert "bursts" in text
+
+    def test_record(self, tmp_path, capsys):
+        out = tmp_path / "rec.npz"
+        assert main(["trace", "record", "--requests", "3",
+                     "--bytes", "512", "--out", str(out)]) == 0
+        assert "encrypted bytes" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_safe_offset_exits_zero(self, capsys):
+        assert main(["audit", "--offset", "-0.07"]) == 0
+        assert "holds: True" in capsys.readouterr().out
+
+    def test_reckless_offset_exits_nonzero(self, capsys):
+        assert main(["audit", "--offset", "-0.28"]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_small_grid(self, capsys):
+        assert main(["tune", "--cpu", "C", "--deadlines", "20,30"]) == 0
+        assert "best parameters" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_single_figure_renders(self, capsys):
+        assert main(["figures", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            main(["figures", "fig99"])

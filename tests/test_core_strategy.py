@@ -1,0 +1,119 @@
+"""Unit tests for operating strategies against a scripted CpuControl."""
+
+from typing import List
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS_INTEL, StrategyParams
+from repro.core.strategy import (
+    CpuControl,
+    EmulationStrategy,
+    FrequencyStrategy,
+    FVStrategy,
+    SuitState,
+    VoltageStrategy,
+    strategy_for,
+)
+
+
+class ScriptedCpu(CpuControl):
+    """Records the calls a strategy makes (a Listing 1 test double)."""
+
+    def __init__(self, exception_count: int = 0) -> None:
+        self.calls: List[tuple] = []
+        self._exception_count = exception_count
+        self._now = 0.0
+
+    def change_pstate_wait(self, target: SuitState) -> None:
+        self.calls.append(("wait", target))
+
+    def change_pstate_async(self, target: SuitState) -> None:
+        self.calls.append(("async", target))
+
+    def set_instructions_disabled(self, disabled: bool) -> None:
+        self.calls.append(("disable", disabled))
+
+    def set_timer_interrupt(self, deadline_s: float) -> None:
+        self.calls.append(("timer", deadline_s))
+
+    def exception_count_in_timespan(self, timespan_s: float) -> int:
+        return self._exception_count
+
+    def emulate_current_instruction(self) -> None:
+        self.calls.append(("emulate",))
+
+    @property
+    def now_s(self) -> float:
+        return self._now
+
+
+class TestFVStrategy:
+    def test_listing1_sequence(self):
+        cpu = ScriptedCpu()
+        FVStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        assert cpu.calls == [
+            ("wait", SuitState.CF),
+            ("async", SuitState.CV),
+            ("disable", False),
+            ("timer", pytest.approx(30e-6)),
+        ]
+
+    def test_thrashing_stretches_deadline(self):
+        cpu = ScriptedCpu(exception_count=3)
+        FVStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        assert cpu.calls[-1] == ("timer", pytest.approx(30e-6 * 14))
+
+    def test_below_threshold_keeps_deadline(self):
+        cpu = ScriptedCpu(exception_count=2)
+        FVStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        assert cpu.calls[-1] == ("timer", pytest.approx(30e-6))
+
+    def test_timer_returns_to_e(self):
+        cpu = ScriptedCpu()
+        FVStrategy(DEFAULT_PARAMS_INTEL).on_timer_interrupt(cpu)
+        assert cpu.calls == [("disable", True), ("async", SuitState.E)]
+
+
+class TestFrequencyStrategy:
+    def test_only_frequency_path(self):
+        cpu = ScriptedCpu()
+        FrequencyStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        targets = [c[1] for c in cpu.calls if c[0] in ("wait", "async")]
+        assert targets == [SuitState.CF]
+
+
+class TestVoltageStrategy:
+    def test_waits_for_cv(self):
+        cpu = ScriptedCpu()
+        VoltageStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        assert cpu.calls[0] == ("wait", SuitState.CV)
+
+
+class TestEmulationStrategy:
+    def test_emulates_without_switching(self):
+        cpu = ScriptedCpu()
+        EmulationStrategy(DEFAULT_PARAMS_INTEL).on_disabled_instruction(cpu)
+        assert cpu.calls == [("emulate",)]
+
+    def test_never_switches_flag(self):
+        assert not EmulationStrategy.switches_curves
+        assert FVStrategy.switches_curves
+
+    def test_timer_is_a_bug(self):
+        with pytest.raises(RuntimeError):
+            EmulationStrategy(DEFAULT_PARAMS_INTEL).on_timer_interrupt(
+                ScriptedCpu())
+
+
+class TestStrategyFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fV", FVStrategy), ("f", FrequencyStrategy),
+        ("V", VoltageStrategy), ("e", EmulationStrategy)])
+    def test_lookup(self, name, cls):
+        strategy = strategy_for(name, DEFAULT_PARAMS_INTEL)
+        assert isinstance(strategy, cls)
+        assert strategy.name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            strategy_for("warp", DEFAULT_PARAMS_INTEL)

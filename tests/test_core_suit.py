@@ -1,0 +1,141 @@
+"""Tests for the SuitSystem facade, multicore merging and estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import emulation_estimate, nosimd_estimate
+from repro.core.multicore import merged_multicore_trace
+from repro.core.suit import SuiteResult, SuitSystem
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import spec_profile
+
+
+class TestSuitSystemConstruction:
+    def test_for_cpu_shortnames(self):
+        for name in ("A", "B", "C", "i5"):
+            suit = SuitSystem.for_cpu(name)
+            assert suit.cpu.name
+
+    def test_unknown_cpu(self):
+        with pytest.raises(ValueError):
+            SuitSystem.for_cpu("Z")
+
+    def test_default_params_follow_vendor(self):
+        assert SuitSystem.for_cpu("A").params.deadline_s == pytest.approx(30e-6)
+        assert SuitSystem.for_cpu("B").params.deadline_s == pytest.approx(700e-6)
+
+    def test_core_count_validated(self):
+        with pytest.raises(ValueError):
+            SuitSystem.for_cpu("A", n_cores=99)
+        with pytest.raises(ValueError):
+            SuitSystem.for_cpu("A", n_cores=0)
+
+    def test_prime_trace_checks_name(self, small_profile, small_trace):
+        suit = SuitSystem.for_cpu("C")
+        suit.prime_trace(small_profile, small_trace)
+        other = spec_profile("557.xz")
+        with pytest.raises(ValueError):
+            suit.prime_trace(other, small_trace)
+
+
+class TestRunProfile:
+    def test_caches_traces(self, small_profile):
+        suit = SuitSystem.for_cpu("C", strategy_name="fV")
+        first = suit.run_profile(small_profile)
+        second = suit.run_profile(small_profile)
+        assert first.duration_s == second.duration_s
+
+    def test_emulation_uses_estimate(self, small_profile):
+        suit = SuitSystem.for_cpu("C", strategy_name="e")
+        result = suit.run_profile(small_profile)
+        assert result.strategy == "e"
+        assert result.n_exceptions > 0
+
+    def test_nosimd_run(self, small_profile):
+        suit = SuitSystem.for_cpu("C")
+        result = suit.run_profile_nosimd(small_profile)
+        assert result.efficient_occupancy == pytest.approx(1.0)
+        assert result.n_exceptions == 0
+
+
+class TestSuiteResult:
+    def test_aggregates(self, small_profile, dense_profile):
+        suit = SuitSystem.for_cpu("C", strategy_name="fV")
+        suite = suit.evaluate_suite([small_profile, dense_profile])
+        assert len(suite.results) == 2
+        assert suite.perf_gmean < suite.results[0].perf_change + 0.1
+        assert -1.0 < suite.power_gmean < 0.0
+        assert suite.by_name("small").workload == "small"
+        with pytest.raises(KeyError):
+            suite.by_name("missing")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteResult([])
+
+
+class TestMulticoreMerging:
+    def test_merged_event_count(self, small_trace):
+        merged = merged_multicore_trace(small_trace, 4)
+        assert merged.n_events == 4 * small_trace.n_events
+        assert merged.n_instructions == small_trace.n_instructions
+
+    def test_single_core_is_identity(self, small_trace):
+        assert merged_multicore_trace(small_trace, 1) is small_trace
+
+    def test_merged_sorted(self, small_trace):
+        merged = merged_multicore_trace(small_trace, 3)
+        assert np.all(np.diff(merged.indices) >= 0)
+
+    def test_invalid_args(self, small_trace):
+        with pytest.raises(ValueError):
+            merged_multicore_trace(small_trace, 0)
+        with pytest.raises(ValueError):
+            merged_multicore_trace(small_trace, 2, stagger_fraction=2.0)
+
+    def test_more_cores_more_conservative(self, small_profile):
+        """Shared-domain scaling (section 6.4): with more active cores the
+        domain spends less time on the efficient curve."""
+        one = SuitSystem.for_cpu("A", n_cores=1).run_profile(small_profile)
+        four = SuitSystem.for_cpu("A", n_cores=4).run_profile(small_profile)
+        assert four.efficient_occupancy < one.efficient_occupancy
+        assert four.efficiency_change < one.efficiency_change
+
+    def test_per_core_domains_ignore_core_count(self, small_profile,
+                                                small_trace):
+        # CPU C has per-core domains: the merged path must not trigger.
+        suit = SuitSystem.for_cpu("C", n_cores=4)
+        suit.prime_trace(small_profile, small_trace)
+        four = suit.run_profile(small_profile)
+        solo = SuitSystem.for_cpu("C", n_cores=1)
+        solo.prime_trace(small_profile, small_trace)
+        one = solo.run_profile(small_profile)
+        assert four.n_exceptions == one.n_exceptions
+
+
+class TestEstimates:
+    def test_nosimd_estimate_shape(self, cpu_c, small_profile):
+        result = nosimd_estimate(cpu_c, small_profile, -0.097)
+        points = cpu_c.operating_points(-0.097)
+        assert result.power_ratio == pytest.approx(points.power_e)
+        # -2 % noSIMD cost against a ~+3 % efficient-curve speedup.
+        assert -0.02 < result.perf_change < 0.04
+
+    def test_emulation_estimate_adds_call_costs(self, cpu_c, small_profile,
+                                                small_trace):
+        base = nosimd_estimate(cpu_c, small_profile, -0.097)
+        emu = emulation_estimate(cpu_c, small_profile, small_trace, -0.097)
+        expected_stall = small_trace.n_events * cpu_c.emulation_call_delay.mean_s
+        assert emu.duration_s == pytest.approx(base.duration_s + expected_stall)
+        assert emu.n_exceptions == small_trace.n_events
+
+    def test_emulation_catastrophic_for_dense_traces(self, cpu_c,
+                                                     dense_profile,
+                                                     dense_trace):
+        emu = emulation_estimate(cpu_c, dense_profile, dense_trace, -0.097)
+        assert emu.perf_change < -0.20
+
+    def test_nosimd_speedup_benchmarks_gain(self, cpu_c):
+        # x264 is faster without SIMD (AVX throttling): big win on E.
+        result = nosimd_estimate(cpu_c, spec_profile("525.x264"), -0.097)
+        assert result.perf_change > 0.08

@@ -1,0 +1,233 @@
+"""Unit tests for the emulation layer: vectors, AES, CLMUL, dispatch."""
+
+import math
+import struct
+
+import pytest
+
+from repro.emulation import vector as v
+from repro.emulation.aes import (
+    SBOX,
+    aes128_encrypt_block,
+    aes128_expand_key,
+    aesenc,
+    sbox_lookup,
+)
+from repro.emulation.bitsliced_aes import (
+    aes128_encrypt_block_ct,
+    aesenc_constant_time,
+    sbox_constant_time,
+)
+from repro.emulation.clmul import clmul64, gf128_mul, pclmulqdq
+from repro.emulation.dispatch import (
+    EMULATION_CYCLE_COSTS,
+    emulate,
+    emulation_cycles,
+    reference_result,
+)
+from repro.emulation.vector import Vec128
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+
+# FIPS-197 appendix C.1 test vector.
+_FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+_FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+_FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestVec128:
+    def test_u64_roundtrip(self):
+        x = Vec128.from_u64([0x1122334455667788, 0xAABBCCDDEEFF0011])
+        assert x.u64() == [0x1122334455667788, 0xAABBCCDDEEFF0011]
+
+    def test_u32_roundtrip(self):
+        lanes = [1, 2 ** 31, 0xFFFFFFFF, 7]
+        assert Vec128.from_u32(lanes).u32() == lanes
+
+    def test_f64_roundtrip(self):
+        lanes = [3.5, -0.125]
+        assert Vec128.from_f64(lanes).f64() == lanes
+
+    def test_bytes_roundtrip(self):
+        data = bytes(range(16))
+        assert Vec128.from_bytes(data).to_bytes() == data
+
+    def test_signed_lanes(self):
+        x = Vec128.from_u32([0xFFFFFFFF, 1, 0, 0])
+        assert x.i32()[0] == -1
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            Vec128(-1)
+        with pytest.raises(ValueError):
+            Vec128(1 << 128)
+
+
+class TestScalarSimdOps:
+    def test_logic_ops(self):
+        a = Vec128(0b1100)
+        b = Vec128(0b1010)
+        assert v.vor(a, b).value == 0b1110
+        assert v.vand(a, b).value == 0b1000
+        assert v.vxor(a, b).value == 0b0110
+
+    def test_vandn_operand_order(self):
+        # x86 ANDN computes (~a) & b.
+        a = Vec128(0b1100)
+        b = Vec128(0b1010)
+        assert v.vandn(a, b).value == 0b0010
+
+    def test_vpaddq_wraps_per_lane(self):
+        a = Vec128.from_u64([2 ** 64 - 1, 10])
+        b = Vec128.from_u64([1, 20])
+        assert v.vpaddq(a, b).u64() == [0, 30]
+
+    def test_vpmaxsd_signed(self):
+        a = Vec128.from_u32([0xFFFFFFFF, 5, 0, 9])  # -1 in lane 0
+        b = Vec128.from_u32([1, 3, 7, 9])
+        assert v.vpmaxsd(a, b).i32() == [1, 5, 7, 9]
+
+    def test_vpcmpeqd(self):
+        a = Vec128.from_u32([1, 2, 3, 4])
+        b = Vec128.from_u32([1, 0, 3, 0])
+        assert v.vpcmpeqd(a, b).u32() == [0xFFFFFFFF, 0, 0xFFFFFFFF, 0]
+
+    def test_vpsrad_arithmetic_shift(self):
+        a = Vec128.from_u32([0x80000000, 8, 0, 0])
+        out = v.vpsrad(a, 1)
+        assert out.i32()[0] == -(2 ** 30)
+        assert out.u32()[1] == 4
+
+    def test_vpsrad_saturates_count(self):
+        a = Vec128.from_u32([0xFFFFFFFF, 2, 0, 0])
+        out = v.vpsrad(a, 40)
+        assert out.i32()[0] == -1
+        assert out.u32()[1] == 0
+
+    def test_vsqrtpd(self):
+        x = Vec128.from_f64([4.0, 2.25])
+        assert v.vsqrtpd(x).f64() == [2.0, 1.5]
+
+    def test_vsqrtpd_negative_is_nan(self):
+        out = v.vsqrtpd(Vec128.from_f64([-1.0, 9.0])).f64()
+        assert math.isnan(out[0])
+        assert out[1] == 3.0
+
+
+class TestAes:
+    def test_fips_vector(self):
+        assert aes128_encrypt_block(_FIPS_PLAIN, _FIPS_KEY) == _FIPS_CIPHER
+
+    def test_key_schedule_first_and_last(self):
+        keys = aes128_expand_key(_FIPS_KEY)
+        assert len(keys) == 11
+        assert keys[0].to_bytes() == _FIPS_KEY
+        # FIPS-197 round 10 key.
+        assert keys[10].to_bytes() == bytes.fromhex(
+            "13111d7fe3944a17f307a78b4d2b30c5")
+
+    def test_sbox_involution_properties(self):
+        # The AES S-box has no fixed points and maps 0 to 0x63.
+        assert SBOX[0] == 0x63
+        assert all(SBOX[i] != i for i in range(256))
+        assert len(set(SBOX)) == 256
+
+    def test_aesenc_differs_from_aesenclast(self):
+        state = Vec128.from_bytes(_FIPS_PLAIN)
+        rk = Vec128.from_bytes(_FIPS_KEY)
+        from repro.emulation.aes import aesenclast
+        assert aesenc(state, rk).value != aesenclast(state, rk).value
+
+    def test_block_size_checked(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_block(b"short", _FIPS_KEY)
+        with pytest.raises(ValueError):
+            aes128_expand_key(b"short")
+
+
+class TestConstantTimeAes:
+    def test_sbox_matches_table(self):
+        for x in range(256):
+            assert sbox_constant_time(x) == sbox_lookup(x)
+
+    def test_fips_vector(self):
+        assert aes128_encrypt_block_ct(_FIPS_PLAIN, _FIPS_KEY) == _FIPS_CIPHER
+
+    def test_round_matches_reference(self, rng):
+        for _ in range(10):
+            state = Vec128(int(rng.integers(0, 2 ** 63)))
+            rk = Vec128(int(rng.integers(0, 2 ** 63)))
+            assert (aesenc_constant_time(state, rk).value
+                    == aesenc(state, rk).value)
+
+
+class TestClmul:
+    def test_simple_products(self):
+        assert clmul64(0, 12345) == 0
+        assert clmul64(1, 12345) == 12345
+        assert clmul64(2, 3) == 6  # x * (x+1) = x^2 + x
+
+    def test_polynomial_identity(self):
+        # (x^63) * (x^63) = x^126: no carries in GF(2).
+        assert clmul64(1 << 63, 1 << 63) == 1 << 126
+
+    def test_distributive(self, rng):
+        for _ in range(20):
+            a, b, c = (int(x) for x in rng.integers(0, 2 ** 63, 3))
+            assert clmul64(a, b ^ c) == clmul64(a, b) ^ clmul64(a, c)
+
+    def test_commutative(self, rng):
+        for _ in range(20):
+            a, b = (int(x) for x in rng.integers(0, 2 ** 63, 2))
+            assert clmul64(a, b) == clmul64(b, a)
+
+    def test_pclmulqdq_lane_select(self):
+        a = Vec128.from_u64([3, 5])
+        b = Vec128.from_u64([7, 9])
+        assert pclmulqdq(a, b, 0x00).value == clmul64(3, 7)
+        assert pclmulqdq(a, b, 0x11).value == clmul64(5, 9)
+        assert pclmulqdq(a, b, 0x01).value == clmul64(5, 7)
+
+    def test_gf128_mul_identity(self, rng):
+        one = 1
+        for _ in range(10):
+            a = int(rng.integers(0, 2 ** 63))
+            assert gf128_mul(a, one) == a
+
+    def test_gf128_mul_associative(self, rng):
+        for _ in range(5):
+            a, b, c = (int(x) for x in rng.integers(1, 2 ** 63, 3))
+            assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+
+class TestDispatch:
+    def test_every_trapped_opcode_has_a_cost(self):
+        for op in TRAPPED_OPCODES:
+            assert emulation_cycles(op) > 0
+
+    def test_aes_is_most_expensive(self):
+        assert EMULATION_CYCLE_COSTS[Opcode.AESENC] == max(
+            EMULATION_CYCLE_COSTS.values())
+
+    def test_emulate_matches_reference(self, rng):
+        two_ops = (Opcode.VOR, Opcode.VAND, Opcode.VANDN, Opcode.VXOR,
+                   Opcode.VPADDQ, Opcode.VPMAX, Opcode.VPCMP, Opcode.AESENC)
+        for op in two_ops:
+            a = Vec128(int(rng.integers(0, 2 ** 63)))
+            b = Vec128(int(rng.integers(0, 2 ** 63)))
+            assert emulate(op, (a, b)).value == reference_result(op, (a, b)).value
+
+    def test_emulate_imm8_ops(self):
+        a = Vec128.from_u32([16, 0, 0, 0])
+        assert emulate(Opcode.VPSRAD, (a,), imm8=2).u32()[0] == 4
+        x = Vec128.from_u64([3, 0])
+        y = Vec128.from_u64([7, 0])
+        assert emulate(Opcode.VPCLMULQDQ, (x, y), imm8=0).value == clmul64(3, 7)
+
+    def test_imul_not_emulatable(self):
+        with pytest.raises(ValueError):
+            emulate(Opcode.IMUL, (Vec128(1), Vec128(2)))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            emulate(Opcode.VOR, (Vec128(1),))

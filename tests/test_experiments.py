@@ -1,0 +1,156 @@
+"""Smoke and fidelity tests for the experiment harness (fast modes)."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, Metric
+from repro.experiments import common as exp_common
+from repro.experiments import (  # noqa: F401  (import check)
+    table1_faults,
+)
+from repro.experiments import (
+    fig2_guardbands,
+    fig5_burst_detail,
+    fig6_fv_timeline,
+    fig7_vlc_timeline,
+    fig8_voltage_delay,
+    fig9_freq_delay_intel,
+    fig10_freq_delay_amd,
+    fig11_xeon_pstate,
+    fig12_undervolt_sweep,
+    fig13_dvfs_curves,
+    fig14_imul_latency,
+    table2_undervolting,
+    table3_temperature,
+    table4_nosimd,
+)
+
+
+class TestMetricContainer:
+    def test_format_with_paper(self):
+        m = Metric("x.eff", 0.12, 0.11)
+        assert "+12.00%" in m.format()
+        assert "+11.00%" in m.format()
+
+    def test_abs_error(self):
+        assert Metric("m", 0.12, 0.10).abs_error == pytest.approx(0.02)
+        assert Metric("m", 0.12).abs_error is None
+
+    def test_result_lookup(self):
+        result = ExperimentResult("id", "t")
+        result.add_metric("a", 1.0, 1.0)
+        assert result.metric("a").measured == 1.0
+        with pytest.raises(KeyError):
+            result.metric("b")
+
+    def test_report_contains_sections(self):
+        result = ExperimentResult("id", "title")
+        result.lines.append("row")
+        result.add_metric("a", 1.0)
+        report = result.report()
+        assert "id" in report and "row" in report and "a:" in report
+
+
+class TestTable1:
+    def test_ordering_reproduced(self):
+        result = table1_faults.run(seed=0, fast=True)
+        assert result.metric("rank_correlation").measured > 0.9
+        assert result.metric("imul_is_most_faulting").measured == 1.0
+
+
+class TestTable2:
+    def test_all_cells_close_to_paper(self):
+        result = table2_undervolting.run()
+        for metric in result.metrics:
+            assert metric.abs_error < 0.03, metric.format()
+
+    def test_i9_efficiency_headline(self):
+        result = table2_undervolting.run()
+        assert result.metric("i9-9900K.-97mV.eff").measured == pytest.approx(
+            0.23, abs=0.03)
+
+
+class TestTable3:
+    def test_temperatures_and_offsets(self):
+        result = table3_temperature.run()
+        assert result.metric("temp@1800rpm").abs_error < 3.0
+        assert result.metric("offset@300rpm").abs_error < 0.01
+
+
+class TestTable4:
+    def test_suite_means_close(self):
+        result = table4_nosimd.run()
+        assert result.metric("i9-9900K.fprate").abs_error < 0.02
+        assert result.metric("i9-9900K.intrate").abs_error < 0.01
+
+    def test_individual_benchmarks_exact(self):
+        result = table4_nosimd.run()
+        assert result.metric("7700X.508.namd").abs_error < 1e-9
+
+
+class TestGuardbands:
+    def test_fig2_components(self):
+        result = fig2_guardbands.run()
+        assert result.metric("aging_guardband_v").abs_error < 0.01
+        assert result.metric("offset_combined").abs_error < 0.002
+
+
+class TestTimelineFigures:
+    def test_fig5_single_burst_single_exception(self):
+        result = fig5_burst_detail.run(seed=0)
+        assert result.metric("exceptions").measured == 1.0
+        assert result.metric("returned_to_efficient").measured == 1.0
+
+    def test_fig6_state_sequence(self):
+        result = fig6_fv_timeline.run(seed=0)
+        assert result.metric("fig6_sequence_observed").measured == 1.0
+
+    def test_fig7_burstiness(self):
+        result = fig7_vlc_timeline.run(seed=0)
+        assert result.metric("bursty").measured == 1.0
+        assert result.metric("gap_spread_decades").measured > 2.0
+
+
+class TestTransitionFigures:
+    def test_fig8_voltage_delay(self):
+        result = fig8_voltage_delay.run(seed=0)
+        assert result.metric("mean_settle_us").abs_error < 50e-6
+
+    def test_fig9_intel_frequency(self):
+        result = fig9_freq_delay_intel.run(seed=0)
+        assert result.metric("mean_delay").abs_error < 3e-6
+        assert result.metric("aperf_artifact_share").measured > 0.9
+
+    def test_fig10_amd_frequency(self):
+        result = fig10_freq_delay_amd.run(seed=0)
+        assert result.metric("mean_delay").abs_error < 200e-6
+        assert result.metric("no_stall").measured == 1.0
+
+    def test_fig11_xeon_sequencing(self):
+        result = fig11_xeon_pstate.run(seed=0, fast=True)
+        assert result.metric("voltage_first").measured == 1.0
+        assert result.metric("frequency_stall").abs_error < 5e-6
+
+
+class TestSweepFigures:
+    def test_fig12_shapes(self):
+        result = fig12_undervolt_sweep.run()
+        assert result.metric("score_monotone").measured == 1.0
+        assert result.metric("power_monotone").measured == 1.0
+        assert result.metric("power_drop@-97mV").abs_error < 0.03
+
+    def test_fig13_curves(self):
+        result = fig13_dvfs_curves.run()
+        assert result.metric("headroom@5GHz").abs_error < 0.03
+        assert result.metric("cf_below_nominal_freq").measured == 1.0
+
+    def test_fig14_latency_hiding(self):
+        result = fig14_imul_latency.run(seed=0, fast=True)
+        assert result.metric("x264@4").measured < 0.03
+        assert result.metric("superlinear_then_linear").measured == 1.0
+
+
+class TestTraceCache:
+    def test_cached_trace_is_shared(self, small_profile):
+        a = exp_common.cached_trace(small_profile, seed=123)
+        b = exp_common.cached_trace(small_profile, seed=123)
+        assert a is b

@@ -1,0 +1,177 @@
+"""Smoke + headline tests for the ablation and extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ext_adaptive_policy,
+    ext_baselines,
+    ext_covert_channel,
+    ext_heterogeneous,
+    ext_scheduler,
+    ext_thermal_adaptive,
+)
+from repro.experiments import ablation_uarch
+from repro.experiments.table6_main import evaluate_config
+
+
+class TestTable6Config:
+    def test_headline_configuration(self):
+        cells = evaluate_config("C.fV", "C", 1, "fV", -0.097, fast=True)
+        assert cells.cells["eff"]["SPECnoSIMD"] > 0.08
+        assert cells.cells["pwr"]["nginx"] < -0.02
+        assert -0.05 < cells.cells["perf"]["SPECgmean"] < 0.05
+
+
+class TestAdaptivePolicyExperiment:
+    def test_policy_matches_oracle(self):
+        result = ext_adaptive_policy.run(seed=0, fast=True)
+        assert result.metric("never_catastrophic").measured == 1.0
+        assert result.metric("policy_within_2pp_of_oracle").measured == 1.0
+
+
+class TestCovertChannelExperiment:
+    def test_channel_properties(self):
+        result = ext_covert_channel.run(seed=0, fast=True)
+        assert result.metric("per_core_domain_closes_channel").measured == 1.0
+        assert result.metric("stretch_slows_channel").measured == 1.0
+        assert result.metric("shared_domain_capacity_bps").measured > 100
+
+
+class TestBaselinesExperiment:
+    def test_security_efficiency_tradeoffs(self):
+        result = ext_baselines.run(seed=0, fast=True)
+        assert result.metric("suit_secure_and_positive").measured == 1.0
+        assert result.metric("naive_deep_insecure").measured == 1.0
+        assert result.metric("ecc_x86_insecure").measured == 1.0
+        assert result.metric("ecc_itanium_secure").measured == 1.0
+
+
+class TestSchedulerExperiment:
+    def test_trap_aware_placement_wins(self):
+        result = ext_scheduler.run(seed=0, fast=True)
+        assert result.metric("trap_aware_wins").measured == 1.0
+        assert result.metric("clean_domain_occupancy").measured > 0.7
+
+
+class TestThermalExperiment:
+    def test_adaptive_offset_saves(self):
+        result = ext_thermal_adaptive.run(seed=0, fast=True)
+        assert result.metric("adaptive_saves_energy").measured == 1.0
+        assert result.metric("offset_never_exceeds_cap").measured == 1.0
+
+
+class TestHeterogeneousExperiment:
+    def test_suit_wins_on_edp(self):
+        result = ext_heterogeneous.run(seed=0, fast=True)
+        assert result.metric("suit_wins_every_mix_on_edp").measured == 1.0
+        assert result.metric("suit_throughput_never_below_static").measured == 1.0
+
+
+class TestUarchAblation:
+    def test_hardening_robust_to_realism(self):
+        result = ablation_uarch.run(seed=0, fast=True)
+        assert result.metric("hardening_stays_cheap").measured == 1.0
+        assert result.metric("realism_reduces_ipc").measured == 1.0
+
+
+class TestGovernorExperiment:
+    def test_orthogonality_claims(self):
+        from repro.experiments import ext_governor
+
+        result = ext_governor.run(seed=0, fast=True)
+        assert result.metric("saving_positive_on_every_rung").measured == 1.0
+        assert result.metric("timescale_separation").measured > 100
+
+
+class TestAgingLifetimeExperiment:
+    def test_lifetime_boundaries(self):
+        from repro.experiments import ext_aging_lifetime
+
+        result = ext_aging_lifetime.run(seed=0, fast=True)
+        assert result.metric(
+            "minus70_safe_full_life_worst_case").measured == 1.0
+        assert result.metric(
+            "minus97_safe_controlled_full_life").measured == 1.0
+        # The -97 budget expires before end-of-life at worst-case temps.
+        assert result.metric("minus97_worst_case_safe_years").measured < 10.0
+
+
+class TestAgedChipModel:
+    def test_aging_shrinks_margins(self):
+        import numpy as np
+
+        from repro.faults.model import FaultModel
+        from repro.isa.opcodes import Opcode
+        from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+
+        chip = FaultModel().sample_chip(
+            DVFSCurve(I9_9900K_CURVE_POINTS), 2,
+            np.random.default_rng(1), exhibits=True)
+        old = chip.aged(10.0, temp_c=100.0)
+        assert (old.margins[Opcode.ALU] > chip.margins[Opcode.ALU]).all()
+
+    def test_year_zero_cool_is_identity(self):
+        import numpy as np
+
+        from repro.faults.model import FaultModel
+        from repro.isa.opcodes import Opcode
+        from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+
+        chip = FaultModel().sample_chip(
+            DVFSCurve(I9_9900K_CURVE_POINTS), 2,
+            np.random.default_rng(1), exhibits=True)
+        same = chip.aged(0.0, temp_c=50.0)
+        assert np.allclose(same.margins[Opcode.IMUL],
+                           chip.margins[Opcode.IMUL])
+
+    def test_hotter_is_worse(self):
+        import numpy as np
+
+        from repro.faults.model import FaultModel
+        from repro.isa.opcodes import Opcode
+        from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+
+        chip = FaultModel().sample_chip(
+            DVFSCurve(I9_9900K_CURVE_POINTS), 2,
+            np.random.default_rng(1), exhibits=True)
+        cool = chip.aged(5.0, temp_c=55.0)
+        hot = chip.aged(5.0, temp_c=95.0)
+        assert (hot.margins[Opcode.VOR] > cool.margins[Opcode.VOR]).all()
+
+
+class TestAvxLicensingExperiment:
+    def test_table4_sign_structure(self):
+        from repro.experiments import ext_avx_licensing
+
+        result = ext_avx_licensing.run(seed=0, fast=True)
+        assert result.metric("sparse_simd_loses").measured == 1.0
+        assert result.metric("dense_simd_wins").measured == 1.0
+        assert result.metric("x264_nosimd_gain").measured > 0.02
+
+
+class TestModelCheckExperiment:
+    def test_machine_verified_and_checker_sound(self):
+        from repro.experiments import ext_model_check
+
+        result = ext_model_check.run(seed=0, fast=True)
+        assert result.metric("machine_verified").measured == 1.0
+        assert result.metric("mutant_caught").measured == 1.0
+
+
+class TestTiersExperiment:
+    def test_ladder_and_selection(self):
+        from repro.experiments import ext_tiers
+
+        result = ext_tiers.run(seed=0, fast=True)
+        assert result.metric("ladder_has_multiple_tiers").measured == 1.0
+        assert result.metric("quiet_workload_goes_deepest").measured == 1.0
+        assert result.metric("deep_over_shallow_power_gain").measured > 0.03
+
+
+class TestPerCoreExperiment:
+    def test_binning_recovers_power(self):
+        from repro.experiments import ext_percore
+
+        result = ext_percore.run(seed=0, fast=True)
+        assert result.metric("gain_non_negative").measured == 1.0
+        assert result.metric("some_package_benefits").measured == 1.0

@@ -1,0 +1,156 @@
+"""Unit tests for the fault model, injector and characterization sweep."""
+
+import numpy as np
+import pytest
+
+from repro.faults.characterize import CharacterizationSweep, SweepConfig
+from repro.faults.injector import FaultInjector, faulty_imul
+from repro.faults.model import (
+    BASE_VMIN_MARGINS,
+    NON_FAULTABLE_MARGIN_V,
+    FaultModel,
+)
+from repro.isa.faultable import FAULTABLE_OPCODES, TABLE1_FAULT_COUNTS
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+
+
+@pytest.fixture
+def curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS)
+
+
+@pytest.fixture
+def chip(curve, rng):
+    return FaultModel().sample_chip(curve, n_cores=4, rng=rng, exhibits=True)
+
+
+class TestMargins:
+    def test_ordering_matches_table1(self):
+        ordered = sorted(TABLE1_FAULT_COUNTS, key=lambda o: -TABLE1_FAULT_COUNTS[o])
+        margins = [BASE_VMIN_MARGINS[op] for op in ordered]
+        # Most-faulting instruction has the smallest (least negative) margin.
+        assert margins == sorted(margins, reverse=True)
+
+    def test_non_faultable_far_below(self):
+        assert NON_FAULTABLE_MARGIN_V < min(BASE_VMIN_MARGINS.values())
+
+
+class TestChipInstance:
+    def test_stable_on_conservative_curve(self, chip, curve):
+        for op in Opcode:
+            for f in (2e9, 4e9):
+                assert not chip.faults(op, 0, f, curve.voltage_at(f))
+
+    def test_imul_faults_first_when_undervolting(self, chip, curve):
+        f = 4e9
+        # Step the offset down; IMUL must fault at a shallower offset
+        # than e.g. VPADDQ.
+        imul_off = chip.max_safe_offset(Opcode.IMUL, 0, f)
+        vpaddq_off = chip.max_safe_offset(Opcode.VPADDQ, 0, f)
+        assert imul_off > vpaddq_off
+
+    def test_faults_below_vmin(self, chip):
+        vmin = chip.vmin(Opcode.IMUL, 0, 4e9)
+        assert chip.faults(Opcode.IMUL, 0, 4e9, vmin - 0.001)
+        assert not chip.faults(Opcode.IMUL, 0, 4e9, vmin + 0.001)
+
+    def test_fault_probability_ramps(self, chip):
+        vmin = chip.vmin(Opcode.IMUL, 0, 4e9)
+        assert chip.fault_probability(Opcode.IMUL, 0, 4e9, vmin + 0.01) == 0.0
+        shallow = chip.fault_probability(Opcode.IMUL, 0, 4e9, vmin - 0.001)
+        deep = chip.fault_probability(Opcode.IMUL, 0, 4e9, vmin - 0.01)
+        assert 0.0 < shallow < deep <= 1.0
+
+    def test_margin_shrinks_at_higher_frequency(self, chip):
+        low = chip.max_safe_offset(Opcode.IMUL, 0, 2e9)
+        high = chip.max_safe_offset(Opcode.IMUL, 0, 5e9)
+        assert high > low  # closer to the curve at high f
+
+    def test_hardened_imul_gains_headroom(self, chip):
+        hardened = chip.with_hardened_imul()
+        f = 4.5e9
+        assert (hardened.max_safe_offset(Opcode.IMUL, 0, f)
+                < chip.max_safe_offset(Opcode.IMUL, 0, f))
+
+    def test_hardened_imul_safe_at_97mv(self, chip, curve):
+        hardened = chip.with_hardened_imul()
+        f = 4.5e9
+        assert not hardened.faults(Opcode.IMUL, 0, f,
+                                   curve.voltage_at(f) - 0.097)
+
+    def test_hardening_preserves_other_margins(self, chip):
+        hardened = chip.with_hardened_imul()
+        assert np.array_equal(hardened.margins[Opcode.VOR],
+                              chip.margins[Opcode.VOR])
+
+    def test_non_exhibiting_chip(self, curve, rng):
+        chip = FaultModel().sample_chip(curve, 2, rng, exhibits=False)
+        # SIMD margins collapse to the non-faultable mass; IMUL stays.
+        assert chip.margins[Opcode.VOR].mean() < -0.2
+        assert chip.margins[Opcode.IMUL].mean() > -0.1
+
+
+class TestFaultInjector:
+    def test_no_fault_above_threshold(self, chip, rng):
+        injector = FaultInjector(chip, rng)
+        v_safe = chip.curve.voltage_at(4e9)
+        for _ in range(100):
+            out = injector.execute(Opcode.IMUL, 123456, core=0,
+                                   frequency=4e9, voltage=v_safe)
+            assert out == 123456
+        assert injector.fault_count == 0
+
+    def test_faults_deep_below_threshold(self, chip, rng):
+        injector = FaultInjector(chip, rng)
+        vmin = chip.vmin(Opcode.IMUL, 0, 4e9)
+        corrupted = 0
+        for _ in range(100):
+            out = injector.execute(Opcode.IMUL, 123456, core=0,
+                                   frequency=4e9, voltage=vmin - 0.05)
+            corrupted += out != 123456
+        assert corrupted == 100  # far below: always faults
+        assert injector.fault_count == 100
+
+    def test_faults_flip_few_bits(self, chip, rng):
+        injector = FaultInjector(chip, rng, max_flips=2)
+        vmin = chip.vmin(Opcode.IMUL, 0, 4e9)
+        out = injector.execute(Opcode.IMUL, 0, core=0, frequency=4e9,
+                               voltage=vmin - 0.05)
+        assert 1 <= bin(out).count("1") <= 2
+
+    def test_faulty_imul_helper(self, chip, rng):
+        injector = FaultInjector(chip, rng)
+        v_safe = chip.curve.voltage_at(4e9)
+        assert faulty_imul(3, 5, injector, core=0, frequency=4e9,
+                           voltage=v_safe) == 15
+
+    def test_reset(self, chip, rng):
+        injector = FaultInjector(chip, rng)
+        vmin = chip.vmin(Opcode.IMUL, 0, 4e9)
+        injector.execute(Opcode.IMUL, 1, core=0, frequency=4e9,
+                         voltage=vmin - 0.05)
+        injector.reset()
+        assert injector.fault_count == 0
+
+
+class TestCharacterizationSweep:
+    def test_counts_ordered_like_table1(self, curve):
+        sweep = CharacterizationSweep(FaultModel(), curve)
+        counts = sweep.run(np.random.default_rng(0))
+        assert counts[Opcode.IMUL] == max(counts.values())
+        assert counts[Opcode.VPADDQ] <= min(
+            counts[op] for op in FAULTABLE_OPCODES if op is not Opcode.VPADDQ)
+
+    def test_imul_faults_first_mostly(self, curve):
+        sweep = CharacterizationSweep(
+            FaultModel(), curve,
+            SweepConfig(cores_per_chip=8, n_chips=6))
+        share = sweep.first_fault_share(np.random.default_rng(3))
+        assert share[Opcode.IMUL] > 0.8
+
+    def test_positive_offsets_rejected(self, curve):
+        sweep = CharacterizationSweep(
+            FaultModel(), curve, SweepConfig(offsets_v=(0.05,)))
+        with pytest.raises(ValueError):
+            sweep.run(np.random.default_rng(0))

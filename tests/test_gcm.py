@@ -1,0 +1,139 @@
+"""Tests for AES decryption and AES-128-GCM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulation.aes import aes128_encrypt_block, aesenc, aesenclast, aes128_expand_key
+from repro.emulation.aes_decrypt import (
+    INV_SBOX,
+    aes128_decrypt_block,
+    aesdec,
+    aesdeclast,
+    aesimc,
+)
+from repro.emulation.gcm import Aes128Gcm, ghash, ghash_mul, ghash_mul_via_clmul
+from repro.emulation.vector import Vec128
+
+_FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+_FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+_FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestAesDecrypt:
+    def test_fips_vector_decrypts(self):
+        assert aes128_decrypt_block(_FIPS_CIPHER, _FIPS_KEY) == _FIPS_PLAIN
+
+    @settings(max_examples=15)
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_roundtrip(self, key, block):
+        assert aes128_decrypt_block(
+            aes128_encrypt_block(block, key), key) == block
+
+    def test_inv_sbox_inverts_sbox(self):
+        from repro.emulation.aes import SBOX
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_aesdeclast_inverts_aesenclast_transform(self):
+        # With zero round keys the instructions reduce to the pure
+        # transforms: InvShiftRows/InvSubBytes must undo
+        # ShiftRows/SubBytes exactly.
+        zero = Vec128(0)
+        state = Vec128.from_bytes(_FIPS_PLAIN)
+        assert aesdeclast(aesenclast(state, zero), zero).value == state.value
+
+    def test_aesdec_inverts_aesenc_transform(self):
+        zero = Vec128(0)
+        state = Vec128.from_bytes(_FIPS_CIPHER)
+        # AESDEC also inverts MixColumns; key-free round trip is exact.
+        assert aesdec(aesenc(state, zero), zero).value != state.value  # order differs
+        # The true inverse pairs InvMixColumns before the xor; composing
+        # through aesimc on a zero key is the identity, so check via the
+        # full block path instead:
+        assert aes128_decrypt_block(
+            aes128_encrypt_block(_FIPS_PLAIN, _FIPS_KEY), _FIPS_KEY) == _FIPS_PLAIN
+
+    def test_block_size_checked(self):
+        with pytest.raises(ValueError):
+            aes128_decrypt_block(b"short", _FIPS_KEY)
+
+    def test_aesimc_is_involution_free(self):
+        keys = aes128_expand_key(_FIPS_KEY)
+        assert aesimc(keys[3]).value != keys[3].value
+
+
+class TestGhash:
+    def test_nist_domain_multiplication_identity(self):
+        one = 1 << 127  # GHASH's representation of "1"
+        assert ghash_mul(one, one) == one
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=2 ** 128 - 1),
+           st.integers(min_value=0, max_value=2 ** 128 - 1))
+    def test_clmul_path_agrees(self, x, h):
+        assert ghash_mul(x, h) == ghash_mul_via_clmul(x, h)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=2 ** 128 - 1),
+           st.integers(min_value=0, max_value=2 ** 128 - 1))
+    def test_commutative(self, x, h):
+        assert ghash_mul(x, h) == ghash_mul(h, x)
+
+    def test_ghash_zero_data(self):
+        assert ghash(0x1234, b"") == 0
+
+
+class TestAes128Gcm:
+    KEY0 = b"\0" * 16
+    NONCE0 = b"\0" * 12
+
+    def test_nist_test_case_1(self):
+        # SP 800-38D, AES-128, test case 1: empty plaintext.
+        ct, tag = Aes128Gcm(self.KEY0).encrypt(self.NONCE0, b"")
+        assert ct == b""
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_nist_test_case_2(self):
+        ct, tag = Aes128Gcm(self.KEY0).encrypt(self.NONCE0, b"\0" * 16)
+        assert ct.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_roundtrip_with_aad(self):
+        gcm = Aes128Gcm(bytes(range(16)))
+        ct, tag = gcm.encrypt(b"n" * 12, b"secret payload", aad=b"header")
+        assert gcm.decrypt(b"n" * 12, ct, tag, aad=b"header") == b"secret payload"
+
+    def test_tampered_ciphertext_rejected(self):
+        gcm = Aes128Gcm(bytes(range(16)))
+        ct, tag = gcm.encrypt(b"n" * 12, b"secret payload")
+        assert gcm.decrypt(b"n" * 12, ct[:-1] + b"X", tag) is None
+
+    def test_tampered_aad_rejected(self):
+        gcm = Aes128Gcm(bytes(range(16)))
+        ct, tag = gcm.encrypt(b"n" * 12, b"payload", aad=b"aad")
+        assert gcm.decrypt(b"n" * 12, ct, tag, aad=b"bad") is None
+
+    def test_wrong_nonce_rejected(self):
+        gcm = Aes128Gcm(bytes(range(16)))
+        ct, tag = gcm.encrypt(b"n" * 12, b"payload")
+        assert gcm.decrypt(b"m" * 12, ct, tag) is None
+
+    def test_non_96bit_nonce_supported(self):
+        gcm = Aes128Gcm(bytes(range(16)))
+        nonce = b"a-longer-nonce-than-96-bits"
+        ct, tag = gcm.encrypt(nonce, b"payload")
+        assert gcm.decrypt(nonce, ct, tag) == b"payload"
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            Aes128Gcm(b"short")
+
+    def test_corrupted_round_breaks_the_tag(self):
+        """The fault-attack relevance: one flipped AESENC output bit
+        anywhere in the counter stream invalidates authentication."""
+        gcm = Aes128Gcm(bytes(range(16)))
+        ct, tag = gcm.encrypt(b"n" * 12, b"A" * 64)
+        corrupted = bytes([ct[17] ^ 0x04]).join([ct[:17], ct[18:]])
+        assert gcm.decrypt(b"n" * 12, corrupted, tag) is None

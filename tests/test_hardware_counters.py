@@ -1,0 +1,72 @@
+"""Unit tests for TSC/APERF/MPERF counters and DelaySpec."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import CoreCounters, DelaySpec
+
+
+class TestDelaySpec:
+    def test_deterministic_when_sigma_zero(self, rng):
+        spec = DelaySpec(10e-6, 0.0)
+        assert spec.sample(rng) == 10e-6
+
+    def test_samples_cluster_around_mean(self, rng):
+        spec = DelaySpec(100e-6, 5e-6)
+        samples = [spec.sample(rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(100e-6, rel=0.02)
+        assert np.std(samples) == pytest.approx(5e-6, rel=0.25)
+
+    def test_samples_clipped_positive(self, rng):
+        spec = DelaySpec(1e-6, 100e-6)  # absurd sigma
+        for _ in range(200):
+            s = spec.sample(rng)
+            assert 0.25e-6 <= s <= 4e-6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DelaySpec(-1.0)
+        with pytest.raises(ValueError):
+            DelaySpec(1.0, -1.0)
+
+
+class TestCoreCounters:
+    def test_tsc_always_ticks(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.advance(1.0, frequency=4e9, stalled=True)
+        assert c.tsc == pytest.approx(3e9)
+        assert c.aperf == 0.0
+
+    def test_aperf_tracks_actual_frequency(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.advance(1.0, frequency=4e9)
+        assert c.aperf == pytest.approx(4e9)
+        assert c.mperf == pytest.approx(3e9)
+
+    def test_effective_frequency(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.advance(0.5, frequency=4e9)
+        assert c.effective_frequency() == pytest.approx(4e9)
+
+    def test_effective_frequency_windows_are_independent(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.advance(0.5, frequency=4e9)
+        c.effective_frequency()
+        c.advance(0.5, frequency=2e9)
+        assert c.effective_frequency() == pytest.approx(2e9)
+
+    def test_effective_frequency_during_stall_is_base(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.effective_frequency()
+        c.advance(0.1, frequency=4e9, stalled=True)
+        assert c.effective_frequency() == pytest.approx(3e9)
+
+    def test_mixed_interval_averages(self):
+        c = CoreCounters(base_frequency=3e9)
+        c.advance(1.0, frequency=4e9)
+        c.advance(1.0, frequency=2e9)
+        assert c.effective_frequency() == pytest.approx(3e9)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CoreCounters(3e9).advance(-1.0, 3e9)

@@ -1,0 +1,92 @@
+"""Unit tests for the CPU models and their operating points."""
+
+import pytest
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.models import ALL_CPU_FACTORIES
+from repro.hardware.domains import DomainTopology
+
+
+class TestDomainTopology:
+    def test_shared_domain_affects_all_cores(self):
+        topo = DomainTopology(4, DomainKind.SHARED, DomainKind.SHARED)
+        assert topo.cores_affected_by_frequency_change(1) == (0, 1, 2, 3)
+
+    def test_per_core_domain_affects_one(self):
+        topo = DomainTopology(4, DomainKind.PER_CORE, DomainKind.PER_CORE)
+        assert topo.cores_affected_by_frequency_change(2) == (2,)
+        assert topo.cores_affected_by_voltage_change(2) == (2,)
+
+    def test_invalid_core_rejected(self):
+        topo = DomainTopology(2, DomainKind.SHARED, DomainKind.SHARED)
+        with pytest.raises(ValueError):
+            topo.cores_affected_by_frequency_change(5)
+
+    def test_impossible_topology_rejected(self):
+        with pytest.raises(ValueError):
+            DomainTopology(2, DomainKind.SHARED, DomainKind.PER_CORE)
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            DomainTopology(0, DomainKind.SHARED, DomainKind.SHARED)
+
+
+class TestCpuModels:
+    def test_all_factories_build(self):
+        for factory in ALL_CPU_FACTORIES.values():
+            cpu = factory()
+            assert cpu.nominal_frequency > 0
+            assert cpu.nominal_voltage > 0.5
+
+    def test_paper_topologies(self, cpu_a, cpu_b, cpu_c):
+        # A: single domain; B: per-core frequency only; C: fully per-core.
+        assert not cpu_a.topology.per_core_frequency
+        assert not cpu_a.topology.per_core_voltage
+        assert cpu_b.topology.per_core_frequency
+        assert not cpu_b.topology.per_core_voltage
+        assert cpu_c.topology.per_core_frequency
+        assert cpu_c.topology.per_core_voltage
+
+    def test_b_has_no_voltage_control(self, cpu_b):
+        assert cpu_b.transitions.voltage is None
+
+    def test_c_is_voltage_first(self, cpu_c):
+        assert cpu_c.transitions.voltage_first
+
+    def test_xeon_not_undervoltable(self, cpu_c):
+        assert not cpu_c.allows_undervolting
+
+    def test_amd_exceptions_faster_than_intel(self, cpu_a, cpu_b):
+        # Paper section 5.3: 0.11 us on AMD vs 0.34 us on Intel.
+        assert cpu_b.exception_delay.mean_s < cpu_a.exception_delay.mean_s
+
+    def test_efficient_curve_requires_negative_offset(self, cpu_a):
+        with pytest.raises(ValueError):
+            cpu_a.efficient_curve(0.01)
+        eff = cpu_a.efficient_curve(-0.097)
+        assert eff.voltage_at(4e9) == pytest.approx(0.991 - 0.097)
+
+
+class TestOperatingPoints:
+    @pytest.mark.parametrize("name", ["A", "B", "C"])
+    def test_invariants(self, name):
+        cpu = ALL_CPU_FACTORIES[name]()
+        points = cpu.operating_points(-0.097)
+        # E saves power; Cf is slower and cheaper than CV; CV is baseline.
+        assert points.power_e < 1.0
+        assert points.power_cf < 1.0
+        assert points.speed_cf < 1.0
+        assert points.speed_cv == 1.0
+        assert points.power_cv == 1.0
+
+    def test_e_is_slightly_faster_than_baseline(self, cpu_a):
+        # Undervolting buys boost headroom (Table 2).
+        assert cpu_a.operating_points(-0.097).speed_e > 1.0
+
+    def test_deeper_offset_saves_more_power(self, cpu_c):
+        shallow = cpu_c.operating_points(-0.070)
+        deep = cpu_c.operating_points(-0.097)
+        assert deep.power_e < shallow.power_e
+
+    def test_cf_frequency_below_nominal(self, cpu_a):
+        assert cpu_a.cf_frequency(-0.097) < cpu_a.nominal_frequency

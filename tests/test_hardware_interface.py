@@ -1,0 +1,99 @@
+"""Tests for the SUIT MSR software interface (sections 3.2/3.3)."""
+
+import pytest
+
+from repro.hardware.interface import (
+    CurveSelectError,
+    SuitMsrInterface,
+    decode_disable_mask,
+    encode_disable_mask,
+)
+from repro.hardware.msr import Msr
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import CurveKind
+
+
+class TestDisableMask:
+    def test_roundtrip(self):
+        subset = {Opcode.AESENC, Opcode.VOR, Opcode.VPADDQ}
+        assert decode_disable_mask(encode_disable_mask(subset)) == subset
+
+    def test_imul_encodable(self):
+        # IMUL is in the faultable set (bit 0: most sensitive), even
+        # though SUIT ships it hardened instead of disabling it.
+        assert encode_disable_mask([Opcode.IMUL]) == 1
+
+    def test_non_faultable_rejected(self):
+        with pytest.raises(ValueError):
+            encode_disable_mask([Opcode.ALU])
+
+    def test_empty_mask(self):
+        assert encode_disable_mask([]) == 0
+        assert decode_disable_mask(0) == frozenset()
+
+
+class TestSuitMsrInterface:
+    def test_starts_conservative_all_enabled(self):
+        suit = SuitMsrInterface()
+        assert suit.current_curve() is CurveKind.CONSERVATIVE
+        assert suit.disabled_opcodes() == frozenset()
+
+    def test_efficient_curve_refused_while_enabled(self):
+        suit = SuitMsrInterface()
+        with pytest.raises(CurveSelectError):
+            suit.select_curve(CurveKind.EFFICIENT)
+        assert suit.current_curve() is CurveKind.CONSERVATIVE
+
+    def test_efficient_curve_refused_with_partial_disable(self):
+        suit = SuitMsrInterface()
+        suit.disable([Opcode.AESENC])
+        with pytest.raises(CurveSelectError):
+            suit.select_curve(CurveKind.EFFICIENT)
+
+    def test_enter_efficient_mode(self):
+        suit = SuitMsrInterface()
+        suit.enter_efficient_mode(deadline_s=30e-6)
+        assert suit.current_curve() is CurveKind.EFFICIENT
+        assert TRAPPED_OPCODES <= suit.disabled_opcodes()
+        assert suit.deadline_seconds() == pytest.approx(30e-6, rel=1e-6)
+
+    def test_cannot_reenable_on_efficient_curve(self):
+        suit = SuitMsrInterface()
+        suit.enter_efficient_mode(30e-6)
+        with pytest.raises(CurveSelectError):
+            suit.enable_all()
+        assert TRAPPED_OPCODES <= suit.disabled_opcodes()
+
+    def test_switch_back_then_enable(self):
+        suit = SuitMsrInterface()
+        suit.enter_efficient_mode(30e-6)
+        suit.select_curve(CurveKind.CONSERVATIVE)
+        suit.enable_all()
+        assert suit.disabled_opcodes() == frozenset()
+
+    def test_raw_msr_write_also_guarded(self):
+        # Even bypassing the wrapper, the register write hook refuses.
+        suit = SuitMsrInterface()
+        with pytest.raises(CurveSelectError):
+            suit.msrs.write(Msr.SUIT_CURVE_SELECT, 1)
+
+    def test_deadline_quantised_to_tsc_ticks(self):
+        suit = SuitMsrInterface(tsc_frequency=3.0e9)
+        suit.set_deadline(30e-6)
+        assert suit.msrs.read(Msr.SUIT_DEADLINE) == 90_000
+
+    def test_validation(self):
+        suit = SuitMsrInterface()
+        with pytest.raises(ValueError):
+            suit.set_deadline(0.0)
+        with pytest.raises(ValueError):
+            suit.msrs.write(Msr.SUIT_CURVE_SELECT, 2)
+        with pytest.raises(ValueError):
+            SuitMsrInterface(tsc_frequency=0.0)
+
+    def test_is_disabled(self):
+        suit = SuitMsrInterface()
+        suit.disable([Opcode.VOR])
+        assert suit.is_disabled(Opcode.VOR)
+        assert not suit.is_disabled(Opcode.AESENC)

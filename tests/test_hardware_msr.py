@@ -1,0 +1,84 @@
+"""Unit tests for the MSR file and register encodings."""
+
+import pytest
+
+from repro.hardware.msr import (
+    Msr,
+    MsrFile,
+    decode_voltage_offset,
+    decode_voltage_reading,
+    encode_voltage_offset,
+    encode_voltage_reading,
+)
+
+
+class TestVoltageOffsetEncoding:
+    @pytest.mark.parametrize("offset", [-0.097, -0.070, -0.050, 0.0, 0.025])
+    def test_roundtrip(self, offset):
+        decoded = decode_voltage_offset(encode_voltage_offset(offset))
+        assert decoded == pytest.approx(offset, abs=0.001)
+
+    def test_quantisation_step_is_about_1mv(self):
+        # The mailbox step is 1/1.024 mV.
+        one_step = decode_voltage_offset(encode_voltage_offset(0.001))
+        assert one_step == pytest.approx(0.0009766, abs=1e-6)
+
+    def test_negative_offsets_use_twos_complement(self):
+        value = encode_voltage_offset(-0.097)
+        raw = (value >> 21) & 0x7FF
+        assert raw > 0x400  # sign bit set
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_voltage_offset(-2.0)
+
+
+class TestVoltageReadingEncoding:
+    @pytest.mark.parametrize("volts", [0.75, 0.991, 1.174])
+    def test_roundtrip(self, volts):
+        assert decode_voltage_reading(encode_voltage_reading(volts)) == pytest.approx(
+            volts, abs=2 ** -13)
+
+    def test_reading_is_in_bits_47_32(self):
+        value = encode_voltage_reading(1.0)
+        assert value >> 32 == round(1.0 * 8192)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_voltage_reading(-0.1)
+
+
+class TestMsrFile:
+    def test_unwritten_reads_zero(self):
+        assert MsrFile().read(Msr.IA32_PERF_CTL) == 0
+
+    def test_write_read(self):
+        msrs = MsrFile()
+        msrs.write(Msr.SUIT_DEADLINE, 12345)
+        assert msrs.read(Msr.SUIT_DEADLINE) == 12345
+
+    def test_write_hook_fires(self):
+        msrs = MsrFile()
+        seen = []
+        msrs.install_write_hook(Msr.IA32_PERF_CTL, seen.append)
+        msrs.write(Msr.IA32_PERF_CTL, 0x1D00)
+        assert seen == [0x1D00]
+        assert msrs.read(Msr.IA32_PERF_CTL) == 0x1D00
+
+    def test_read_hook_overrides_storage(self):
+        msrs = MsrFile()
+        msrs.install_read_hook(Msr.IA32_PERF_STATUS, lambda: 77)
+        msrs.write(Msr.IA32_PERF_STATUS, 1)
+        assert msrs.read(Msr.IA32_PERF_STATUS) == 77
+        assert msrs.stored(Msr.IA32_PERF_STATUS) == 1
+
+    def test_rejects_non_64bit_values(self):
+        msrs = MsrFile()
+        with pytest.raises(ValueError):
+            msrs.write(Msr.SUIT_CURVE_SELECT, -1)
+        with pytest.raises(ValueError):
+            msrs.write(Msr.SUIT_CURVE_SELECT, 1 << 64)
+
+    def test_suit_msrs_have_distinct_addresses(self):
+        addresses = [m.value for m in Msr]
+        assert len(addresses) == len(set(addresses))

@@ -1,0 +1,103 @@
+"""Unit tests for voltage/frequency transition dynamics (Figs 8-11)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import DelaySpec
+from repro.hardware.transitions import (
+    FrequencyTransitionSpec,
+    PStateTransitionModel,
+    VoltageTransitionSpec,
+)
+
+
+@pytest.fixture
+def volt_spec():
+    return VoltageTransitionSpec(delay=DelaySpec(350e-6, 22e-6))
+
+
+@pytest.fixture
+def intel_freq_spec():
+    return FrequencyTransitionSpec(
+        delay=DelaySpec(22e-6, 0.2e-6), stall=DelaySpec(20e-6, 0.4e-6),
+        aperf_lags=True)
+
+
+@pytest.fixture
+def amd_freq_spec():
+    return FrequencyTransitionSpec(
+        delay=DelaySpec(668e-6, 292e-6), staircase_steps=6)
+
+
+class TestVoltageTransition:
+    def test_trajectory_starts_low_ends_high(self, volt_spec, rng):
+        times, volts = volt_spec.trajectory(0.8, 0.9, rng)
+        assert volts[0] == pytest.approx(0.8, abs=0.01)
+        assert volts[-1] == pytest.approx(0.9, abs=0.01)
+        assert np.all(np.diff(times) > 0)
+
+    def test_settle_time_recovery(self, volt_spec, rng):
+        settles = []
+        for _ in range(10):
+            times, volts = volt_spec.trajectory(0.8, 0.9, rng)
+            settles.append(
+                volt_spec.settle_time_from_trajectory(times, volts, 0.9))
+        assert np.mean(settles) == pytest.approx(350e-6, rel=0.15)
+
+    def test_quantised_to_regulator_steps(self, rng):
+        spec = VoltageTransitionSpec(delay=DelaySpec(350e-6), step_v=0.005,
+                                     noise_v=0.0)
+        _, volts = spec.trajectory(0.8, 0.9, rng)
+        steps = np.round(volts / 0.005) * 0.005
+        assert np.allclose(volts, steps, atol=1e-9)
+
+
+class TestFrequencyTransition:
+    def test_intel_has_stall(self, intel_freq_spec, rng):
+        assert intel_freq_spec.sample_stall(rng) > 0
+
+    def test_amd_has_no_stall(self, amd_freq_spec, rng):
+        assert amd_freq_spec.sample_stall(rng) == 0.0
+
+    def test_intel_trajectory_has_sample_gap(self, intel_freq_spec, rng):
+        times, _ = intel_freq_spec.trajectory(3.0e9, 2.6e9, rng)
+        gaps = np.diff(times)
+        # The stall leaves a gap much larger than the sample interval.
+        assert gaps.max() > 5 * intel_freq_spec.sample_interval_s
+
+    def test_intel_aperf_artifact(self, intel_freq_spec, rng):
+        times, freqs = intel_freq_spec.trajectory(3.0e9, 2.6e9, rng)
+        post = freqs[times > 0]
+        assert abs(post[0] - 3.0e9) < 0.2e9  # first sample still "old"
+        assert abs(post[-1] - 2.6e9) < 0.2e9
+
+    def test_amd_staircase_has_intermediate_plateaus(self, amd_freq_spec, rng):
+        times, freqs = amd_freq_spec.trajectory(3.0e9, 1.8e9, rng)
+        mid = freqs[(freqs > 1.95e9) & (freqs < 2.85e9)]
+        assert mid.size > 0
+
+    def test_amd_delay_statistics(self, amd_freq_spec, rng):
+        delays = [amd_freq_spec.sample_delay(rng) for _ in range(300)]
+        assert np.mean(delays) == pytest.approx(668e-6, rel=0.1)
+
+
+class TestPStateTransitionModel:
+    def test_xeon_voltage_first_combined_delay(self, volt_spec, intel_freq_spec, rng):
+        model = PStateTransitionModel(
+            frequency=intel_freq_spec, voltage=volt_spec, voltage_first=True)
+        total, stall = model.pstate_change(rng, needs_voltage=True)
+        # Voltage settle dominates; the stall covers only the clock part.
+        assert total > 300e-6
+        assert stall < 30e-6
+
+    def test_frequency_only_when_no_voltage_needed(self, volt_spec,
+                                                   intel_freq_spec, rng):
+        model = PStateTransitionModel(
+            frequency=intel_freq_spec, voltage=volt_spec, voltage_first=True)
+        total, _ = model.pstate_change(rng, needs_voltage=False)
+        assert total < 30e-6
+
+    def test_no_voltage_control_raises(self, amd_freq_spec, rng):
+        model = PStateTransitionModel(frequency=amd_freq_spec, voltage=None)
+        with pytest.raises(ValueError):
+            model.voltage_change(rng)

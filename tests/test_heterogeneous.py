@@ -1,0 +1,85 @@
+"""Tests for the heterogeneous-CPU comparison model."""
+
+import pytest
+
+from repro.core.heterogeneous import (
+    CoreTypeRates,
+    MixOutcome,
+    PhaseTask,
+    best_static_split,
+    static_pe_outcome,
+    suit_outcome,
+)
+
+
+@pytest.fixture
+def rates():
+    return CoreTypeRates()
+
+
+def _mix(light, heavy):
+    return ([PhaseTask(f"l{i}", 0.95) for i in range(light)]
+            + [PhaseTask(f"h{i}", 0.05) for i in range(heavy)])
+
+
+class TestModels:
+    def test_phase_task_validated(self):
+        with pytest.raises(ValueError):
+            PhaseTask("x", 1.5)
+
+    def test_rates_from_cpu(self, cpu_a):
+        rates = CoreTypeRates.from_cpu(cpu_a)
+        speed, power = rates.efficient
+        assert speed > 1.0
+        assert power < 1.0
+
+    def test_edp_penalises_slow_cores(self):
+        fast = MixOutcome("fast", throughput=1.0, power=1.0)
+        slow = MixOutcome("slow", throughput=0.55, power=0.35)
+        assert slow.efficiency > fast.efficiency  # raw perf/watt
+        assert slow.edp_score < fast.edp_score  # balanced metric
+
+
+class TestSuitOutcome:
+    def test_trap_free_mix_runs_efficient(self, rates):
+        outcome = suit_outcome(_mix(4, 0), rates)
+        s_e, p_e = rates.efficient
+        assert outcome.throughput == pytest.approx(4 * (0.95 * s_e + 0.05))
+        assert outcome.power < 4.0
+
+    def test_trap_dense_mix_runs_conservative(self, rates):
+        outcome = suit_outcome(_mix(0, 4), rates)
+        assert outcome.power == pytest.approx(4 * (0.05 * rates.efficient[1]
+                                                   + 0.95), rel=1e-6)
+
+
+class TestStaticSplit:
+    def test_little_cores_trade_throughput(self, rates):
+        all_p = static_pe_outcome(_mix(2, 2), rates, 0)
+        with_e = static_pe_outcome(_mix(2, 2), rates, 2)
+        assert with_e.throughput < all_p.throughput
+        assert with_e.power < all_p.power
+
+    def test_bounds_checked(self, rates):
+        with pytest.raises(ValueError):
+            static_pe_outcome(_mix(1, 1), rates, 5)
+
+    def test_best_split_is_a_valid_candidate(self, rates):
+        tasks = _mix(3, 3)
+        best = best_static_split(tasks, rates)
+        candidates = [static_pe_outcome(tasks, rates, k).edp_score
+                      for k in range(7)]
+        assert best.edp_score == pytest.approx(max(candidates))
+
+
+class TestHeadlineClaim:
+    def test_suit_beats_fixed_split_on_every_mix_edp(self, rates):
+        for light, heavy in ((8, 0), (4, 4), (0, 8)):
+            suit = suit_outcome(_mix(light, heavy), rates)
+            static = static_pe_outcome(_mix(light, heavy), rates, 4)
+            assert suit.edp_score > static.edp_score
+
+    def test_suit_throughput_always_at_least_conservative(self, rates):
+        for light, heavy in ((8, 0), (4, 4), (0, 8)):
+            outcome = suit_outcome(_mix(light, heavy), rates)
+            assert outcome.throughput >= 8.0 - 1e-9

@@ -1,0 +1,120 @@
+"""Integration tests: whole-system scenarios across modules."""
+
+import pytest
+
+from repro import (
+    SuitSystem,
+    all_spec_profiles,
+    geomean_change,
+    spec_profile,
+)
+from repro.core.params import StrategyParams
+from repro.workloads.network import NGINX_PROFILE
+
+
+class TestPaperHeadlines:
+    """The abstract's headline claims, end to end (on a SPEC subset)."""
+
+    SUBSET = ("557.xz", "502.gcc", "520.omnetpp", "525.x264", "549.fotonik3d",
+              "527.cam4")
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        suit = SuitSystem.for_cpu("C", strategy_name="fV",
+                                  voltage_offset=-0.097)
+        return [suit.run_profile(spec_profile(n)) for n in self.SUBSET]
+
+    def test_efficiency_gain_without_performance_loss(self, results):
+        eff = geomean_change([r.efficiency_change for r in results])
+        perf = geomean_change([r.perf_change for r in results])
+        assert eff > 0.05  # paper: +11 % over the full suite
+        assert perf > -0.02  # paper: ~no performance impact
+
+    def test_trap_sparse_benchmarks_stay_efficient(self, results):
+        xz = next(r for r in results if r.workload == "557.xz")
+        assert xz.efficient_occupancy > 0.9
+        assert xz.efficiency_change > 0.15
+
+    def test_trap_dense_benchmarks_stay_conservative(self, results):
+        omnetpp = next(r for r in results if r.workload == "520.omnetpp")
+        assert omnetpp.efficient_occupancy < 0.1
+        # ...but lose almost nothing (the point of SUIT's design).
+        assert omnetpp.perf_change > -0.01
+
+    def test_every_benchmark_gains_efficiency_with_fv(self, results):
+        # Paper section 6.6: with fV, all SPEC benchmarks gain.
+        for r in results:
+            assert r.efficiency_change > 0.0, r.workload
+
+
+class TestOffsetScaling:
+    def test_efficiency_roughly_doubles_from_70_to_97(self):
+        # Paper section 6.3: quadratic voltage dependency.
+        gains = {}
+        for offset in (-0.070, -0.097):
+            suit = SuitSystem.for_cpu("C", strategy_name="fV",
+                                      voltage_offset=offset)
+            r = suit.run_profile(spec_profile("557.xz"))
+            gains[offset] = r.efficiency_change
+        ratio = gains[-0.097] / gains[-0.070]
+        assert 1.3 < ratio < 2.6
+
+
+class TestStrategySelection:
+    def test_fv_beats_emulation_on_crypto_workloads(self):
+        fv = SuitSystem.for_cpu("A", strategy_name="fV",
+                                voltage_offset=-0.097)
+        emu = SuitSystem.for_cpu("A", strategy_name="e",
+                                 voltage_offset=-0.097)
+        trace = fv._trace(NGINX_PROFILE)
+        emu.prime_trace(NGINX_PROFILE, trace)
+        r_fv = fv.run_profile(NGINX_PROFILE)
+        r_emu = emu.run_profile(NGINX_PROFILE)
+        assert r_fv.efficiency_change > 0.0
+        assert r_emu.perf_change < -0.9  # paper: -98 %
+
+    def test_emulation_beats_switching_on_trap_free_work(self, small_profile):
+        import numpy as np
+
+        from repro.workloads.trace import FaultableTrace
+        from repro.isa.opcodes import Opcode
+
+        empty = FaultableTrace(
+            name=small_profile.name, n_instructions=small_profile.n_instructions,
+            ipc=small_profile.ipc, indices=np.array([], dtype=np.int64),
+            opcodes=np.array([], dtype=np.uint8), opcode_table=(Opcode.VOR,))
+        emu = SuitSystem.for_cpu("A", strategy_name="e", voltage_offset=-0.097)
+        emu.prime_trace(small_profile, empty)
+        result = emu.run_profile(small_profile)
+        # Zero traps: pure efficient-curve execution.
+        assert result.n_exceptions == 0
+        assert result.efficiency_change > 0.07
+
+
+class TestParameterRobustness:
+    def test_deadline_plateau(self):
+        """Section 6.4: varying the deadline +-10 us barely moves the
+        average efficiency — SUIT works as a single OS-wide policy."""
+        profile = spec_profile("502.gcc")
+        effs = []
+        for dl in (20e-6, 30e-6, 40e-6):
+            suit = SuitSystem.for_cpu(
+                "C", strategy_name="fV", voltage_offset=-0.097,
+                params=StrategyParams(dl, 450e-6, 3, 14.0))
+            effs.append(suit.run_profile(profile).efficiency_change)
+        assert max(effs) - min(effs) < 0.02
+
+
+class TestSecurityEndToEnd:
+    def test_no_faultable_executes_enabled_on_e(self):
+        """The simulator's core invariant: every faultable execution
+        happens either disabled (trapped) or on the conservative curve."""
+        suit = SuitSystem.for_cpu("C", strategy_name="fV",
+                                  voltage_offset=-0.097)
+        result = suit.run_profile(spec_profile("502.gcc"),
+                                  record_timeline=True)
+        # Timeline sanity: every E-state entry has instructions disabled.
+        for _, label in result.timeline:
+            state, _, flags = label.partition("/")
+            if state == "E":
+                assert flags == "disabled"

@@ -1,0 +1,95 @@
+"""Unit tests for repro.isa: opcodes, specs, the faultable set."""
+
+import pytest
+
+from repro.isa import (
+    FAULTABLE_OPCODES,
+    SIMD_FAULTABLE_OPCODES,
+    SPEC_TABLE,
+    TABLE1_FAULT_COUNTS,
+    Instruction,
+    Opcode,
+    PortClass,
+    faultable_sorted_by_sensitivity,
+    is_faultable,
+    spec_for,
+)
+from repro.isa.faultable import TRAPPED_OPCODES
+
+
+class TestSpecTable:
+    def test_every_opcode_has_a_spec(self):
+        for op in Opcode:
+            assert spec_for(op).opcode is op
+
+    def test_imul_is_three_cycles_fully_pipelined(self):
+        spec = spec_for(Opcode.IMUL)
+        assert spec.latency == 3
+        assert spec.throughput == 1.0
+        assert spec.port is PortClass.MUL
+
+    def test_latencies_positive(self):
+        for spec in SPEC_TABLE.values():
+            assert spec.latency >= 1
+            assert spec.throughput > 0
+
+    def test_simd_flags(self):
+        assert spec_for(Opcode.VOR).is_simd
+        assert spec_for(Opcode.AESENC).is_simd
+        assert not spec_for(Opcode.ALU).is_simd
+        assert not spec_for(Opcode.IMUL).is_simd
+
+    def test_aesenc_on_crypto_port(self):
+        assert spec_for(Opcode.AESENC).port is PortClass.CRYPTO
+        assert spec_for(Opcode.VPCLMULQDQ).port is PortClass.CRYPTO
+
+
+class TestFaultableSet:
+    def test_table1_has_twelve_instructions(self):
+        assert len(TABLE1_FAULT_COUNTS) == 12
+
+    def test_faultable_set_matches_table1(self):
+        assert FAULTABLE_OPCODES == frozenset(TABLE1_FAULT_COUNTS)
+
+    def test_imul_has_most_faults(self):
+        order = faultable_sorted_by_sensitivity()
+        assert order[0] is Opcode.IMUL
+        assert TABLE1_FAULT_COUNTS[Opcode.IMUL] == 79
+
+    def test_vpaddq_has_fewest_faults(self):
+        order = faultable_sorted_by_sensitivity()
+        assert order[-1] is Opcode.VPADDQ
+        assert TABLE1_FAULT_COUNTS[Opcode.VPADDQ] == 1
+
+    def test_sensitivity_order_is_descending(self):
+        order = faultable_sorted_by_sensitivity()
+        counts = [TABLE1_FAULT_COUNTS[op] for op in order]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_is_faultable(self):
+        assert is_faultable(Opcode.IMUL)
+        assert is_faultable(Opcode.AESENC)
+        assert not is_faultable(Opcode.ALU)
+        assert not is_faultable(Opcode.LOAD)
+
+    def test_trapped_set_excludes_imul(self):
+        assert Opcode.IMUL not in TRAPPED_OPCODES
+        assert TRAPPED_OPCODES == SIMD_FAULTABLE_OPCODES
+        assert TRAPPED_OPCODES < FAULTABLE_OPCODES
+
+    def test_all_trapped_are_simd(self):
+        for op in TRAPPED_OPCODES:
+            assert spec_for(op).is_simd
+
+
+class TestInstruction:
+    def test_spec_accessors(self):
+        instr = Instruction(Opcode.IMUL, sources=(0, 1))
+        assert instr.latency == 3
+        assert not instr.is_simd
+        assert instr.sources == (0, 1)
+
+    def test_default_fields(self):
+        instr = Instruction(Opcode.ALU)
+        assert instr.sources == ()
+        assert instr.operands is None

@@ -1,0 +1,126 @@
+"""Unit tests for the kernel model: exceptions, dispatch, deadline timer."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import DelaySpec
+from repro.kernel.exceptions import (
+    DisabledOpcodeError,
+    ExceptionVector,
+    TrapFrame,
+)
+from repro.kernel.handler import ExceptionTable, KernelCosts
+from repro.kernel.timer import DeadlineTimer
+from repro.isa.opcodes import Opcode
+
+
+@pytest.fixture
+def costs():
+    return KernelCosts(
+        exception_delay=DelaySpec(0.34e-6, 0.04e-6),
+        emulation_call_delay=DelaySpec(0.77e-6, 0.14e-6),
+    )
+
+
+class TestTrapFrame:
+    def test_preserves_state(self):
+        frame = TrapFrame(rip=0x1000, opcode=Opcode.AESENC,
+                          registers={"rax": 5}, core=2, timestamp_s=1.5)
+        assert frame.registers["rax"] == 5
+        assert frame.core == 2
+
+    def test_advance_skips_instruction(self):
+        frame = TrapFrame(rip=0x1000)
+        frame.advance(5)
+        assert frame.rip == 0x1005
+
+    def test_do_uses_reserved_vector_21(self):
+        assert ExceptionVector.DISABLED_OPCODE == 21
+        assert ExceptionVector.INVALID_OPCODE == 6
+
+
+class TestExceptionTable:
+    def test_dispatch_invokes_handler(self, costs):
+        table = ExceptionTable(costs)
+        seen = []
+        table.register(ExceptionVector.DISABLED_OPCODE, seen.append)
+        frame = TrapFrame(rip=0x42, opcode=Opcode.VOR)
+        cost = table.dispatch(ExceptionVector.DISABLED_OPCODE, frame)
+        assert seen == [frame]
+        assert cost == pytest.approx(0.34e-6)
+
+    def test_dispatch_counts(self, costs):
+        table = ExceptionTable(costs)
+        table.register(ExceptionVector.DISABLED_OPCODE, lambda f: None)
+        for _ in range(3):
+            table.dispatch(ExceptionVector.DISABLED_OPCODE, TrapFrame(0))
+        assert table.dispatch_count[ExceptionVector.DISABLED_OPCODE] == 3
+
+    def test_unhandled_do_panics(self, costs):
+        table = ExceptionTable(costs)
+        with pytest.raises(DisabledOpcodeError):
+            table.dispatch(ExceptionVector.DISABLED_OPCODE, TrapFrame(0))
+
+    def test_unhandled_other_vector(self, costs):
+        table = ExceptionTable(costs)
+        with pytest.raises(KeyError):
+            table.dispatch(ExceptionVector.INVALID_OPCODE, TrapFrame(0))
+
+    def test_sampled_cost(self, costs):
+        table = ExceptionTable(costs)
+        table.register(ExceptionVector.DISABLED_OPCODE, lambda f: None)
+        rng = np.random.default_rng(0)
+        cost = table.dispatch(ExceptionVector.DISABLED_OPCODE, TrapFrame(0), rng)
+        assert 0.1e-6 < cost < 1.0e-6
+
+
+class TestDeadlineTimer:
+    def test_arm_and_fire(self):
+        timer = DeadlineTimer()
+        timer.arm(now_s=1.0, deadline_s=30e-6)
+        assert timer.armed
+        assert timer.fires_at == pytest.approx(1.0 + 30e-6)
+        assert not timer.expired(1.0 + 29e-6)
+        assert timer.expired(1.0 + 31e-6)
+
+    def test_reset_restarts_countdown(self):
+        timer = DeadlineTimer()
+        timer.arm(0.0, 30e-6)
+        timer.reset(20e-6)
+        assert timer.fires_at == pytest.approx(50e-6)
+
+    def test_reset_unarmed_is_noop(self):
+        timer = DeadlineTimer()
+        timer.reset(5.0)
+        assert not timer.armed
+
+    def test_cancel(self):
+        timer = DeadlineTimer()
+        timer.arm(0.0, 30e-6)
+        timer.cancel()
+        assert not timer.armed
+        assert not timer.expired(10.0)
+
+    def test_defer_during_stall(self):
+        timer = DeadlineTimer()
+        timer.arm(0.0, 30e-6)
+        timer.defer(10e-6)
+        assert timer.fires_at == pytest.approx(40e-6)
+
+    def test_defer_unarmed_is_noop(self):
+        timer = DeadlineTimer()
+        timer.defer(10e-6)
+        assert not timer.armed
+
+    def test_rearm_changes_deadline(self):
+        timer = DeadlineTimer()
+        timer.arm(0.0, 30e-6)
+        timer.arm(0.0, 420e-6)  # thrashing stretch
+        timer.reset(1.0)
+        assert timer.fires_at == pytest.approx(1.0 + 420e-6)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            DeadlineTimer().arm(0.0, 0.0)
+        with pytest.raises(ValueError):
+            DeadlineTimer().defer(-1.0)

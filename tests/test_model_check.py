@@ -1,0 +1,139 @@
+"""Tests for the SUIT state-machine model checker."""
+
+import pytest
+
+from repro.security.model_check import (
+    EVENTS,
+    INITIAL_STATE,
+    AbstractState,
+    check_state,
+    explore,
+    step,
+)
+
+
+class TestTransitionRelation:
+    def test_trap_from_steady_state(self):
+        after = step(INITIAL_STATE, "faultable_instr")
+        assert after == AbstractState(curve="Cf", disabled=False,
+                                      timer_armed=True, pending="CV")
+
+    def test_enabled_execution_only_rearms(self):
+        conservative = AbstractState(curve="CV", disabled=False,
+                                     timer_armed=True, pending=None)
+        assert step(conservative, "faultable_instr") == conservative
+
+    def test_timer_fires_only_when_armed(self):
+        assert step(INITIAL_STATE, "timer_fire") is None
+
+    def test_timer_returns_to_e_and_cancels_cv(self):
+        at_cf = AbstractState(curve="Cf", disabled=False,
+                              timer_armed=True, pending="CV")
+        after = step(at_cf, "timer_fire")
+        assert after.curve == "E"
+        assert after.disabled
+        assert after.pending == "E"  # the CV request was replaced
+
+    def test_voltage_done_applies_cv(self):
+        at_cf = AbstractState(curve="Cf", disabled=False,
+                              timer_armed=True, pending="CV")
+        after = step(at_cf, "voltage_done")
+        assert after.curve == "CV"
+        assert after.pending is None
+
+    def test_stale_completion_ignored(self):
+        weird = AbstractState(curve="E", disabled=True,
+                              timer_armed=False, pending="CV")
+        assert step(weird, "voltage_done") is None
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            step(INITIAL_STATE, "meteor_strike")
+
+
+class TestInvariants:
+    def test_steady_state_clean(self):
+        assert check_state(INITIAL_STATE) == []
+
+    def test_enabled_on_e_flagged(self):
+        bad = AbstractState(curve="E", disabled=False, timer_armed=False)
+        assert "enabled-on-efficient-curve" in check_state(bad)
+
+    def test_conservative_without_deadline_flagged(self):
+        stuck = AbstractState(curve="CV", disabled=False, timer_armed=False)
+        assert "conservative-without-deadline" in check_state(stuck)
+
+
+class TestExhaustiveExploration:
+    def test_fv_machine_verified(self):
+        result = explore()
+        assert result.holds
+        assert result.violations == []
+        assert result.non_returning == []
+
+    def test_explores_all_reachable_states(self):
+        result = explore()
+        # E-disabled, Cf-pending-CV, CV-armed, E-pending-E.
+        assert result.states_explored == 4
+
+    def test_every_event_covered_somewhere(self):
+        result = explore()
+        assert result.transitions >= len(EVENTS)
+
+
+class TestMutationCatching:
+    """The checker must reject buggy variants of the machine."""
+
+    def test_forgetting_to_disable_is_caught(self, monkeypatch):
+        import repro.security.model_check as mc
+
+        original = mc.step
+
+        def buggy(state, event):
+            out = original(state, event)
+            if event == "timer_fire" and out is not None:
+                # BUG: return to E without disabling the trapped set.
+                return mc.AbstractState(curve="E", disabled=False,
+                                        timer_armed=False, pending="E")
+            return out
+
+        monkeypatch.setattr(mc, "step", buggy)
+        result = mc.explore()
+        assert not result.holds
+        assert any(v.invariant == "enabled-on-efficient-curve"
+                   for v in result.violations)
+
+    def test_forgetting_the_deadline_is_caught(self, monkeypatch):
+        import repro.security.model_check as mc
+
+        original = mc.step
+
+        def buggy(state, event):
+            out = original(state, event)
+            if event == "faultable_instr" and state.disabled:
+                # BUG: trap without arming the deadline.
+                return mc.AbstractState(curve="Cf", disabled=False,
+                                        timer_armed=False, pending="CV")
+            return out
+
+        monkeypatch.setattr(mc, "step", buggy)
+        result = mc.explore()
+        assert not result.holds
+
+    def test_violation_carries_a_witness_trace(self, monkeypatch):
+        import repro.security.model_check as mc
+
+        original = mc.step
+
+        def buggy(state, event):
+            out = original(state, event)
+            if event == "timer_fire" and out is not None:
+                return mc.AbstractState(curve="E", disabled=False,
+                                        timer_armed=False, pending="E")
+            return out
+
+        monkeypatch.setattr(mc, "step", buggy)
+        result = mc.explore()
+        violation = result.violations[0]
+        assert violation.trace  # a concrete event sequence reproduces it
+        assert violation.trace[-1] == "timer_fire"

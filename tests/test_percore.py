@@ -1,0 +1,71 @@
+"""Tests for per-core offset binning."""
+
+import numpy as np
+import pytest
+
+from repro.core.percore import (
+    PerCorePlan,
+    mean_power_ratio,
+    per_core_gain,
+    plan_per_core_offsets,
+)
+from repro.faults.model import FaultModel
+from repro.hardware.models import cpu_c_xeon_4208
+
+FREQS = (2.0e9, 3.0e9)
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return cpu_c_xeon_4208()
+
+
+@pytest.fixture(scope="module")
+def chip(cpu):
+    model = FaultModel(core_sigma_v=0.012)
+    return model.sample_chip(cpu.conservative_curve, 8,
+                             np.random.default_rng(7), exhibits=True)
+
+
+@pytest.fixture(scope="module")
+def plan(chip):
+    return plan_per_core_offsets(chip, FREQS)
+
+
+class TestPlanning:
+    def test_all_offsets_negative(self, plan):
+        assert all(off < 0 for off in plan.per_core_offsets_v)
+
+    def test_uniform_is_the_weakest_core(self, plan):
+        assert plan.uniform_offset_v == max(plan.per_core_offsets_v)
+
+    def test_spread_reflects_core_variation(self, plan):
+        assert plan.spread_v > 0.005  # core sigma 12 mV must show
+
+    def test_budget_cap_respected(self, chip):
+        capped = plan_per_core_offsets(chip, FREQS, budget_cap_v=-0.080)
+        assert all(off >= -0.080 for off in capped.per_core_offsets_v)
+
+    def test_validation(self, chip):
+        with pytest.raises(ValueError):
+            plan_per_core_offsets(chip, FREQS, budget_cap_v=0.05)
+        with pytest.raises(ValueError):
+            plan_per_core_offsets(chip, FREQS, preserved_guardband_v=-0.1)
+
+
+class TestGain:
+    def test_per_core_saves_at_least_uniform(self, cpu, plan):
+        assert per_core_gain(cpu, plan) >= 0.0
+
+    def test_gain_positive_with_spread(self, cpu, plan):
+        assert per_core_gain(cpu, plan) > 0.002
+
+    def test_no_spread_no_gain(self, cpu):
+        plan = PerCorePlan(per_core_offsets_v=(-0.07,) * 8,
+                           uniform_offset_v=-0.07)
+        assert per_core_gain(cpu, plan) == pytest.approx(0.0)
+
+    def test_mean_power_monotone_in_depth(self, cpu):
+        shallow = mean_power_ratio(cpu, [-0.05] * 4)
+        deep = mean_power_ratio(cpu, [-0.10] * 4)
+        assert deep < shallow

@@ -1,0 +1,123 @@
+"""Tests for the out-of-order pipeline simulator (Fig 14 substrate)."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.config import GEM5_REFERENCE_CONFIG, PipelineConfig
+from repro.pipeline.generator import StreamSpec, generate_stream
+from repro.pipeline.scoreboard import OutOfOrderCore
+from repro.workloads.spec import spec_profile
+
+
+@pytest.fixture(scope="module")
+def core():
+    return OutOfOrderCore(GEM5_REFERENCE_CONFIG)
+
+
+class TestConfig:
+    def test_reference_dimensions(self):
+        cfg = GEM5_REFERENCE_CONFIG
+        assert cfg.rob_size >= 100
+        assert cfg.issue_width >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(rob_size=0)
+
+
+class TestScoreboardBasics:
+    def test_empty_stream(self, core):
+        stats = core.run([])
+        assert stats.cycles == 0
+
+    def test_independent_alus_superscalar(self, core):
+        stream = [Instruction(Opcode.ALU) for _ in range(1000)]
+        stats = core.run(stream)
+        # 4 ALU pipes, issue width 6: must beat 1 IPC comfortably.
+        assert stats.ipc > 2.0
+
+    def test_serial_dependency_chain_is_latency_bound(self, core):
+        stream = [Instruction(Opcode.ALU, sources=(i - 1,) if i else ())
+                  for i in range(500)]
+        stats = core.run(stream)
+        assert stats.cycles >= 500  # one cycle per link, minimum
+
+    def test_imul_chain_bound_by_latency(self, core):
+        n = 200
+        stream = [Instruction(Opcode.IMUL, sources=(i - 1,) if i else ())
+                  for i in range(n)]
+        stats = core.run(stream)
+        assert stats.cycles >= 3 * (n - 1)
+
+    def test_latency_override(self):
+        n = 200
+        stream = [Instruction(Opcode.IMUL, sources=(i - 1,) if i else ())
+                  for i in range(n)]
+        base = OutOfOrderCore(GEM5_REFERENCE_CONFIG).run(stream)
+        slow = OutOfOrderCore(GEM5_REFERENCE_CONFIG,
+                              {Opcode.IMUL: 4}).run(stream)
+        assert slow.cycles / base.cycles == pytest.approx(4 / 3, rel=0.05)
+
+    def test_div_unpipelined_throughput(self, core):
+        stream = [Instruction(Opcode.DIV) for _ in range(100)]
+        stats = core.run(stream)
+        assert stats.cycles >= 100 * 19  # throughput-limited
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            OutOfOrderCore(GEM5_REFERENCE_CONFIG, {Opcode.IMUL: 0})
+
+
+class TestStreamGenerator:
+    def test_imul_density_respected(self):
+        spec = StreamSpec(n_instructions=20_000, imul_density=0.01,
+                          imul_chain_fraction=0.5)
+        stream = generate_stream(spec, seed=1)
+        density = sum(1 for i in stream if i.opcode is Opcode.IMUL) / len(stream)
+        assert density == pytest.approx(0.01, rel=0.25)
+
+    def test_sources_point_backwards(self):
+        stream = generate_stream(StreamSpec(n_instructions=5_000), seed=2)
+        for i, instr in enumerate(stream):
+            for src in instr.sources:
+                assert 0 <= src < i
+
+    def test_chained_imuls_reference_previous_imul(self):
+        spec = StreamSpec(n_instructions=30_000, imul_density=0.01,
+                          imul_chain_fraction=1.0)
+        stream = generate_stream(spec, seed=3)
+        imul_positions = {i for i, ins in enumerate(stream)
+                          if ins.opcode is Opcode.IMUL}
+        chained = sum(
+            1 for i in imul_positions
+            if stream[i].sources and stream[i].sources[0] in imul_positions)
+        assert chained > 0.3 * len(imul_positions)
+
+    def test_from_profile(self):
+        spec = StreamSpec.from_profile(spec_profile("525.x264"), 10_000)
+        assert spec.imul_density == pytest.approx(0.0099)
+
+
+class TestFig14Behaviour:
+    def test_one_extra_cycle_nearly_free_on_average_code(self, core):
+        spec = StreamSpec(n_instructions=20_000, imul_density=0.0007,
+                          imul_chain_fraction=0.1)
+        stream = generate_stream(spec, seed=4)
+        sweep = core.imul_latency_sweep(stream, (3, 4))
+        assert sweep[4].slowdown_vs(sweep[3]) < 0.003
+
+    def test_x264_like_code_visibly_slower(self, core):
+        spec = StreamSpec(n_instructions=20_000, imul_density=0.0099,
+                          imul_chain_fraction=0.9)
+        stream = generate_stream(spec, seed=5)
+        sweep = core.imul_latency_sweep(stream, (3, 4))
+        assert 0.005 < sweep[4].slowdown_vs(sweep[3]) < 0.035
+
+    def test_slowdown_monotone_in_latency(self, core):
+        spec = StreamSpec(n_instructions=15_000, imul_density=0.005,
+                          imul_chain_fraction=0.5)
+        stream = generate_stream(spec, seed=6)
+        sweep = core.imul_latency_sweep(stream, (3, 4, 6, 15, 30))
+        cycles = [sweep[lat].cycles for lat in (3, 4, 6, 15, 30)]
+        assert cycles == sorted(cycles)

@@ -1,0 +1,94 @@
+"""Tests for the optional branch/memory microarchitecture models."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.config import GEM5_REFERENCE_CONFIG
+from repro.pipeline.generator import StreamSpec, generate_stream
+from repro.pipeline.scoreboard import OutOfOrderCore
+from repro.pipeline.uarch import BranchModel, MemoryModel
+
+
+class TestMemoryModel:
+    def test_mean_latency_between_extremes(self):
+        mem = MemoryModel()
+        assert mem.l1_latency < mem.mean_latency < mem.dram_latency
+
+    def test_sample_values_are_hierarchy_levels(self, rng):
+        mem = MemoryModel()
+        levels = {mem.l1_latency, mem.l2_latency, mem.dram_latency}
+        for _ in range(200):
+            assert mem.sample_latency(rng) in levels
+
+    def test_perfect_l1_always_hits(self, rng):
+        mem = MemoryModel(l1_hit_rate=1.0)
+        assert all(mem.sample_latency(rng) == mem.l1_latency
+                   for _ in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(l1_hit_rate=1.5)
+        with pytest.raises(ValueError):
+            MemoryModel(l1_latency=20, l2_latency=10)
+
+
+class TestBranchModel:
+    def test_rate_zero_never_mispredicts(self, rng):
+        model = BranchModel(mispredict_rate=0.0)
+        assert not any(model.mispredicts(rng) for _ in range(100))
+
+    def test_rate_one_always_mispredicts(self, rng):
+        model = BranchModel(mispredict_rate=1.0)
+        assert all(model.mispredicts(rng) for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchModel(mispredict_rate=2.0)
+        with pytest.raises(ValueError):
+            BranchModel(refill_cycles=-1)
+
+
+class TestScoreboardWithUarch:
+    def test_memory_misses_slow_the_core(self):
+        stream = generate_stream(StreamSpec(n_instructions=8_000), seed=1)
+        ideal = OutOfOrderCore(GEM5_REFERENCE_CONFIG).run(stream)
+        realistic = OutOfOrderCore(
+            GEM5_REFERENCE_CONFIG,
+            memory=MemoryModel(l1_hit_rate=0.7, l2_hit_rate=0.5)).run(stream)
+        assert realistic.cycles > ideal.cycles
+
+    def test_mispredictions_slow_the_core(self):
+        stream = generate_stream(StreamSpec(n_instructions=8_000), seed=2)
+        ideal = OutOfOrderCore(GEM5_REFERENCE_CONFIG).run(stream)
+        bubbly = OutOfOrderCore(
+            GEM5_REFERENCE_CONFIG,
+            branch=BranchModel(mispredict_rate=0.5)).run(stream)
+        assert bubbly.cycles > ideal.cycles
+
+    def test_fetch_barrier_orders_after_branch(self):
+        # One always-mispredicted branch, then an independent ALU op:
+        # the ALU op cannot issue before resolve + refill.
+        stream = [Instruction(Opcode.BRANCH), Instruction(Opcode.ALU)]
+        core = OutOfOrderCore(
+            GEM5_REFERENCE_CONFIG,
+            branch=BranchModel(mispredict_rate=1.0, refill_cycles=14))
+        stats = core.run(stream)
+        assert stats.cycles >= 1 + 14
+
+    def test_deterministic_per_seed(self):
+        stream = generate_stream(StreamSpec(n_instructions=4_000), seed=3)
+        runs = [OutOfOrderCore(GEM5_REFERENCE_CONFIG,
+                               memory=MemoryModel(),
+                               branch=BranchModel(), seed=7).run(stream)
+                for _ in range(2)]
+        assert runs[0].cycles == runs[1].cycles
+
+    def test_default_path_unchanged(self):
+        # The opt-in models must not perturb the calibrated Fig 14 setup.
+        stream = generate_stream(StreamSpec(n_instructions=4_000), seed=4)
+        a = OutOfOrderCore(GEM5_REFERENCE_CONFIG).run(stream)
+        b = OutOfOrderCore(GEM5_REFERENCE_CONFIG, memory=None,
+                           branch=None).run(stream)
+        assert a.cycles == b.cycles

@@ -1,0 +1,150 @@
+"""Tests for the adaptive strategy policy and the covert-channel analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    AdaptiveStrategyPolicy,
+    EMULATION_BREAK_EVEN_RATE,
+    StrategyDecision,
+    oracle_best,
+)
+from repro.isa.opcodes import Opcode
+from repro.security.covert import CurveSwitchCovertChannel
+from repro.workloads.trace import FaultableTrace
+
+
+def _trace(indices, n=10_000_000_000, ipc=1.5):
+    indices = np.asarray(indices, dtype=np.int64)
+    return FaultableTrace(
+        name="policy", n_instructions=n, ipc=ipc, indices=indices,
+        opcodes=np.zeros(indices.size, dtype=np.uint8),
+        opcode_table=(Opcode.VOR,))
+
+
+class TestAdaptivePolicy:
+    def test_sparse_trace_gets_emulation(self, cpu_a):
+        policy = AdaptiveStrategyPolicy(cpu_a)
+        # A handful of traps in 1e10 instructions: far below break-even.
+        decision = policy.decide(_trace([10 ** 9, 5 * 10 ** 9]))
+        assert decision.strategy == "e"
+
+    def test_dense_trace_gets_switching(self, cpu_a, dense_trace):
+        policy = AdaptiveStrategyPolicy(cpu_a)
+        assert policy.decide(dense_trace).strategy == "fV"
+
+    def test_amd_switching_is_frequency_only(self, cpu_b, dense_trace):
+        policy = AdaptiveStrategyPolicy(cpu_b)
+        assert policy.decide(dense_trace).strategy == "f"
+
+    def test_break_even_scales_with_call_cost(self, cpu_a, cpu_b):
+        # AMD's cheaper kernel transitions (0.27 us vs 0.77 us) move the
+        # break-even up ~3x: a borderline trace emulates on B, not on A.
+        n = 10_000_000_000
+        step = 8_000_000  # rate 1.25e-7
+        trace = _trace(np.arange(step, n, step))
+        assert AdaptiveStrategyPolicy(cpu_b).decide(trace).strategy == "e"
+        assert AdaptiveStrategyPolicy(cpu_a).decide(trace).strategy in ("f", "fV")
+
+    def test_run_executes_decision(self, cpu_c, small_profile, small_trace):
+        policy = AdaptiveStrategyPolicy(cpu_c)
+        decision, result = policy.run(small_profile, small_trace, -0.097)
+        assert isinstance(decision, StrategyDecision)
+        assert result.strategy == decision.strategy
+
+    def test_policy_close_to_oracle(self, cpu_c, small_profile, small_trace):
+        policy = AdaptiveStrategyPolicy(cpu_c)
+        _, chosen = policy.run(small_profile, small_trace, -0.097)
+        _, all_results = oracle_best(cpu_c, small_profile, small_trace, -0.097)
+        best_eff = max(r.efficiency_change for r in all_results.values())
+        # The heuristic must not leave more than 3 pp on the table here.
+        assert chosen.efficiency_change >= best_eff - 0.03
+
+    def test_oracle_skips_voltage_paths_on_amd(self, cpu_b, small_profile,
+                                               small_trace):
+        best, results = oracle_best(cpu_b, small_profile, small_trace, -0.097)
+        assert "fV" not in results
+        assert best in results
+
+    def test_margin_validation(self, cpu_a):
+        with pytest.raises(ValueError):
+            AdaptiveStrategyPolicy(cpu_a, rate_margin=0.0)
+
+
+class TestCovertChannel:
+    def test_exists_only_on_shared_domains(self, cpu_a, cpu_c):
+        assert CurveSwitchCovertChannel(cpu_a).channel_exists
+        assert not CurveSwitchCovertChannel(cpu_c).channel_exists
+
+    def test_per_core_domain_raises(self, cpu_c, rng):
+        channel = CurveSwitchCovertChannel(cpu_c)
+        with pytest.raises(RuntimeError):
+            channel.transmit([1, 0, 1], rng)
+
+    def test_low_noise_transmission_is_clean(self, cpu_a, rng):
+        channel = CurveSwitchCovertChannel(cpu_a, noise=0.002)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+        result = channel.transmit(bits, rng)
+        assert result.bit_error_rate < 0.05
+
+    def test_heavy_noise_degrades(self, cpu_a, rng):
+        quiet = CurveSwitchCovertChannel(cpu_a, noise=0.001)
+        loud = CurveSwitchCovertChannel(cpu_a, noise=0.2)
+        bits = list(rng.integers(0, 2, size=256))
+        assert (loud.transmit(bits, rng).bit_error_rate
+                >= quiet.transmit(bits, np.random.default_rng(1)).bit_error_rate)
+
+    def test_bandwidth_tied_to_deadline(self, cpu_a, rng):
+        fast = CurveSwitchCovertChannel(cpu_a, deadline_s=30e-6)
+        slow = CurveSwitchCovertChannel(cpu_a, deadline_s=420e-6)
+        bits = [1, 0] * 16
+        assert (fast.transmit(bits, rng).bandwidth_bps
+                > slow.transmit(bits, np.random.default_rng(2)).bandwidth_bps)
+
+    def test_capacity_positive_kilobits(self, cpu_a):
+        channel = CurveSwitchCovertChannel(cpu_a, noise=0.005)
+        capacity = channel.capacity_estimate(np.random.default_rng(3))
+        assert capacity > 1_000  # kbit/s-scale channel
+
+    def test_slot_must_exceed_deadline(self, cpu_a, rng):
+        channel = CurveSwitchCovertChannel(cpu_a)
+        with pytest.raises(ValueError):
+            channel.transmit([1], rng, slot_s=10e-6)
+
+    def test_contrast_positive(self, cpu_a):
+        assert CurveSwitchCovertChannel(cpu_a).contrast > 0.05
+
+
+class TestEnclaveConstraint:
+    def test_policy_never_emulates_enclaves(self, cpu_a):
+        # Even an extremely trap-sparse trace must switch when in a TEE.
+        policy = AdaptiveStrategyPolicy(cpu_a)
+        sparse = _trace([10 ** 9])
+        assert policy.decide(sparse).strategy == "e"
+        decision = policy.decide(sparse, in_enclave=True)
+        assert decision.strategy in ("f", "fV")
+        assert "enclave" in decision.reason
+
+    def test_suit_system_refuses_enclave_emulation(self, small_profile):
+        import dataclasses
+
+        from repro.core.suit import SuitSystem
+
+        enclave_profile = dataclasses.replace(small_profile,
+                                              name="enclave-task",
+                                              in_enclave=True)
+        suit = SuitSystem.for_cpu("C", strategy_name="e")
+        with pytest.raises(ValueError, match="trusted execution"):
+            suit.run_profile(enclave_profile)
+
+    def test_enclave_workload_runs_fine_with_fv(self, small_profile):
+        import dataclasses
+
+        from repro.core.suit import SuitSystem
+
+        enclave_profile = dataclasses.replace(small_profile,
+                                              name="enclave-task",
+                                              in_enclave=True)
+        suit = SuitSystem.for_cpu("C", strategy_name="fV")
+        result = suit.run_profile(enclave_profile)
+        assert result.efficiency_change > 0

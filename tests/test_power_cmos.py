@@ -1,0 +1,78 @@
+"""Unit tests for the CMOS power model."""
+
+import pytest
+
+from repro.power.cmos import CmosPowerModel, dynamic_power, leakage_power
+
+
+class TestDynamicPower:
+    def test_formula(self):
+        # P = C * V^2 * f
+        assert dynamic_power(1e-9, 1.0, 1e9) == pytest.approx(1.0)
+        assert dynamic_power(1e-9, 2.0, 1e9) == pytest.approx(4.0)
+
+    def test_quadratic_in_voltage(self):
+        base = dynamic_power(2e-9, 1.0, 3e9)
+        assert dynamic_power(2e-9, 1.1, 3e9) / base == pytest.approx(1.21)
+
+    def test_linear_in_frequency(self):
+        base = dynamic_power(2e-9, 1.0, 3e9)
+        assert dynamic_power(2e-9, 1.0, 6e9) / base == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dynamic_power(-1e-9, 1.0, 1e9)
+        with pytest.raises(ValueError):
+            dynamic_power(1e-9, -1.0, 1e9)
+
+
+class TestLeakagePower:
+    def test_linear(self):
+        assert leakage_power(5.0, 1.0) == pytest.approx(5.0)
+        assert leakage_power(5.0, 0.8) == pytest.approx(4.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            leakage_power(-1.0, 1.0)
+
+
+class TestCmosPowerModel:
+    def test_calibrated_hits_measured_point(self):
+        model = CmosPowerModel.calibrated(4.5e9, 1.1, 95.0)
+        assert model.power(4.5e9, 1.1) == pytest.approx(95.0)
+
+    def test_calibrated_shares(self):
+        model = CmosPowerModel.calibrated(
+            4e9, 1.0, 100.0, dynamic_share=0.7, uncore_share=0.1)
+        assert dynamic_power(model.c_eff, 1.0, 4e9) == pytest.approx(70.0)
+        assert model.uncore_power == pytest.approx(10.0)
+        assert leakage_power(model.leak_coeff, 1.0) == pytest.approx(20.0)
+
+    def test_undervolting_reduces_power(self):
+        model = CmosPowerModel.calibrated(4.5e9, 1.1, 95.0)
+        assert model.power(4.5e9, 1.0) < model.power(4.5e9, 1.1)
+
+    def test_power_ratio_baseline_is_one(self):
+        model = CmosPowerModel.calibrated(4.5e9, 1.1, 95.0)
+        assert model.power_ratio(4.5e9, 1.1, 4.5e9, 1.1) == pytest.approx(1.0)
+
+    def test_power_ratio_quadratic_dominates(self):
+        model = CmosPowerModel.calibrated(
+            4.5e9, 1.1, 95.0, dynamic_share=1.0, uncore_share=0.0)
+        ratio = model.power_ratio(4.5e9, 1.0, 4.5e9, 1.1)
+        assert ratio == pytest.approx((1.0 / 1.1) ** 2)
+
+    def test_uncore_floor_limits_savings(self):
+        with_floor = CmosPowerModel.calibrated(
+            4e9, 1.0, 100.0, dynamic_share=0.5, uncore_share=0.4)
+        without = CmosPowerModel.calibrated(
+            4e9, 1.0, 100.0, dynamic_share=0.9, uncore_share=0.0)
+        assert (with_floor.power_ratio(4e9, 0.9, 4e9, 1.0)
+                > without.power_ratio(4e9, 0.9, 4e9, 1.0))
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(ValueError):
+            CmosPowerModel.calibrated(4e9, 1.0, 100.0, dynamic_share=0.0)
+        with pytest.raises(ValueError):
+            CmosPowerModel.calibrated(4e9, 1.0, 100.0, dynamic_share=0.8,
+                                      uncore_share=0.3)

@@ -1,0 +1,117 @@
+"""Unit tests for DVFS curves, p-states and switch targets."""
+
+import pytest
+
+from repro.power.dvfs import (
+    CurveKind,
+    DVFSCurve,
+    I9_9900K_CURVE_POINTS,
+    PState,
+    modified_imul_curve,
+    switch_targets,
+)
+
+
+@pytest.fixture
+def i9_curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS, name="i9")
+
+
+class TestPState:
+    def test_valid(self):
+        p = PState(4e9, 1.0)
+        assert p.kind is CurveKind.CONSERVATIVE
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PState(0.0, 1.0)
+        with pytest.raises(ValueError):
+            PState(4e9, -0.1)
+
+
+class TestDVFSCurve:
+    def test_anchor_points_exact(self, i9_curve):
+        assert i9_curve.voltage_at(4.0e9) == pytest.approx(0.991)
+        assert i9_curve.voltage_at(5.0e9) == pytest.approx(1.174)
+
+    def test_interpolation_between_anchors(self, i9_curve):
+        v = i9_curve.voltage_at(4.5e9)
+        assert 0.991 < v < 1.174
+        assert v == pytest.approx((0.991 + 1.174) / 2, abs=1e-9)
+
+    def test_top_gradient_matches_paper(self, i9_curve):
+        # 183 mV/GHz between 4 and 5 GHz (paper section 5.6).
+        assert i9_curve.gradient_at(4.5e9) * 1e9 == pytest.approx(0.183)
+
+    def test_inverse(self, i9_curve):
+        for f in (1.5e9, 3.3e9, 4.8e9):
+            assert i9_curve.frequency_at(i9_curve.voltage_at(f)) == pytest.approx(f)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            DVFSCurve([(1e9, 0.9), (2e9, 0.8)])
+        with pytest.raises(ValueError):
+            DVFSCurve([(1e9, 0.8), (1e9, 0.9)])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            DVFSCurve([(1e9, 0.8)])
+
+    def test_with_offset_shifts_everything(self, i9_curve):
+        eff = i9_curve.with_offset(-0.097)
+        assert eff.kind is CurveKind.EFFICIENT
+        for f, v in i9_curve.points:
+            assert eff.voltage_at(f) == pytest.approx(v - 0.097)
+
+    def test_with_offset_requires_sane_voltages(self, i9_curve):
+        with pytest.raises(ValueError):
+            i9_curve.with_offset(-0.999)  # would push voltages negative
+
+    def test_pstates(self, i9_curve):
+        states = i9_curve.pstates([2e9, 4e9])
+        assert [p.frequency for p in states] == [2e9, 4e9]
+        assert states[1].voltage == pytest.approx(0.991)
+
+
+class TestModifiedImulCurve:
+    def test_headroom_at_5ghz_is_about_220mv(self, i9_curve):
+        # Paper section 6.9: 3->4 cycles buys ~220 mV at 5 GHz.
+        imul4 = modified_imul_curve(i9_curve, 3, 4)
+        headroom = i9_curve.voltage_at(5e9) - imul4.voltage_at(5e9)
+        assert headroom == pytest.approx(0.220, abs=0.020)
+
+    def test_headroom_small_at_low_frequency(self, i9_curve):
+        imul4 = modified_imul_curve(i9_curve, 3, 4)
+        headroom = i9_curve.voltage_at(1e9) - imul4.voltage_at(1e9)
+        assert headroom < 0.030
+
+    def test_never_above_conservative(self, i9_curve):
+        imul4 = modified_imul_curve(i9_curve, 3, 4)
+        for f, _ in i9_curve.points:
+            assert imul4.voltage_at(f) <= i9_curve.voltage_at(f)
+
+    def test_latency_must_increase(self, i9_curve):
+        with pytest.raises(ValueError):
+            modified_imul_curve(i9_curve, 4, 3)
+
+
+class TestSwitchTargets:
+    def test_cf_keeps_voltage_lowers_frequency(self, i9_curve):
+        eff = i9_curve.with_offset(-0.097)
+        cf, cv = switch_targets(eff, i9_curve, 4.3e9)
+        assert cf.voltage == pytest.approx(eff.voltage_at(4.3e9))
+        assert cf.frequency < 4.3e9
+
+    def test_cv_keeps_frequency_raises_voltage(self, i9_curve):
+        eff = i9_curve.with_offset(-0.097)
+        cf, cv = switch_targets(eff, i9_curve, 4.3e9)
+        assert cv.frequency == pytest.approx(4.3e9)
+        assert cv.voltage == pytest.approx(i9_curve.voltage_at(4.3e9))
+        assert cv.voltage > eff.voltage_at(4.3e9)
+
+    def test_both_targets_on_conservative_curve(self, i9_curve):
+        eff = i9_curve.with_offset(-0.070)
+        cf, cv = switch_targets(eff, i9_curve, 4.0e9)
+        assert cf.voltage == pytest.approx(
+            i9_curve.voltage_at(cf.frequency), abs=1e-9)
+        assert cv.kind is CurveKind.CONSERVATIVE

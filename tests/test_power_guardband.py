@@ -1,0 +1,85 @@
+"""Unit tests for aging/temperature guardbands and SUIT's budget."""
+
+import pytest
+
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.power.guardband import (
+    INSTRUCTION_VARIATION_V,
+    AgingModel,
+    GuardbandBudget,
+    TemperatureGuardband,
+)
+
+
+@pytest.fixture
+def curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS)
+
+
+class TestAgingModel:
+    def test_full_lifetime_worst_case(self):
+        aging = AgingModel()
+        assert aging.degradation(10.0, 100.0) == pytest.approx(0.15)
+
+    def test_degradation_grows_sublinearly_with_time(self):
+        aging = AgingModel()
+        # Square-root law: half the lifetime -> ~71 % of the degradation.
+        ratio = aging.degradation(5.0, 100.0) / aging.degradation(10.0, 100.0)
+        assert ratio == pytest.approx(0.5 ** 0.5, abs=0.01)
+
+    def test_cooler_means_less_aging(self):
+        aging = AgingModel()
+        assert aging.degradation(10.0, 60.0) < aging.degradation(10.0, 100.0)
+
+    def test_no_time_no_aging(self):
+        assert AgingModel().degradation(0.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            AgingModel().degradation(-1.0)
+
+    def test_guardband_at_5ghz_is_137mv(self, curve):
+        # Paper section 5.6: 5 GHz * 15 % * 183 mV/GHz = 137 mV.
+        aging = AgingModel()
+        assert aging.guardband_voltage(curve, 5e9) == pytest.approx(0.137, abs=0.003)
+
+    def test_guardband_fraction_is_about_12_percent(self, curve):
+        aging = AgingModel()
+        assert aging.guardband_fraction(curve, 5e9) == pytest.approx(0.12, abs=0.01)
+
+
+class TestTemperatureGuardband:
+    def test_paper_anchor_points(self):
+        gb = TemperatureGuardband()
+        assert gb.max_undervolt(50.0) == pytest.approx(-0.090)
+        assert gb.max_undervolt(88.0) == pytest.approx(-0.055)
+
+    def test_interpolation_monotone(self):
+        # Hotter cores tolerate less undervolt: the offset shrinks
+        # (moves toward zero) as temperature rises.
+        gb = TemperatureGuardband()
+        assert gb.max_undervolt(60.0) > gb.max_undervolt(50.0)
+        assert gb.max_undervolt(70.0) < gb.max_undervolt(88.0)
+        assert gb.max_undervolt(70.0) < 0
+
+    def test_guardband_size_35mv(self):
+        assert TemperatureGuardband().guardband_voltage() == pytest.approx(0.035)
+
+
+class TestGuardbandBudget:
+    def test_default_is_minus_70mv(self):
+        assert GuardbandBudget().offset() == pytest.approx(-INSTRUCTION_VARIATION_V)
+
+    def test_combined_is_minus_97mv(self):
+        # Paper section 3.1: -70 mV plus 20 % of the 137 mV aging band.
+        budget = GuardbandBudget(aging_guardband_v=0.137, aging_fraction=0.20)
+        assert budget.offset() == pytest.approx(-0.0974, abs=1e-4)
+
+    def test_offsets_always_negative(self):
+        assert GuardbandBudget(aging_fraction=1.0).offset() < 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GuardbandBudget(aging_fraction=1.5)
+        with pytest.raises(ValueError):
+            GuardbandBudget(instruction_variation_v=-0.01)

@@ -1,0 +1,63 @@
+"""Unit tests for the RAPL-style energy meters."""
+
+import pytest
+
+from repro.power.rapl import DEFAULT_ENERGY_UNIT_J, EnergyMeter, RaplCounter
+
+
+class TestEnergyMeter:
+    def test_accumulation(self):
+        meter = EnergyMeter()
+        meter.accumulate(50.0, 2.0)
+        meter.accumulate(100.0, 1.0)
+        assert meter.energy_j == pytest.approx(200.0)
+        assert meter.time_s == pytest.approx(3.0)
+
+    def test_mean_power(self):
+        meter = EnergyMeter()
+        meter.accumulate(50.0, 2.0)
+        meter.accumulate(100.0, 2.0)
+        assert meter.mean_power_w == pytest.approx(75.0)
+
+    def test_empty_meter_mean_power_zero(self):
+        assert EnergyMeter().mean_power_w == 0.0
+
+    def test_rejects_negative(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.accumulate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            meter.accumulate(1.0, -1.0)
+
+
+class TestRaplCounter:
+    def test_quantisation(self):
+        counter = RaplCounter()
+        counter.accumulate(1.0, DEFAULT_ENERGY_UNIT_J * 10)
+        assert counter.read() == 10
+
+    def test_energy_between_reads(self):
+        counter = RaplCounter()
+        before = counter.read()
+        counter.accumulate(65.0, 1.0)
+        after = counter.read()
+        assert counter.energy_between(before, after) == pytest.approx(65.0, rel=1e-3)
+
+    def test_wraparound_delta(self):
+        # Reading wrapped past 2^32: delta must still be correct.
+        assert RaplCounter.delta(2 ** 32 - 5, 10) == 15
+
+    def test_wraparound_full_cycle(self):
+        counter = RaplCounter(energy_unit_j=1.0)
+        counter.accumulate(1.0, float(2 ** 32 + 7))
+        assert counter.read() == 7
+
+    def test_delta_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RaplCounter.delta(-1, 10)
+        with pytest.raises(ValueError):
+            RaplCounter.delta(0, 2 ** 32)
+
+    def test_rejects_negative_accumulate(self):
+        with pytest.raises(ValueError):
+            RaplCounter().accumulate(-1.0, 1.0)

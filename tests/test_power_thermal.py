@@ -1,0 +1,116 @@
+"""Unit tests for the TDP model, undervolt response and fan curve."""
+
+import pytest
+
+from repro.power.cmos import CmosPowerModel
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.power.thermal import FanCurve, TdpModel, UndervoltResponse
+
+
+@pytest.fixture
+def curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS)
+
+
+@pytest.fixture
+def tdp(curve):
+    cmos = CmosPowerModel.calibrated(4.5e9, curve.voltage_at(4.5e9), 95.0)
+    return TdpModel(cmos=cmos, curve=curve, power_limit=95.0, f_max=5.0e9)
+
+
+class TestTdpModel:
+    def test_sustained_frequency_respects_limit(self, tdp):
+        f = tdp.sustained_frequency(0.0)
+        assert tdp.power_at(f) <= tdp.power_limit * 1.001
+
+    def test_unconstrained_hits_fmax(self, curve):
+        cmos = CmosPowerModel.calibrated(4.5e9, curve.voltage_at(4.5e9), 50.0)
+        model = TdpModel(cmos=cmos, curve=curve, power_limit=500.0, f_max=5.0e9)
+        assert model.sustained_frequency(0.0) == pytest.approx(5.0e9)
+
+    def test_undervolting_raises_sustained_frequency(self, tdp):
+        assert tdp.sustained_frequency(-0.097) > tdp.sustained_frequency(0.0)
+
+    def test_bisection_converges_tightly(self, tdp):
+        f = tdp.sustained_frequency(0.0)
+        if f < tdp.f_max:
+            assert tdp.power_at(f) == pytest.approx(tdp.power_limit, rel=1e-6)
+
+
+class TestUndervoltResponse:
+    def _response(self, tdp, **kwargs):
+        defaults = dict(nominal_frequency=4.5e9, tdp_bound_fraction=0.1,
+                        perf_sensitivity=1.0, thermal_boost_per_volt=0.3)
+        defaults.update(kwargs)
+        return UndervoltResponse(tdp=tdp, **defaults)
+
+    def test_zero_offset_is_identity(self, tdp):
+        r = self._response(tdp)
+        assert r.frequency_ratio(0.0) == pytest.approx(1.0)
+        assert r.power_ratio(0.0) == pytest.approx(1.0)
+        assert r.score_ratio(0.0) == pytest.approx(1.0)
+        assert r.efficiency_ratio(0.0) == pytest.approx(1.0)
+
+    def test_undervolting_saves_power(self, tdp):
+        r = self._response(tdp)
+        assert r.power_ratio(-0.097) < 1.0
+
+    def test_deeper_offset_saves_more(self, tdp):
+        r = self._response(tdp)
+        assert r.power_ratio(-0.097) < r.power_ratio(-0.070)
+
+    def test_fully_tdp_bound_power_is_flat(self, tdp):
+        r = self._response(tdp, tdp_bound_fraction=1.0)
+        assert r.power_ratio(-0.097) == pytest.approx(1.0)
+
+    def test_undervolting_boosts_frequency(self, tdp):
+        r = self._response(tdp)
+        assert r.frequency_ratio(-0.097) > 1.0
+
+    def test_frequency_capped_at_fmax(self, tdp):
+        r = self._response(tdp, thermal_boost_per_volt=10.0)
+        assert r.frequency_ratio(-0.097) * 4.5e9 <= tdp.f_max * 1.0001
+
+    def test_perf_sensitivity_scales_score(self, tdp):
+        fast = self._response(tdp, perf_sensitivity=1.0)
+        slow = self._response(tdp, perf_sensitivity=0.5)
+        f_gain = fast.score_ratio(-0.097) - 1.0
+        s_gain = slow.score_ratio(-0.097) - 1.0
+        assert s_gain == pytest.approx(f_gain * 0.5, rel=0.01)
+
+    def test_efficiency_combines_score_and_power(self, tdp):
+        r = self._response(tdp)
+        off = -0.097
+        expected = r.score_ratio(off) / r.power_ratio(off)
+        assert r.efficiency_ratio(off) == pytest.approx(expected)
+
+    def test_leverage_slope_weakens_shallow_offsets(self, tdp):
+        flat = self._response(tdp, voltage_leverage=1.25,
+                              voltage_leverage_slope=0.0, tdp_bound_fraction=0.0)
+        sloped = self._response(tdp, voltage_leverage=1.25,
+                                voltage_leverage_slope=18.0, tdp_bound_fraction=0.0)
+        # Same at the -97 mV reference point...
+        assert sloped.power_ratio(-0.097) == pytest.approx(flat.power_ratio(-0.097))
+        # ...but weaker at -70 mV.
+        assert sloped.power_ratio(-0.070) > flat.power_ratio(-0.070)
+
+
+class TestFanCurve:
+    def test_paper_anchor_temperatures(self):
+        fan = FanCurve()
+        assert fan.core_temperature(120.0, 1800) == pytest.approx(50.0, abs=1.0)
+        assert fan.core_temperature(120.0, 300) == pytest.approx(88.0, abs=3.0)
+
+    def test_more_airflow_cooler(self):
+        fan = FanCurve()
+        assert fan.core_temperature(120.0, 1800) < fan.core_temperature(120.0, 600)
+
+    def test_zero_power_is_ambient(self):
+        fan = FanCurve(ambient_c=25.0)
+        assert fan.core_temperature(0.0, 1000) == pytest.approx(25.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            FanCurve().core_temperature(100.0, 0)
+        with pytest.raises(ValueError):
+            FanCurve().core_temperature(-5.0, 1000)

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import geomean_change, median_change
+from repro.emulation import vector as v
+from repro.emulation.aes import aes128_encrypt_block
+from repro.emulation.bitsliced_aes import sbox_constant_time
+from repro.emulation.aes import sbox_lookup
+from repro.emulation.clmul import clmul64, gf128_mul
+from repro.emulation.vector import Vec128
+from repro.hardware.msr import decode_voltage_offset, encode_voltage_offset
+from repro.kernel.timer import DeadlineTimer
+from repro.power.cmos import CmosPowerModel
+from repro.power.dvfs import DVFSCurve
+from repro.power.rapl import RaplCounter
+
+u64 = st.integers(min_value=0, max_value=2 ** 64 - 1)
+u128 = st.integers(min_value=0, max_value=2 ** 128 - 1)
+
+
+class TestVectorProperties:
+    @given(u128, u128)
+    def test_xor_self_inverse(self, a, b):
+        x, y = Vec128(a), Vec128(b)
+        assert v.vxor(v.vxor(x, y), y).value == a
+
+    @given(u128, u128)
+    def test_de_morgan(self, a, b):
+        x, y = Vec128(a), Vec128(b)
+        # (~x) & y == y ^ (x & y)
+        assert v.vandn(x, y).value == y.value ^ v.vand(x, y).value
+
+    @given(u128)
+    def test_or_idempotent(self, a):
+        x = Vec128(a)
+        assert v.vor(x, x).value == a
+
+    @given(st.lists(u64, min_size=2, max_size=2),
+           st.lists(u64, min_size=2, max_size=2))
+    def test_vpaddq_is_modular_addition(self, la, lb):
+        out = v.vpaddq(Vec128.from_u64(la), Vec128.from_u64(lb))
+        assert out.u64() == [(x + y) % 2 ** 64 for x, y in zip(la, lb)]
+
+    @given(st.lists(u64, min_size=2, max_size=2))
+    def test_u64_roundtrip(self, lanes):
+        assert Vec128.from_u64(lanes).u64() == lanes
+
+
+class TestClmulProperties:
+    @given(u64, u64)
+    def test_commutative(self, a, b):
+        assert clmul64(a, b) == clmul64(b, a)
+
+    @given(u64, u64, u64)
+    def test_distributive_over_xor(self, a, b, c):
+        assert clmul64(a, b ^ c) == clmul64(a, b) ^ clmul64(a, c)
+
+    @given(u64)
+    def test_multiply_by_x_is_shift(self, a):
+        assert clmul64(a, 2) == a << 1
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=2 ** 128 - 1))
+    def test_gf128_identity(self, a):
+        assert gf128_mul(a, 1) == a
+
+
+class TestAesProperties:
+    @settings(max_examples=20)
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_encryption_is_injective_per_key(self, key, block):
+        # Changing one plaintext bit must change the ciphertext.
+        other = bytes([block[0] ^ 1]) + block[1:]
+        assert (aes128_encrypt_block(block, key)
+                != aes128_encrypt_block(other, key))
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_table_free_sbox_matches_table(self, x):
+        assert sbox_constant_time(x) == sbox_lookup(x)
+
+
+class TestMsrEncodingProperties:
+    @given(st.integers(min_value=-250, max_value=250))
+    def test_offset_roundtrip_within_half_step(self, mv):
+        offset = mv * 1e-3
+        decoded = decode_voltage_offset(encode_voltage_offset(offset))
+        assert abs(decoded - offset) <= 0.0005
+
+
+class TestPowerModelProperties:
+    @given(st.floats(min_value=0.7, max_value=1.3),
+           st.floats(min_value=1e9, max_value=6e9))
+    def test_power_positive_and_monotone_in_voltage(self, volts, freq):
+        model = CmosPowerModel.calibrated(4e9, 1.0, 100.0)
+        p = model.power(freq, volts)
+        assert p > 0
+        assert model.power(freq, volts + 0.05) > p
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=1.3), min_size=2,
+                    max_size=6, unique=True),
+           st.floats(min_value=1e9, max_value=5e9))
+    def test_curve_voltage_within_anchor_range(self, volts, f_lo):
+        volts = sorted(volts)
+        points = [(f_lo * (1 + 0.2 * i), volt) for i, volt in enumerate(volts)]
+        curve = DVFSCurve(points)
+        for f, volt in points:
+            assert curve.voltage_at(f) == pytest.approx(volt)
+        # Interpolated values stay within the anchor envelope.
+        mid = (points[0][0] + points[-1][0]) / 2
+        assert volts[0] <= curve.voltage_at(mid) <= volts[-1]
+
+
+class TestRaplProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_delta_always_non_negative(self, before, after):
+        assert 0 <= RaplCounter.delta(before, after) < 2 ** 32
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=500.0), min_size=1,
+                    max_size=20))
+    def test_counter_monotone_modulo_wrap(self, powers):
+        counter = RaplCounter()
+        total = 0.0
+        for p in powers:
+            counter.accumulate(p, 1.0)
+            total += p
+        expected = int(total / counter.energy_unit_j) % 2 ** 32
+        assert abs(counter.read() - expected) <= 1
+
+
+class TestTimerProperties:
+    @given(st.floats(min_value=0.0, max_value=1e3),
+           st.floats(min_value=1e-9, max_value=1.0),
+           st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=10))
+    def test_fires_exactly_deadline_after_last_reset(self, start, deadline,
+                                                     increments):
+        timer = DeadlineTimer()
+        timer.arm(start, deadline)
+        now = start
+        for inc in increments:
+            now += inc
+            timer.reset(now)
+        assert timer.fires_at == pytest.approx(now + deadline)
+
+
+class TestAggregateProperties:
+    @given(st.lists(st.floats(min_value=-0.9, max_value=9.0), min_size=1,
+                    max_size=30))
+    def test_geomean_bounded_by_extremes(self, changes):
+        gm = geomean_change(changes)
+        assert min(changes) - 1e-9 <= gm <= max(changes) + 1e-9
+
+    @given(st.lists(st.floats(min_value=-0.9, max_value=9.0), min_size=1,
+                    max_size=30))
+    def test_median_is_an_order_statistic(self, changes):
+        med = median_change(changes)
+        assert min(changes) <= med <= max(changes)
+
+    @given(st.floats(min_value=-0.5, max_value=2.0))
+    def test_geomean_of_constant(self, c):
+        assert geomean_change([c, c, c]) == pytest.approx(c, abs=1e-9)
+
+
+class TestTierProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_tier_ladder_invariants_over_random_chips(self, chip_seed):
+        from repro.core.tiers import derive_tiers
+        from repro.faults.model import FaultModel
+        from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+
+        chip = FaultModel().sample_chip(
+            DVFSCurve(I9_9900K_CURVE_POINTS), 4,
+            np.random.default_rng(chip_seed), exhibits=True)
+        tiers = derive_tiers(chip, (2e9, 4e9))
+        offsets = [t.offset_v for t in tiers]
+        # Deeper tiers disable supersets, offsets strictly decrease.
+        assert offsets == sorted(offsets, reverse=True)
+        for shallow, deep in zip(tiers, tiers[1:]):
+            assert shallow.disabled < deep.disabled
+
+
+class TestPerCoreProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_per_core_never_worse_than_uniform(self, chip_seed):
+        from repro.core.percore import per_core_gain, plan_per_core_offsets
+        from repro.faults.model import FaultModel
+        from repro.hardware.models import cpu_c_xeon_4208
+
+        cpu = cpu_c_xeon_4208()
+        chip = FaultModel(core_sigma_v=0.012).sample_chip(
+            cpu.conservative_curve, 8,
+            np.random.default_rng(chip_seed), exhibits=True)
+        plan = plan_per_core_offsets(chip, (2e9, 3e9))
+        assert per_core_gain(cpu, plan) >= -1e-12
+        # Every core's offset is at least as deep as the uniform one.
+        assert all(off <= plan.uniform_offset_v + 1e-12
+                   for off in plan.per_core_offsets_v)

@@ -1,0 +1,106 @@
+"""Tests for the discrete p-state ladder and the ondemand governor."""
+
+import pytest
+
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.power.pstates import (
+    DualCurveLadder,
+    OndemandGovernor,
+    PStateLadder,
+)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS)
+
+
+@pytest.fixture
+def ladder(curve):
+    return PStateLadder(curve)
+
+
+class TestPStateLadder:
+    def test_rungs_cover_the_curve(self, ladder, curve):
+        freqs = ladder.frequencies
+        assert freqs[0] == pytest.approx(curve.f_min, abs=ladder.bin_hz)
+        assert freqs[-1] == pytest.approx(curve.f_max, abs=ladder.bin_hz)
+
+    def test_100mhz_granularity(self, ladder):
+        freqs = ladder.frequencies
+        diffs = {round(b - a) for a, b in zip(freqs, freqs[1:])}
+        assert diffs == {100_000_000}
+
+    def test_i9_ladder_size(self, ladder):
+        # 0.8 .. 5.0 GHz in 100 MHz bins: 43 rungs.
+        assert ladder.n_states == 43
+
+    def test_pstates_follow_the_curve(self, ladder, curve):
+        p = ladder.pstate(ladder.nearest_index(4.0e9))
+        assert p.voltage == pytest.approx(curve.voltage_at(p.frequency))
+
+    def test_clamp(self, ladder):
+        assert ladder.clamp(3.333e9) == pytest.approx(3.3e9)
+
+    def test_invalid_bin(self, curve):
+        with pytest.raises(ValueError):
+            PStateLadder(curve, bin_hz=0)
+
+
+class TestOndemandGovernor:
+    def test_starts_at_top(self, ladder):
+        gov = OndemandGovernor(ladder)
+        assert gov.current.frequency == ladder.frequencies[-1]
+
+    def test_high_load_jumps_to_max(self, ladder):
+        gov = OndemandGovernor(ladder)
+        gov.sample(0.2)
+        assert gov.sample(0.95).frequency == ladder.frequencies[-1]
+
+    def test_low_load_steps_down(self, ladder):
+        gov = OndemandGovernor(ladder)
+        p = gov.sample(0.1)
+        assert p.frequency < ladder.frequencies[-1] * 0.5
+
+    def test_frequency_monotone_in_load(self, ladder):
+        gov = OndemandGovernor(ladder)
+        freqs = [gov.sample(u).frequency for u in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert freqs == sorted(freqs)
+
+    def test_profile_walk(self, ladder):
+        gov = OndemandGovernor(ladder)
+        states = gov.run_profile([0.9, 0.1, 0.9])
+        assert states[0].frequency > states[1].frequency
+        assert states[2].frequency == states[0].frequency
+
+    def test_validation(self, ladder):
+        with pytest.raises(ValueError):
+            OndemandGovernor(ladder, up_threshold=0.0)
+        gov = OndemandGovernor(ladder)
+        with pytest.raises(ValueError):
+            gov.sample(1.5)
+
+
+class TestDualCurveLadder:
+    def test_same_rungs_lower_volts(self, curve):
+        dual = DualCurveLadder.from_curve(curve, -0.097)
+        assert (dual.efficient.frequencies
+                == dual.conservative.frequencies)
+        for i in (0, 10, 42):
+            assert (dual.operating_point(i, efficient=True).voltage
+                    < dual.operating_point(i, efficient=False).voltage)
+
+    def test_power_saving_grows_toward_low_rungs(self, curve):
+        # A fixed offset is relatively larger at low voltage: the saving
+        # fraction is biggest at the bottom of the ladder.
+        dual = DualCurveLadder.from_curve(curve, -0.097)
+        assert dual.power_saving_at(0) > dual.power_saving_at(42)
+
+    def test_saving_magnitude(self, curve):
+        dual = DualCurveLadder.from_curve(curve, -0.097)
+        top = dual.power_saving_at(42)
+        assert 0.10 < top < 0.25  # ~16 % dynamic at the top rung
+
+    def test_needs_negative_offset(self, curve):
+        with pytest.raises(ValueError):
+            DualCurveLadder.from_curve(curve, 0.05)

@@ -1,0 +1,154 @@
+"""Tests for the instruction recorder and recorded programs."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.aes import aes128_encrypt_block
+from repro.isa.opcodes import Opcode
+from repro.workloads.analysis import burst_statistics
+from repro.workloads.programs import (
+    aes_ctr_encrypt,
+    ghash_tag,
+    record_tls_server_trace,
+    tls_record_server,
+)
+from repro.workloads.recorder import InstructionRecorder
+
+
+def _reference_ctr(key: bytes, data: bytes, nonce: int = 0) -> bytes:
+    out = bytearray()
+    for i in range(0, len(data), 16):
+        counter = (nonce + i // 16).to_bytes(16, "little")
+        keystream = aes128_encrypt_block(counter, key)
+        out.extend(b ^ k for b, k in zip(data[i: i + 16], keystream))
+    return bytes(out)
+
+
+class TestInstructionRecorder:
+    def test_positions_advance(self):
+        rec = InstructionRecorder("t")
+        rec.retire(100)
+        rec.execute(Opcode.VOR, *self._operands())
+        assert rec.position == 101
+        assert rec.n_events == 1
+
+    def test_execute_returns_real_results(self):
+        from repro.emulation.vector import Vec128
+        rec = InstructionRecorder("t")
+        out = rec.execute(Opcode.VXOR, Vec128(0b1100), Vec128(0b1010))
+        assert out.value == 0b0110
+
+    def test_imul_counted_not_logged(self):
+        rec = InstructionRecorder("t")
+        assert rec.imul(6, 7) == 42
+        assert rec.position == 1
+        assert rec.n_events == 0
+
+    def test_non_trapped_opcode_rejected(self):
+        from repro.emulation.vector import Vec128
+        rec = InstructionRecorder("t")
+        with pytest.raises(ValueError):
+            rec.execute(Opcode.ALU, Vec128(1), Vec128(2))
+
+    def test_finish_builds_valid_trace(self):
+        rec = InstructionRecorder("t", ipc=2.0)
+        rec.retire(10)
+        rec.execute(Opcode.VOR, *self._operands())
+        rec.retire(5)
+        trace = rec.finish(trailing_instructions=4)
+        assert trace.n_instructions == 20
+        assert trace.indices.tolist() == [10]
+        assert trace.event_opcode(0) is Opcode.VOR
+        assert trace.ipc == 2.0
+
+    def test_finish_twice_rejected(self):
+        rec = InstructionRecorder("t")
+        rec.retire(1)
+        rec.finish()
+        with pytest.raises(RuntimeError):
+            rec.retire(1)
+
+    def test_empty_recording(self):
+        trace = InstructionRecorder("t").finish(trailing_instructions=10)
+        assert trace.n_events == 0
+        assert trace.n_instructions == 10
+
+    @staticmethod
+    def _operands():
+        from repro.emulation.vector import Vec128
+        return Vec128(3), Vec128(5)
+
+
+class TestRecordedAesCtr:
+    KEY = bytes(range(16))
+    DATA = b"the quick brown fox jumps over the lazy dog....." * 2
+
+    def test_ciphertext_is_real_aes_ctr(self):
+        rec = InstructionRecorder("aes")
+        ct = aes_ctr_encrypt(rec, self.KEY, self.DATA, nonce=7)
+        assert ct == _reference_ctr(self.KEY, self.DATA, nonce=7)
+
+    def test_ten_events_per_block(self):
+        rec = InstructionRecorder("aes")
+        aes_ctr_encrypt(rec, self.KEY, b"\0" * 64)
+        assert rec.n_events == 4 * 10  # 4 blocks x 10 rounds
+
+    def test_roundtrip_decrypts(self):
+        rec = InstructionRecorder("aes")
+        ct = aes_ctr_encrypt(rec, self.KEY, self.DATA, nonce=3)
+        rec2 = InstructionRecorder("aes2")
+        assert aes_ctr_encrypt(rec2, self.KEY, ct, nonce=3) == self.DATA
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            aes_ctr_encrypt(InstructionRecorder("x"), b"short", b"data")
+
+
+class TestRecordedGhash:
+    def test_tag_depends_on_ciphertext(self):
+        rec = InstructionRecorder("g")
+        t1 = ghash_tag(rec, 0x1234, b"a" * 32)
+        rec2 = InstructionRecorder("g2")
+        t2 = ghash_tag(rec2, 0x1234, b"b" * 32)
+        assert t1 != t2
+
+    def test_one_clmul_per_block(self):
+        rec = InstructionRecorder("g")
+        ghash_tag(rec, 0x99, b"x" * 48)
+        assert rec.n_events == 3
+        trace = rec.finish()
+        assert all(trace.event_opcode(i) is Opcode.VPCLMULQDQ
+                   for i in range(3))
+
+
+class TestRecordedTlsServer:
+    def test_trace_structure_is_bursty(self):
+        trace, total = record_tls_server_trace(
+            n_requests=8, response_bytes=1024, think_instructions=500_000,
+            seed=1)
+        assert total == 8 * 1024
+        stats = burst_statistics(trace, burst_threshold=100_000)
+        assert stats.n_bursts == 8  # one crypto burst per request
+        # Within a burst the events are dense (AES rounds back-to-back).
+        assert stats.mean_intra_gap < 50
+
+    def test_recorded_trace_runs_under_suit(self):
+        from repro.core.suit import SuitSystem
+        from repro.workloads.profile import WorkloadProfile
+
+        trace, _ = record_tls_server_trace(
+            n_requests=6, response_bytes=1024, think_instructions=2_000_000,
+            seed=2)
+        profile = WorkloadProfile(
+            name=trace.name, suite="network",
+            n_instructions=trace.n_instructions, ipc=trace.ipc,
+            efficient_occupancy=0.5, n_episodes=6, dense_gap=3,
+            nosimd_overhead={"intel": -0.05, "amd": -0.06},
+            opcode_mix={Opcode.AESENC: 0.9, Opcode.VPCLMULQDQ: 0.1})
+        suit = SuitSystem.for_cpu("C", strategy_name="fV",
+                                  voltage_offset=-0.097)
+        suit.prime_trace(profile, trace)
+        result = suit.run_profile(profile)
+        # One trap per request burst, all handled, efficiency positive.
+        assert result.n_exceptions == 6
+        assert result.efficiency_change > 0

@@ -1,0 +1,50 @@
+"""Tests for the experiment runner and its summary output."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runall import EXPERIMENT_MODULES, main, run_all, summarize
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        ids = set(EXPERIMENT_MODULES)
+        for required in ("table1_faults", "table2_undervolting",
+                         "table3_temperature", "table4_nosimd",
+                         "table5_gem5_config", "table6_main",
+                         "table7_parameters", "table8_nosimd_vs_suit",
+                         "fig2_guardbands", "fig5_burst_detail",
+                         "fig6_fv_timeline", "fig7_vlc_timeline",
+                         "fig8_voltage_delay", "fig9_freq_delay_intel",
+                         "fig10_freq_delay_amd", "fig11_xeon_pstate",
+                         "fig12_undervolt_sweep", "fig13_dvfs_curves",
+                         "fig14_imul_latency", "fig16_per_benchmark"):
+            assert required in ids, required
+
+    def test_no_duplicates(self):
+        assert len(EXPERIMENT_MODULES) == len(set(EXPERIMENT_MODULES))
+
+    def test_all_modules_importable_with_run(self):
+        import importlib
+
+        for name in EXPERIMENT_MODULES:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run), name
+
+
+class TestRunAllSubset:
+    def test_subset_run_and_summary(self, capsys):
+        results = run_all(seed=0, fast=True,
+                          only=["table3_temperature", "fig2_guardbands"])
+        assert len(results) == 2
+        assert all(isinstance(r, ExperimentResult) for r in results)
+        text = summarize(results)
+        assert "table3" in text and "fig2" in text
+        assert "measured" in text
+
+    def test_main_writes_summary(self, tmp_path, capsys):
+        out = tmp_path / "summary.md"
+        code = main(["--fast", "--only", "table3_temperature",
+                     "--out", str(out)])
+        assert code == 0
+        assert "table3" in out.read_text()

@@ -1,0 +1,70 @@
+"""Tests for SPECcast-style sampled evaluation."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS_INTEL
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import strategy_for
+from repro.workloads.sampling import (
+    evaluate_sampled,
+    sample_windows,
+    sampling_error,
+)
+
+
+class TestSampleWindows:
+    def test_window_count_and_sizes(self, small_trace):
+        windows = sample_windows(small_trace, n_windows=8, coverage=0.2)
+        assert len(windows) == 8
+        expected = int(small_trace.n_instructions * 0.2 / 8)
+        assert all(w.n_instructions == expected for w in windows)
+
+    def test_full_coverage_single_window(self, small_trace):
+        windows = sample_windows(small_trace, n_windows=1, coverage=1.0)
+        assert windows[0].n_instructions == small_trace.n_instructions
+        assert windows[0].n_events == small_trace.n_events
+
+    def test_windows_capture_events_proportionally(self, small_trace):
+        windows = sample_windows(small_trace, n_windows=10, coverage=0.5)
+        captured = sum(w.n_events for w in windows)
+        assert captured == pytest.approx(small_trace.n_events * 0.5, rel=0.5)
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            sample_windows(small_trace, 0, 0.1)
+        with pytest.raises(ValueError):
+            sample_windows(small_trace, 5, 1.5)
+        with pytest.raises(ValueError):
+            sample_windows(small_trace, 10 ** 9, 1e-9)
+
+
+class TestSampledEvaluation:
+    def test_estimate_close_to_full_run(self, cpu_c, small_profile,
+                                        small_trace):
+        full = TraceSimulator(cpu_c, small_profile, small_trace,
+                              strategy_for("fV", DEFAULT_PARAMS_INTEL),
+                              -0.097, seed=0).run()
+        estimate = evaluate_sampled(cpu_c, small_profile, small_trace,
+                                    "fV", -0.097, n_windows=10, coverage=0.3)
+        err_perf, err_power, err_eff = sampling_error(estimate, full)
+        assert err_perf < 0.02
+        assert err_power < 0.03
+        assert err_eff < 0.04
+
+    def test_more_coverage_reduces_power_error(self, cpu_c, small_profile,
+                                               small_trace):
+        full = TraceSimulator(cpu_c, small_profile, small_trace,
+                              strategy_for("fV", DEFAULT_PARAMS_INTEL),
+                              -0.097, seed=0).run()
+        coarse = evaluate_sampled(cpu_c, small_profile, small_trace,
+                                  "fV", -0.097, n_windows=4, coverage=0.05)
+        fine = evaluate_sampled(cpu_c, small_profile, small_trace,
+                                "fV", -0.097, n_windows=10, coverage=0.5)
+        assert (sampling_error(fine, full)[1]
+                <= sampling_error(coarse, full)[1] + 0.01)
+
+    def test_coverage_recorded(self, cpu_c, small_profile, small_trace):
+        estimate = evaluate_sampled(cpu_c, small_profile, small_trace,
+                                    "fV", -0.097, n_windows=5, coverage=0.1)
+        assert estimate.coverage == 0.1
+        assert len(estimate.window_results) == 5

@@ -1,0 +1,87 @@
+"""Tests for trap-aware multi-domain scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (
+    Task,
+    evaluate_plan,
+    plan_partition,
+    plan_round_robin,
+)
+from repro.isa.opcodes import Opcode
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+
+
+def _task(name, occupancy, episodes=8, dense_gap=2000, n=100_000_000,
+          seed=0):
+    profile = WorkloadProfile(
+        name=name, suite="SPECint", n_instructions=n, ipc=1.5,
+        efficient_occupancy=occupancy, n_episodes=episodes,
+        dense_gap=dense_gap, sparse_events=2,
+        opcode_mix={Opcode.VOR: 1.0})
+    return Task(profile=profile, trace=generate_trace(profile, seed=seed))
+
+
+@pytest.fixture(scope="module")
+def mixed_tasks():
+    return [
+        _task("dirty-1", 0.05, seed=1),
+        _task("dirty-2", 0.10, seed=2),
+        _task("clean-1", 0.97, episodes=2, dense_gap=20_000, seed=3),
+        _task("clean-2", 0.95, episodes=2, dense_gap=20_000, seed=4),
+    ]
+
+
+class TestPlacementPolicies:
+    def test_round_robin_spreads(self, mixed_tasks):
+        plan = plan_round_robin(mixed_tasks, 2)
+        assert [len(d) for d in plan.domains] == [2, 2]
+        # Interleaved: each domain got one dirty, one clean.
+        for domain in plan.domains:
+            rates = sorted(t.trap_rate for t in domain)
+            assert rates[0] < rates[1] / 3
+
+    def test_partition_groups_by_trap_rate(self, mixed_tasks):
+        plan = plan_partition(mixed_tasks, 2)
+        rates = [[t.trap_rate for t in domain] for domain in plan.domains]
+        assert min(rates[0]) >= max(rates[1])  # dirty domain first
+
+    def test_partition_handles_uneven_counts(self, mixed_tasks):
+        plan = plan_partition(mixed_tasks[:3], 2)
+        assert sum(len(d) for d in plan.domains) == 3
+        assert max(len(d) for d in plan.domains) == 2
+
+    def test_single_domain_degenerate(self, mixed_tasks):
+        plan = plan_partition(mixed_tasks, 1)
+        assert len(plan.domains) == 1
+        assert len(plan.domains[0]) == 4
+
+    def test_invalid_domain_count(self, mixed_tasks):
+        with pytest.raises(ValueError):
+            plan_partition(mixed_tasks, 0)
+
+
+class TestPlanEvaluation:
+    def test_partition_beats_round_robin(self, cpu_a, mixed_tasks):
+        rr = evaluate_plan(cpu_a, plan_round_robin(mixed_tasks, 2))
+        pa = evaluate_plan(cpu_a, plan_partition(mixed_tasks, 2))
+        assert pa.efficiency_gmean > rr.efficiency_gmean
+
+    def test_clean_domain_stays_efficient(self, cpu_a, mixed_tasks):
+        outcome = evaluate_plan(cpu_a, plan_partition(mixed_tasks, 2))
+        occupancies = [r.efficient_occupancy
+                       for r in outcome.domain_results if r]
+        assert max(occupancies) > 0.85
+        assert min(occupancies) < 0.4
+
+    def test_idle_domains_allowed(self, cpu_a, mixed_tasks):
+        plan = plan_partition(mixed_tasks[:1], 2)
+        outcome = evaluate_plan(cpu_a, plan)
+        assert outcome.domain_results.count(None) == 1
+        assert len(outcome.per_task_efficiency) == 1
+
+    def test_every_task_attributed(self, cpu_a, mixed_tasks):
+        outcome = evaluate_plan(cpu_a, plan_partition(mixed_tasks, 2))
+        assert set(outcome.per_task_efficiency) == {t.name for t in mixed_tasks}

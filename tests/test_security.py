@@ -1,0 +1,183 @@
+"""Tests for the security analysis, monitor and attack demos."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultModel
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.security.analysis import (
+    check_conservative_curve,
+    check_efficient_curve,
+    imul_hardening_headroom,
+    reductionist_argument,
+)
+from repro.security.attacks import (
+    AesFaultDemo,
+    RsaCrtSigner,
+    bellcore_attack,
+    rsa_keygen,
+)
+from repro.security.invariants import ExecutionRecord, SecurityMonitor
+
+FREQS = (2.0e9, 3.0e9, 4.0e9)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return DVFSCurve(I9_9900K_CURVE_POINTS)
+
+
+@pytest.fixture(scope="module")
+def chip(curve):
+    rng = np.random.default_rng(11)
+    return FaultModel().sample_chip(curve, n_cores=4, rng=rng, exhibits=True)
+
+
+class TestReductionistArgument:
+    def test_conservative_curve_is_safe(self, chip):
+        report = check_conservative_curve(chip, FREQS)
+        assert report.safe
+        assert report.checked > 0
+
+    def test_efficient_curve_safe_with_suit(self, chip):
+        report = check_efficient_curve(chip, -0.070, FREQS, harden_imul=True)
+        assert report.safe, report.violations
+
+    def test_efficient_curve_unsafe_without_imul_hardening(self, chip):
+        # Un-hardened IMUL faults at -70 mV: the hardening is load-bearing.
+        report = check_efficient_curve(chip, -0.070, FREQS, harden_imul=False)
+        assert not report.safe
+        assert all(op is Opcode.IMUL for op, _, _ in report.violations)
+
+    def test_full_argument_holds(self, chip):
+        result = reductionist_argument(chip, -0.070, FREQS)
+        assert result.holds
+
+    def test_excessive_offset_breaks_even_suit(self, chip):
+        # Way past every margin: even non-faultable instructions fault.
+        report = check_efficient_curve(chip, -0.300, FREQS)
+        assert not report.safe
+
+    def test_positive_offset_rejected(self, chip):
+        with pytest.raises(ValueError):
+            check_efficient_curve(chip, +0.05, FREQS)
+
+    def test_headroom_function(self, curve):
+        assert imul_hardening_headroom(curve, 5e9) == pytest.approx(0.22, abs=0.03)
+        assert imul_hardening_headroom(curve, 1e9) < 0.03
+
+
+class TestSecurityMonitor:
+    def test_safe_executions_pass(self, chip, curve):
+        monitor = SecurityMonitor(chip)
+        record = ExecutionRecord(Opcode.VOR, 0, 4e9, curve.voltage_at(4e9))
+        assert monitor.observe(record)
+        assert monitor.report.secure
+
+    def test_undervolted_faultable_flagged(self, chip, curve):
+        monitor = SecurityMonitor(chip)
+        v = curve.voltage_at(4e9) - 0.120
+        report = monitor.audit_operating_point(TRAPPED_OPCODES, 0, 4e9, v)
+        assert not report.secure
+        assert report.observed == len(TRAPPED_OPCODES)
+
+    def test_non_faultable_never_flagged(self, chip, curve):
+        monitor = SecurityMonitor(chip)
+        v = curve.voltage_at(4e9) - 0.120
+        assert monitor.observe(ExecutionRecord(Opcode.ALU, 0, 4e9, v))
+
+    def test_hardened_imul_safe_where_stock_faults(self, chip, curve):
+        v = curve.voltage_at(4e9) - 0.070
+        record = ExecutionRecord(Opcode.IMUL, 0, 4e9, v)
+        assert SecurityMonitor(chip, hardened_imul=True).observe(record)
+        assert not SecurityMonitor(chip, hardened_imul=False).observe(record)
+
+
+class TestRsa:
+    def test_keygen_produces_working_keys(self):
+        key = rsa_keygen(bits=256, seed=1)
+        message = 0x1234567890ABCDEF
+        signer = RsaCrtSigner(key)
+        sig = signer.sign(message)
+        assert signer.verify(message, sig)
+
+    def test_crt_parameters_consistent(self):
+        key = rsa_keygen(bits=256, seed=2)
+        assert key.p * key.q == key.n
+        assert (key.q_inv * key.q) % key.p == 1
+
+    def test_message_range_checked(self):
+        key = rsa_keygen(bits=256, seed=1)
+        with pytest.raises(ValueError):
+            RsaCrtSigner(key).sign(key.n + 1)
+
+
+class TestBellcoreAttack:
+    def _faulty_signer(self, chip, curve, key):
+        rng = np.random.default_rng(5)
+        injector = FaultInjector(chip, rng)
+        # Deep undervolt, no SUIT: IMUL faults deterministically.
+        voltage = curve.voltage_at(4e9) - 0.10
+        return RsaCrtSigner(key, injector, core=0, frequency=4e9,
+                            voltage=voltage)
+
+    def test_attack_recovers_factor(self, chip, curve):
+        key = rsa_keygen(bits=256, seed=3)
+        signer = self._faulty_signer(chip, curve, key)
+        message = 0xC0FFEE
+        for _ in range(10):
+            sig = signer.sign(message)
+            if signer.verify(message, sig):
+                continue
+            factor = bellcore_attack(key.n, key.e, message, sig)
+            if factor is not None:
+                assert factor in (key.p, key.q)
+                return
+        pytest.fail("no usable faulty signature produced")
+
+    def test_correct_signature_reveals_nothing(self):
+        key = rsa_keygen(bits=256, seed=4)
+        signer = RsaCrtSigner(key)
+        sig = signer.sign(0xBEEF)
+        assert bellcore_attack(key.n, key.e, 0xBEEF, sig) is None
+
+    def test_suit_blocks_the_attack(self, chip, curve):
+        """With SUIT, IMUL is hardened: the same -100 mV efficient-curve
+        point produces no faults and no factorisation."""
+        key = rsa_keygen(bits=256, seed=3)
+        hardened = chip.with_hardened_imul()
+        rng = np.random.default_rng(5)
+        injector = FaultInjector(hardened, rng)
+        voltage = curve.voltage_at(4e9) - 0.10
+        signer = RsaCrtSigner(key, injector, core=0, frequency=4e9,
+                              voltage=voltage)
+        message = 0xC0FFEE
+        for _ in range(10):
+            sig = signer.sign(message)
+            assert signer.verify(message, sig)
+        assert injector.fault_count == 0
+
+
+class TestAesFaultDemo:
+    def test_faults_corrupt_ciphertext_without_suit(self, chip, curve):
+        rng = np.random.default_rng(6)
+        injector = FaultInjector(chip, rng)
+        voltage = curve.voltage_at(4e9) - 0.15
+        demo = AesFaultDemo(b"k" * 16, injector, core=0, frequency=4e9,
+                            voltage=voltage)
+        block = b"p" * 16
+        assert demo.encrypt_block(block) != demo.reference(block)
+
+    def test_suit_conservative_voltage_is_correct(self, chip, curve):
+        """SUIT traps AESENC and re-executes on the conservative curve:
+        full voltage, correct ciphertext."""
+        rng = np.random.default_rng(6)
+        injector = FaultInjector(chip, rng)
+        demo = AesFaultDemo(b"k" * 16, injector, core=0, frequency=4e9,
+                            voltage=curve.voltage_at(4e9))
+        block = b"p" * 16
+        assert demo.encrypt_block(block) == demo.reference(block)
+        assert injector.fault_count == 0

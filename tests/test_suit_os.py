@@ -1,0 +1,103 @@
+"""Tests for the MSR-level SUIT kernel subsystem."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS_INTEL
+from repro.hardware.counters import DelaySpec
+from repro.hardware.interface import SuitMsrInterface
+from repro.hardware.msr import Msr
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.kernel.handler import KernelCosts
+from repro.kernel.suit_os import SuitOs
+from repro.power.dvfs import CurveKind
+
+
+@pytest.fixture
+def kernel():
+    os_model = SuitOs(
+        msrs=SuitMsrInterface(),
+        costs=KernelCosts(DelaySpec(0.34e-6), DelaySpec(0.77e-6)),
+        params=DEFAULT_PARAMS_INTEL,
+    )
+    os_model.boot()
+    return os_model
+
+
+class TestBootAndShutdown:
+    def test_boot_enters_suit_steady_state(self, kernel):
+        assert kernel.on_efficient_curve
+        assert TRAPPED_OPCODES <= kernel.msrs.disabled_opcodes()
+        assert kernel.msrs.deadline_seconds() == pytest.approx(30e-6)
+
+    def test_shutdown_restores_stock_behaviour(self, kernel):
+        kernel.shutdown()
+        assert not kernel.on_efficient_curve
+        assert kernel.msrs.disabled_opcodes() == frozenset()
+
+    def test_unbooted_rejects_events(self):
+        os_model = SuitOs(SuitMsrInterface(),
+                          KernelCosts(DelaySpec(1e-6), DelaySpec(2e-6)),
+                          DEFAULT_PARAMS_INTEL)
+        with pytest.raises(RuntimeError):
+            os_model.on_disabled_opcode(Opcode.AESENC, 0.0)
+
+
+class TestTrapFlow:
+    def test_do_switches_to_conservative_and_enables(self, kernel):
+        cost = kernel.on_disabled_opcode(Opcode.AESENC, time_s=1.0)
+        assert cost > 0
+        assert not kernel.on_efficient_curve
+        assert kernel.msrs.disabled_opcodes() == frozenset()
+        assert kernel.timer.armed
+
+    def test_msr_trace_matches_listing1(self, kernel):
+        kernel.on_disabled_opcode(Opcode.VOR, time_s=1.0)
+        # The deadline register carries the armed value in TSC ticks.
+        ticks = kernel.msrs.msrs.read(Msr.SUIT_DEADLINE)
+        assert ticks == round(30e-6 * kernel.msrs.tsc_frequency)
+
+    def test_faultable_execution_resets_countdown(self, kernel):
+        kernel.on_disabled_opcode(Opcode.VOR, time_s=1.0)
+        kernel.on_faultable_executed(1.0 + 20e-6)
+        assert kernel.timer.fires_at == pytest.approx(1.0 + 20e-6 + 30e-6)
+
+    def test_timer_returns_to_efficient(self, kernel):
+        kernel.on_disabled_opcode(Opcode.VOR, time_s=1.0)
+        kernel.on_timer_interrupt(1.0 + 31e-6)
+        assert kernel.on_efficient_curve
+        assert TRAPPED_OPCODES <= kernel.msrs.disabled_opcodes()
+
+    def test_premature_timer_is_ignored(self, kernel):
+        kernel.on_disabled_opcode(Opcode.VOR, time_s=1.0)
+        kernel.on_timer_interrupt(1.0 + 5e-6)  # countdown not expired
+        assert not kernel.on_efficient_curve
+
+    def test_thrashing_stretches_register_value(self, kernel):
+        times = [1.0, 1.0 + 100e-6, 1.0 + 200e-6, 1.0 + 300e-6]
+        for t in times:
+            kernel.on_disabled_opcode(Opcode.VOR, t)
+            kernel.on_timer_interrupt(t + 50e-6)
+        ticks = kernel.msrs.msrs.read(Msr.SUIT_DEADLINE)
+        stretched = 30e-6 * 14 * kernel.msrs.tsc_frequency
+        assert ticks == round(stretched)
+
+    def test_log_records_choreography(self, kernel):
+        kernel.on_disabled_opcode(Opcode.AESENC, 1.0)
+        kernel.on_timer_interrupt(2.0)
+        actions = kernel.log.actions()
+        assert any("boot" in a for a in actions)
+        assert any("#DO AESENC" in a for a in actions)
+        assert any("timer" in a for a in actions)
+
+
+class TestEmulationFlow:
+    def test_emulation_stays_on_efficient_curve(self):
+        kernel = SuitOs(SuitMsrInterface(),
+                        KernelCosts(DelaySpec(0.34e-6), DelaySpec(0.77e-6)),
+                        DEFAULT_PARAMS_INTEL, emulate=True)
+        kernel.boot()
+        kernel.on_disabled_opcode(Opcode.AESENC, 1.0)
+        assert kernel.on_efficient_curve
+        assert TRAPPED_OPCODES <= kernel.msrs.disabled_opcodes()
+        assert not kernel.timer.armed

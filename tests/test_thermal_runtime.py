@@ -1,0 +1,120 @@
+"""Tests for the transient thermal model and adaptive offset controller."""
+
+import math
+
+import pytest
+
+from repro.power.guardband import TemperatureGuardband
+from repro.power.thermal_runtime import (
+    TemperatureAdaptiveOffset,
+    ThermalIntegrator,
+    simulate_adaptive,
+)
+
+
+class TestThermalIntegrator:
+    def test_starts_at_ambient(self):
+        model = ThermalIntegrator(ambient_c=25.0)
+        assert model.temperature_c == 25.0
+
+    def test_converges_to_steady_state(self):
+        model = ThermalIntegrator(time_constant_s=2.0)
+        target = model.steady_state(100.0)
+        for _ in range(200):
+            model.step(100.0, 0.5)
+        assert model.temperature_c == pytest.approx(target, abs=0.1)
+
+    def test_exponential_step_is_stable_for_huge_dt(self):
+        model = ThermalIntegrator()
+        model.step(150.0, 1e6)  # one giant step
+        assert model.temperature_c == pytest.approx(model.steady_state(150.0))
+
+    def test_cools_when_idle(self):
+        model = ThermalIntegrator()
+        model.step(150.0, 100.0)
+        hot = model.temperature_c
+        model.step(0.0, 100.0)
+        assert model.temperature_c < hot
+        assert model.temperature_c >= model.ambient_c - 1e-9
+
+    def test_time_constant_controls_speed(self):
+        fast = ThermalIntegrator(time_constant_s=1.0)
+        slow = ThermalIntegrator(time_constant_s=20.0)
+        fast.step(100.0, 1.0)
+        slow.step(100.0, 1.0)
+        assert fast.temperature_c > slow.temperature_c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalIntegrator(time_constant_s=0.0)
+        model = ThermalIntegrator()
+        with pytest.raises(ValueError):
+            model.step(-1.0, 1.0)
+
+
+class TestAdaptiveOffsetController:
+    def test_hot_core_gets_base_offset(self):
+        ctrl = TemperatureAdaptiveOffset(base_offset_v=-0.070)
+        assert ctrl.offset_at(88.0) == pytest.approx(-0.070)
+        assert ctrl.offset_at(95.0) == pytest.approx(-0.070)
+
+    def test_cool_core_gets_deeper_offset(self):
+        ctrl = TemperatureAdaptiveOffset(base_offset_v=-0.070)
+        cool = ctrl.offset_at(50.0)
+        assert cool < -0.070
+        # Table 3: ~35 mV more headroom at 50 C; capped at 30 mV extra.
+        assert cool == pytest.approx(-0.100, abs=0.002)
+
+    def test_cap_respected(self):
+        ctrl = TemperatureAdaptiveOffset(base_offset_v=-0.070,
+                                         max_extra_v=0.010)
+        assert ctrl.offset_at(30.0) >= -0.081
+
+    def test_monotone_in_temperature(self):
+        ctrl = TemperatureAdaptiveOffset()
+        offsets = [ctrl.offset_at(t) for t in (40, 55, 70, 85)]
+        assert offsets == sorted(offsets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureAdaptiveOffset(base_offset_v=0.01)
+
+
+class TestCoSimulation:
+    @staticmethod
+    def _power(offset: float) -> float:
+        # Quadratic-ish toy power model.
+        return 100.0 * (1.0 + offset) ** 2
+
+    def test_adaptive_saves_energy_on_bursty_load(self):
+        def duty(t: float) -> float:
+            return 1.0 if math.fmod(t, 10.0) < 3.0 else 0.0
+
+        fixed = simulate_adaptive(self._power, duty, 60.0,
+                                  thermal=ThermalIntegrator(),
+                                  fixed_offset_v=-0.070)
+        adaptive = simulate_adaptive(self._power, duty, 60.0,
+                                     thermal=ThermalIntegrator(),
+                                     controller=TemperatureAdaptiveOffset())
+        assert adaptive.energy_j < fixed.energy_j
+        assert adaptive.mean_offset_v < -0.070
+
+    def test_sustained_load_converges_to_base(self):
+        adaptive = simulate_adaptive(
+            self._power, lambda t: 1.0, 300.0,
+            thermal=ThermalIntegrator(resistance_k_per_w=0.7),
+            controller=TemperatureAdaptiveOffset())
+        # Hot steady state: the last applied offsets sit at the base.
+        tail = [o for _, _, o in adaptive.trajectory[-10:]]
+        assert all(o == pytest.approx(-0.070, abs=0.003) for o in tail)
+
+    def test_requires_controller_or_fixed(self):
+        with pytest.raises(ValueError):
+            simulate_adaptive(self._power, lambda t: 1.0, 1.0)
+
+    def test_trajectory_recorded(self):
+        run = simulate_adaptive(self._power, lambda t: 0.5, 5.0,
+                                fixed_offset_v=-0.070,
+                                control_period_s=0.5)
+        assert len(run.trajectory) == 10
+        assert run.max_temperature_c >= run.trajectory[0][1]

@@ -1,0 +1,133 @@
+"""Tests for the multi-tier efficient-curve extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiers import (
+    CurveTier,
+    choose_tier,
+    derive_tiers,
+    tier_power_gain,
+    trap_rates_by_opcode,
+)
+from repro.faults.model import FaultModel
+from repro.isa.faultable import TRAPPED_OPCODES
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import DVFSCurve, I9_9900K_CURVE_POINTS
+from repro.workloads.trace import FaultableTrace
+
+FREQS = (2.0e9, 3.0e9, 4.0e9)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    curve = DVFSCurve(I9_9900K_CURVE_POINTS)
+    return FaultModel().sample_chip(curve, 4, np.random.default_rng(21),
+                                    exhibits=True)
+
+
+@pytest.fixture(scope="module")
+def tiers(chip):
+    return derive_tiers(chip, FREQS)
+
+
+def _trace(opcode, rate, n=10 ** 9):
+    step = int(1 / rate)
+    indices = np.arange(step, n, step, dtype=np.int64)
+    return FaultableTrace("t", n, 1.5, indices,
+                          np.zeros(indices.size, dtype=np.uint8), (opcode,))
+
+
+class TestCurveTier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurveTier(offset_v=0.05, disabled=frozenset({Opcode.VOR}))
+        with pytest.raises(ValueError):
+            CurveTier(offset_v=-0.07, disabled=frozenset())
+        with pytest.raises(ValueError):
+            CurveTier(offset_v=-0.07, disabled=frozenset({Opcode.IMUL}))
+
+
+class TestDeriveTiers:
+    def test_ladder_shallow_to_deep(self, tiers):
+        offsets = [t.offset_v for t in tiers]
+        assert offsets == sorted(offsets, reverse=True)
+        assert len(tiers) == 3
+
+    def test_disabled_sets_nest(self, tiers):
+        for shallow, deep in zip(tiers, tiers[1:]):
+            assert shallow.disabled < deep.disabled
+
+    def test_deepest_tier_is_classic_suit(self, tiers):
+        assert tiers[-1].disabled == TRAPPED_OPCODES
+
+    def test_shallow_tier_keeps_common_logic_ops(self, tiers):
+        assert Opcode.VAND not in tiers[0].disabled
+        assert Opcode.VOR in tiers[0].disabled  # most sensitive: always
+
+    def test_offsets_respect_cap(self, chip):
+        capped = derive_tiers(chip, FREQS, max_offset_v=-0.080)
+        assert all(t.offset_v >= -0.080 for t in capped)
+
+    def test_tiers_safe_for_their_enabled_sets(self, chip, tiers):
+        hardened = chip.with_hardened_imul()
+        for tier in tiers:
+            for op in Opcode:
+                if op in tier.disabled:
+                    continue
+                for core in range(hardened.n_cores):
+                    for freq in FREQS:
+                        voltage = hardened.curve.voltage_at(freq) + tier.offset_v
+                        assert not hardened.faults(op, core, freq, voltage), \
+                            (tier.offset_v, op)
+
+    def test_invalid_prefix_rejected(self, chip):
+        with pytest.raises(ValueError):
+            derive_tiers(chip, FREQS, prefixes=(0,))
+        with pytest.raises(ValueError):
+            derive_tiers(chip, FREQS, prefixes=(99,))
+
+
+class TestChooseTier:
+    def test_vand_heavy_workload_stays_mid_tier(self, tiers):
+        # Uses VAND often: the deep tier would trap it; tier 1 keeps it
+        # enabled... but tier 1 also disables VAND.  Check the actual
+        # semantics: frequent VAND pushes the choice to tier 0.
+        choice = choose_tier(tiers, _trace(Opcode.VAND, 1e-4))
+        assert Opcode.VAND not in choice.tier.disabled
+
+    def test_vpaddq_heavy_workload_gets_mid_depth(self, tiers):
+        choice = choose_tier(tiers, _trace(Opcode.VPADDQ, 1e-4))
+        assert choice.tier == tiers[1]  # VPADDQ enabled there, deeper than 0
+
+    def test_trap_free_workload_goes_deepest(self, tiers):
+        quiet = _trace(Opcode.VOR, 1e-8)
+        choice = choose_tier(tiers, quiet, max_trap_rate=1e-6)
+        # VOR rate 1e-8 is under budget everywhere: deepest tier wins.
+        assert choice.tier == tiers[-1]
+
+    def test_fallback_is_shallowest(self, tiers):
+        noisy = _trace(Opcode.VPADDQ, 1e-3)
+        # VPADDQ is only disabled on the deepest tier; rate too high for
+        # it, fine for the shallower ones: picks tier 1 (deeper of the
+        # two where VPADDQ stays enabled).
+        choice = choose_tier(tiers, noisy)
+        assert Opcode.VPADDQ not in choice.tier.disabled
+
+    def test_empty_ladder_rejected(self, tiers):
+        with pytest.raises(ValueError):
+            choose_tier([], _trace(Opcode.VOR, 1e-6))
+
+
+class TestHelpers:
+    def test_trap_rates(self):
+        trace = _trace(Opcode.AESENC, 1e-5)
+        rates = trap_rates_by_opcode(trace)
+        assert rates[Opcode.AESENC] == pytest.approx(1e-5, rel=0.01)
+
+    def test_deeper_tier_saves_more_power(self, tiers):
+        gain = tier_power_gain(tiers[0], tiers[-1], nominal_voltage=1.09)
+        assert gain > 0.05
+
+    def test_same_tier_no_gain(self, tiers):
+        assert tier_power_gain(tiers[0], tiers[0], 1.09) == pytest.approx(0.0)
