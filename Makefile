@@ -1,0 +1,29 @@
+# Developer entry points.  `make verify` is the tier-1 gate; `make
+# test-all` additionally runs the slow-marked golden regressions.
+
+PY := PYTHONPATH=src python
+
+.PHONY: verify test test-all bench goldens goldens-check reproduce clean-cache
+
+verify: test
+
+test:
+	$(PY) -m pytest -x -q
+
+test-all:
+	$(PY) -m pytest -x -q -m ""
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+goldens:
+	$(PY) -m repro.runtime.goldens --update
+
+goldens-check:
+	$(PY) -m repro.runtime.goldens --check
+
+reproduce:
+	$(PY) -m repro.experiments.runall --fast --jobs 4 --json report.json
+
+clean-cache:
+	$(PY) -c "from repro.runtime.cache import ResultCache; print(ResultCache().clear(), 'entries removed')"

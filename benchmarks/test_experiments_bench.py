@@ -164,3 +164,48 @@ def test_ext_model_check(benchmark):
 def test_ext_tiers(benchmark):
     result = _run_experiment(benchmark, "ext_tiers")
     assert result.metric("ladder_has_multiple_tiers").measured == 1.0
+
+
+# --- experiment engine: wall time at --jobs 1 vs --jobs N, and warm cache ---
+#
+# These record the engine's perf trajectory: the serial/parallel pair
+# measures pool scaling on this machine, the warm-cache benchmark pins
+# the memoized path (which must stay orders of magnitude faster than
+# recomputation).
+
+#: Cheap, representative engine workload (sub-second per experiment).
+_ENGINE_MODULES = ("table3_temperature", "fig2_guardbands",
+                   "table5_gem5_config", "fig5_burst_detail",
+                   "fig7_vlc_timeline", "ablation_uarch")
+
+
+def _run_engine(benchmark, jobs, cache=None):
+    from repro.runtime.engine import ExperimentEngine
+
+    engine = ExperimentEngine(jobs=jobs, cache=cache)
+
+    def run():
+        return engine.run(seed=0, fast=True, only=list(_ENGINE_MODULES))
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_engine_fast_jobs1(benchmark):
+    report = _run_engine(benchmark, jobs=1)
+    assert report.n_failed == 0 and len(report.records) == len(_ENGINE_MODULES)
+
+
+def test_engine_fast_jobs4(benchmark):
+    report = _run_engine(benchmark, jobs=4)
+    assert report.n_failed == 0 and len(report.records) == len(_ENGINE_MODULES)
+
+
+def test_engine_warm_cache(benchmark, tmp_path):
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.engine import ExperimentEngine
+
+    cache = ResultCache(tmp_path / "cache")
+    ExperimentEngine(jobs=1, cache=cache).run(
+        seed=0, fast=True, only=list(_ENGINE_MODULES))  # populate
+    report = _run_engine(benchmark, jobs=1, cache=cache)
+    assert report.n_cache_hits == len(_ENGINE_MODULES)

@@ -160,14 +160,22 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the paper's experiments (wrapper over runall)."""
+    """Run the paper's experiments (wrapper over the experiment engine)."""
     from repro.experiments.runall import main as runall_main
 
-    argv: List[str] = []
+    argv: List[str] = ["--jobs", str(args.jobs), "--seed", str(args.seed)]
     if args.fast:
         argv.append("--fast")
     if args.only:
         argv.extend(["--only", *args.only])
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.out:
+        argv.extend(["--out", args.out])
+    if args.json is not None:
+        argv.append("--json")
+        if args.json is not True:
+            argv.append(args.json)
     return runall_main(argv)
 
 
@@ -256,6 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="run the paper's experiments")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--only", nargs="*")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-cache", action="store_true",
+                   help="always recompute; skip the result cache")
+    p.add_argument("--out", default=None,
+                   help="write the metric summary to this file")
+    p.add_argument("--json", nargs="?", const=True, default=None,
+                   metavar="PATH", help="write the machine-readable report")
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("figures", help="render the figures as terminal plots")

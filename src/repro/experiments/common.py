@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.workloads.generator import generate_trace
 from repro.workloads.profile import WorkloadProfile
@@ -89,15 +91,65 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
-_TRACE_CACHE: Dict[str, FaultableTrace] = {}
+#: Upper bound on retained traces; oldest-used entries are evicted first.
+#: Sized to hold the full SPEC suite plus the network workloads at two
+#: seeds (23 SPEC + nginx + vlc = 25 per seed) without thrashing.
+TRACE_CACHE_MAX_ENTRIES = 56
+
+_TRACE_CACHE: "OrderedDict[Tuple[str, int], FaultableTrace]" = OrderedDict()
+_TRACE_CACHE_LOCK = threading.Lock()
+
+
+def _trace_cache_key(profile: WorkloadProfile, seed: int) -> Tuple[str, int]:
+    """Value-based cache key for ``(profile, seed)``.
+
+    Keyed on the profile's full field repr rather than its name: two
+    distinct profiles that happen to share a name (common in tests and
+    ad-hoc sweeps) must not alias each other's traces.
+    """
+    return (repr(profile), int(seed))
 
 
 def cached_trace(profile: WorkloadProfile, seed: int = 0) -> FaultableTrace:
-    """Process-wide trace cache: experiments share synthesised traces."""
-    key = f"{profile.name}/{seed}"
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate_trace(profile, seed=seed)
-    return _TRACE_CACHE[key]
+    """Per-process LRU trace cache: experiments share synthesised traces.
+
+    The cache is bounded (:data:`TRACE_CACHE_MAX_ENTRIES`, LRU
+    eviction) and thread-safe.  It is deliberately **per process**: pool
+    workers of the experiment engine each hold their own copy and never
+    share entries.  That cannot diverge results — ``generate_trace`` is
+    a pure function of ``(profile, seed)`` and the key covers every
+    profile field — it only means a trace may be synthesised once per
+    worker instead of once per machine.
+    """
+    key = _trace_cache_key(profile, seed)
+    with _TRACE_CACHE_LOCK:
+        trace = _TRACE_CACHE.get(key)
+        if trace is not None:
+            _TRACE_CACHE.move_to_end(key)
+            return trace
+    trace = generate_trace(profile, seed=seed)
+    with _TRACE_CACHE_LOCK:
+        existing = _TRACE_CACHE.get(key)
+        if existing is not None:
+            _TRACE_CACHE.move_to_end(key)
+            return existing
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
+            _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (tests and memory-sensitive callers)."""
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE.clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Current size and capacity of this process's trace cache."""
+    with _TRACE_CACHE_LOCK:
+        return {"entries": len(_TRACE_CACHE),
+                "max_entries": TRACE_CACHE_MAX_ENTRIES}
 
 
 def pct(value: float) -> str:

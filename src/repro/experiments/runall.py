@@ -1,20 +1,27 @@
 """Run every experiment and emit a combined report.
 
 Usage:
-    python -m repro.experiments.runall [--fast] [--out report.md]
+    python -m repro.experiments.runall [--fast] [--jobs N] [--no-cache]
+                                       [--only MOD ...] [--out report.md]
+                                       [--json [report.json]]
 
 The full run regenerates every table and figure of the paper and prints
 each paper-vs-measured comparison; its output is the source of
-EXPERIMENTS.md.
+EXPERIMENTS.md.  Execution is delegated to
+:class:`repro.runtime.engine.ExperimentEngine`: experiments run on a
+process pool (``--jobs``), are seeded deterministically per module, and
+are memoized in an on-disk content-addressed cache (disable with
+``--no-cache``), so a warm re-run is near-instant.  ``--json`` writes
+the machine-readable report next to the markdown summary.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import os
 import sys
-import time
-from typing import List
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
 
@@ -60,21 +67,38 @@ EXPERIMENT_MODULES = (
 )
 
 
+def _print_report(report) -> None:
+    """Print each record's textual report (or failure) in paper order."""
+    for record in report.records:
+        if record.ok:
+            print(record.to_result().report())
+            cached = " (cached)" if record.cache_hit else ""
+            print(f"[{record.module} finished in "
+                  f"{record.wall_time_s:.1f}s{cached}]\n", flush=True)
+        else:
+            print(f"== {record.module}: FAILED ==")
+            print(record.error)
+            print(flush=True)
+
+
 def run_all(seed: int = 0, fast: bool = False,
-            only: List[str] = None) -> List[ExperimentResult]:
-    """Run all (or the selected) experiments; returns their results."""
-    results = []
-    for name in EXPERIMENT_MODULES:
-        if only and name not in only:
-            continue
-        module = importlib.import_module(f"repro.experiments.{name}")
-        start = time.time()
-        result = module.run(seed=seed, fast=fast)
-        elapsed = time.time() - start
-        print(result.report())
-        print(f"[{name} finished in {elapsed:.1f}s]\n", flush=True)
-        results.append(result)
-    return results
+            only: Optional[Sequence[str]] = None, jobs: int = 1,
+            cache=None) -> List[ExperimentResult]:
+    """Run all (or the selected) experiments; returns their results.
+
+    Thin wrapper over :class:`~repro.runtime.engine.ExperimentEngine`
+    keeping the historical interface: prints each report as it is known
+    and returns the successful :class:`ExperimentResult` objects in
+    paper order.  Pass a :class:`~repro.runtime.cache.ResultCache` as
+    *cache* to memoize across invocations.
+    """
+    from repro.runtime.engine import ExperimentEngine
+
+    engine = ExperimentEngine(modules=EXPERIMENT_MODULES, jobs=jobs,
+                              cache=cache)
+    report = engine.run(seed=seed, fast=fast, only=only)
+    _print_report(report)
+    return report.results()
 
 
 def summarize(results: List[ExperimentResult]) -> str:
@@ -88,23 +112,58 @@ def summarize(results: List[ExperimentResult]) -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point; returns the exit code."""
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.engine import ExperimentEngine
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="trimmed workloads / repetitions")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiment module names")
+    parser.add_argument("--jobs", type=int,
+                        default=int(os.environ.get("REPRO_JOBS", "1")),
+                        help="parallel worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; do not touch the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                             "(default $REPRO_CACHE_DIR or ~/.cache/repro-suit)")
     parser.add_argument("--out", default=None,
                         help="write the metric summary to this file")
+    parser.add_argument("--json", nargs="?", const=True, default=None,
+                        metavar="PATH",
+                        help="write the machine-readable report "
+                             "(default: report.json next to --out)")
     args = parser.parse_args(argv)
-    results = run_all(seed=args.seed, fast=args.fast, only=args.only)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+    engine = ExperimentEngine(modules=EXPERIMENT_MODULES, jobs=args.jobs,
+                              cache=cache)
+    try:
+        report = engine.run(seed=args.seed, fast=args.fast, only=args.only)
+    except ValueError as exc:
+        parser.error(str(exc))
+    _print_report(report)
     if args.out:
         with open(args.out, "w") as handle:
-            handle.write(summarize(results))
+            handle.write(summarize(report.results()))
         print(f"summary written to {args.out}")
-    return 0
+    if args.json is not None:
+        if args.json is True:
+            base = Path(args.out).parent if args.out else Path(".")
+            json_path = base / "report.json"
+        else:
+            json_path = Path(args.json)
+        report.write(json_path)
+        print(f"report written to {json_path} "
+              f"({report.n_cache_hits}/{len(report.records)} cached, "
+              f"{report.total_wall_time_s:.1f}s)")
+    return 0 if report.n_failed == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,37 @@
+"""Experiment execution runtime: parallel engine, result cache, goldens.
+
+The runtime package turns the per-module experiments under
+:mod:`repro.experiments` into a managed fleet:
+
+* :mod:`repro.runtime.seeding` — deterministic per-experiment seeds, so
+  results do not depend on worker scheduling.
+* :mod:`repro.runtime.cache` — an on-disk content-addressed result
+  cache keyed by (module source hash, package source digest, package
+  version, seed, fast/full mode).
+* :mod:`repro.runtime.serialization` — the stable JSON schema for
+  :class:`~repro.experiments.common.ExperimentResult`.
+* :mod:`repro.runtime.engine` — :class:`ExperimentEngine`, which runs
+  experiments on a process pool and emits an :class:`EngineReport`
+  (``report.json``).
+* :mod:`repro.runtime.goldens` — golden-value snapshots of every paper
+  metric plus the comparison used by the regression harness
+  (``tests/test_goldens.py``).
+"""
+
+from repro.runtime.cache import ResultCache, experiment_cache_key, package_digest
+from repro.runtime.engine import EngineReport, ExperimentEngine, ExperimentRecord
+from repro.runtime.seeding import derive_seed
+from repro.runtime.serialization import deserialize_result, jsonify, serialize_result
+
+__all__ = [
+    "ResultCache",
+    "experiment_cache_key",
+    "package_digest",
+    "EngineReport",
+    "ExperimentEngine",
+    "ExperimentRecord",
+    "derive_seed",
+    "deserialize_result",
+    "jsonify",
+    "serialize_result",
+]

@@ -1,0 +1,168 @@
+"""On-disk content-addressed cache for experiment results.
+
+Each cached entry is one JSON file named ``<key>.json`` where *key* is
+the SHA-256 of the canonical key material:
+
+* ``module`` — the experiment module name (``"table6_main"``),
+* ``module_sha256`` — hash of that module's source file,
+* ``package_digest`` — hash of **every** ``.py`` file in the ``repro``
+  package (so a change anywhere in the simulator invalidates results,
+  not only edits to the experiment module itself),
+* ``version`` — the ``repro`` distribution version,
+* ``seed`` — the *derived* per-experiment seed,
+* ``fast`` — fast/full mode.
+
+Writes are atomic (temp file + :func:`os.replace`), so concurrent pool
+workers and concurrent engine invocations can share one cache directory
+without torn entries.  A corrupt or unreadable entry is treated as a
+miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Bump when the cached payload layout changes; invalidates old entries.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-suit``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-suit" / "experiments"
+
+
+def experiment_cache_key(*, module: str, module_sha256: str,
+                         package_digest: str, version: str,
+                         seed: int, fast: bool) -> str:
+    """Content-address (64 hex chars) of one experiment invocation.
+
+    Equal inputs always map to equal keys; changing any single field
+    changes the key (``tests/test_runtime_properties.py`` pins both
+    properties).
+    """
+    material = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "module": str(module),
+        "module_sha256": str(module_sha256),
+        "package_digest": str(package_digest),
+        "version": str(version),
+        "seed": int(seed),
+        "fast": bool(fast),
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def source_sha256(path: Path) -> str:
+    """SHA-256 of one source file's bytes."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+_PACKAGE_DIGEST_CACHE: Dict[str, str] = {}
+
+
+def package_digest(root: Optional[Path] = None, *, refresh: bool = False) -> str:
+    """Digest of every ``.py`` file under *root* (default: the ``repro`` package).
+
+    The digest covers relative paths and file contents in sorted order,
+    so renames, additions, deletions and edits all change it.  Computed
+    once per process per root (hashing ~200 files costs a few ms; pass
+    ``refresh=True`` to force recomputation after editing sources
+    in-process).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root).resolve()
+    cache_token = str(root)
+    if not refresh and cache_token in _PACKAGE_DIGEST_CACHE:
+        return _PACKAGE_DIGEST_CACHE[cache_token]
+    hasher = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        hasher.update(rel.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    digest = hasher.hexdigest()
+    _PACKAGE_DIGEST_CACHE[cache_token] = digest
+    return digest
+
+
+class ResultCache:
+    """Content-addressed store of serialized experiment results."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        """Create a cache rooted at *root* (default :func:`default_cache_dir`)."""
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Path of the entry addressed by *key*."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored payload for *key*, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store *payload* under *key*; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key,
+                 "payload": payload}
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,33 @@
+"""Deterministic per-experiment seeding.
+
+Every experiment run by the engine receives a seed derived from the
+base seed and its own module name.  The derivation is a pure function
+of those two inputs, so:
+
+* results never depend on worker scheduling or submission order
+  (``--jobs 1`` and ``--jobs 4`` produce identical reports), and
+* experiments are statistically decorrelated from each other even
+  though they share one base seed (two experiments no longer consume
+  the same random stream just because both were started with seed 0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Domain-separation tag; bump when the derivation scheme changes so
+#: cached results and goldens keyed on derived seeds invalidate cleanly.
+_SEED_DOMAIN = "repro.runtime.seed.v1"
+
+
+def derive_seed(base_seed: int, experiment: str) -> int:
+    """Derive the seed for *experiment* from *base_seed*.
+
+    Returns an unsigned 32-bit integer (valid for
+    :func:`numpy.random.default_rng` and for the ``seed + i`` arithmetic
+    some experiments do internally).  The mapping is stable across
+    processes, platforms and Python versions.
+    """
+    material = f"{_SEED_DOMAIN}:{int(base_seed)}:{experiment}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")

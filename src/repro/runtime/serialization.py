@@ -1,0 +1,108 @@
+"""Stable JSON serialization of experiment results.
+
+The engine, the on-disk cache and the golden files all share one
+schema, produced by :func:`serialize_result`:
+
+.. code-block:: python
+
+    {"experiment_id": "table6", "title": "...",
+     "metrics": [{"name": ..., "measured": ..., "paper": ..., "unit": ...}],
+     "lines": ["..."],
+     "data": {...}}          # jsonified raw series
+
+:func:`jsonify` maps the raw ``ExperimentResult.data`` payloads (numpy
+arrays and scalars, dataclasses, enum-keyed dicts, tuples) onto plain
+JSON types deterministically, so serializing the same result twice —
+in different processes, under different ``--jobs`` — yields identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, Metric
+
+
+def jsonify(value: object) -> object:
+    """Map *value* onto plain JSON types (dict/list/str/float/int/bool/None).
+
+    Numpy scalars become Python scalars, arrays become nested lists,
+    tuples/sets become lists (sets sorted by repr for determinism),
+    enums become their names, dataclasses become field dicts, and any
+    remaining object falls back to ``repr`` — lossy but stable, which
+    is what a report/cache format needs.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, np.generic):
+        return jsonify(value.item())
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonify(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Mapping):
+        return {_key_str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [jsonify(item) for item in sorted(value, key=repr)]
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    return repr(value)
+
+
+def _key_str(key: object) -> str:
+    """Render a mapping key as a JSON object key."""
+    if isinstance(key, enum.Enum):
+        return key.name
+    if isinstance(key, str):
+        return key
+    return repr(jsonify(key))
+
+
+def serialize_metric(metric: Metric) -> dict:
+    """One metric as a JSON object."""
+    return {
+        "name": metric.name,
+        "measured": float(metric.measured),
+        "paper": None if metric.paper is None else float(metric.paper),
+        "unit": metric.unit,
+    }
+
+
+def serialize_result(result: ExperimentResult) -> dict:
+    """Serialize *result* to the stable report/cache schema."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "metrics": [serialize_metric(m) for m in result.metrics],
+        "lines": [str(line) for line in result.lines],
+        "data": jsonify(dict(result.data)),
+    }
+
+
+def deserialize_result(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`serialize_result` output.
+
+    ``data`` comes back in its jsonified form (lists instead of numpy
+    arrays); metrics and report lines round-trip exactly.
+    """
+    result = ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        lines=list(payload.get("lines", ())),
+        data=dict(payload.get("data", {})),
+    )
+    for m in payload.get("metrics", ()):
+        paper: Optional[float] = m.get("paper")
+        result.metrics.append(Metric(m["name"], m["measured"], paper,
+                                     m.get("unit", "%")))
+    return result

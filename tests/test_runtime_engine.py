@@ -1,0 +1,223 @@
+"""Unit tests for the parallel cached experiment engine.
+
+Covers the four behaviors the engine must guarantee:
+
+* cache hit after an identical run,
+* cache invalidation when a module's source changes,
+* ``--jobs 1`` vs ``--jobs 4`` determinism (byte-identical canonical
+  report JSON),
+* a crashing experiment is reported as failed without killing the pool.
+
+The tests run against a tiny synthetic experiment registry written to a
+temp directory, so they stay fast and can rewrite module sources freely.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import ExperimentEngine
+from repro.runtime.seeding import derive_seed
+
+REGISTRY = "engine_test_registry"
+
+GOOD_MODULE = textwrap.dedent('''
+    """Synthetic engine-test experiment."""
+    from repro.experiments.common import ExperimentResult
+
+    SCALE = {scale}
+
+
+    def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+        """Deterministic toy experiment."""
+        result = ExperimentResult(experiment_id="{exp_id}", title="toy")
+        result.lines.append(f"seed={{seed}} fast={{fast}}")
+        result.add_metric("value", SCALE * (seed % 1000) / 1000.0, paper=0.5)
+        result.data["series"] = [SCALE, seed % 7, int(fast)]
+        return result
+''')
+
+CRASHER_MODULE = textwrap.dedent('''
+    """Synthetic always-crashing experiment."""
+
+
+    def run(seed: int = 0, fast: bool = False):
+        """Raise unconditionally."""
+        raise RuntimeError("intentional test crash")
+''')
+
+
+@pytest.fixture
+def registry(tmp_path, monkeypatch):
+    """A throwaway experiment registry package on sys.path."""
+    pkg = tmp_path / REGISTRY
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""Engine-test registry."""\n')
+    (pkg / "alpha.py").write_text(
+        GOOD_MODULE.format(scale=1, exp_id="alpha"))
+    (pkg / "beta.py").write_text(
+        GOOD_MODULE.format(scale=2, exp_id="beta"))
+    (pkg / "crasher.py").write_text(CRASHER_MODULE)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+    yield pkg
+    for name in list(sys.modules):
+        if name.startswith(REGISTRY):
+            del sys.modules[name]
+
+
+def _engine(jobs=1, cache=None, modules=("alpha", "beta")):
+    return ExperimentEngine(modules=modules, registry=REGISTRY, jobs=jobs,
+                            cache=cache)
+
+
+class TestCaching:
+    def test_identical_rerun_hits_cache(self, registry, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = _engine(cache=cache)
+        cold = engine.run(seed=3, fast=True)
+        assert cold.n_cache_hits == 0
+        assert len(cache) == 2
+        warm = engine.run(seed=3, fast=True)
+        assert warm.n_cache_hits == 2
+        assert all(r.cache_hit for r in warm.records)
+        assert warm.canonical_json() == cold.canonical_json()
+
+    def test_seed_and_mode_change_miss(self, registry, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = _engine(cache=cache)
+        engine.run(seed=3, fast=True)
+        assert engine.run(seed=4, fast=True).n_cache_hits == 0
+        assert engine.run(seed=3, fast=False).n_cache_hits == 0
+        assert engine.run(seed=3, fast=True).n_cache_hits == 2
+
+    def test_source_change_invalidates(self, registry, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = _engine(cache=cache)
+        first = engine.run(seed=3, fast=True)
+        assert first.n_cache_hits == 0
+        # Edit alpha's source: its entry must miss, beta's must hit.
+        (registry / "alpha.py").write_text(
+            GOOD_MODULE.format(scale=10, exp_id="alpha"))
+        sys.modules.pop(f"{REGISTRY}.alpha", None)
+        importlib.invalidate_caches()
+        second = engine.run(seed=3, fast=True)
+        by_name = {r.module: r for r in second.records}
+        assert not by_name["alpha"].cache_hit
+        assert by_name["beta"].cache_hit
+        assert (by_name["alpha"].to_result().metric("value").measured
+                == pytest.approx(10 * (derive_seed(3, "alpha") % 1000) / 1000))
+
+    def test_corrupt_entry_is_a_miss(self, registry, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = _engine(cache=cache)
+        engine.run(seed=3, fast=True)
+        for path in cache.root.glob("*.json"):
+            path.write_text("{not json")
+        rerun = engine.run(seed=3, fast=True)
+        assert rerun.n_cache_hits == 0
+        assert rerun.n_failed == 0
+
+
+class TestDeterminism:
+    def test_jobs1_vs_jobs4_byte_identical(self, registry):
+        serial = _engine(jobs=1).run(seed=7, fast=True)
+        parallel = _engine(jobs=4).run(seed=7, fast=True)
+        assert serial.canonical_json() == parallel.canonical_json()
+
+    def test_parallel_report_preserves_registry_order(self, registry):
+        report = _engine(jobs=4).run(seed=7, fast=True)
+        assert [r.module for r in report.records] == ["alpha", "beta"]
+
+    def test_derived_seeds_are_schedule_independent(self, registry):
+        report = _engine(jobs=4).run(seed=7, fast=True)
+        for record in report.records:
+            assert record.seed == derive_seed(7, record.module)
+
+    def test_report_file_round_trips(self, registry, tmp_path):
+        report = _engine(jobs=2).run(seed=7, fast=True)
+        path = report.write(tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"]["name"] == "repro.experiment-report"
+        assert [e["module"] for e in loaded["experiments"]] == ["alpha", "beta"]
+        runtime = loaded["experiments"][0]["runtime"]
+        assert set(runtime) == {"wall_time_s", "cache_hit", "worker"}
+
+
+class TestFailureIsolation:
+    def test_crash_reported_without_killing_pool(self, registry, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = ExperimentEngine(modules=("alpha", "crasher", "beta"),
+                                  registry=REGISTRY, jobs=2, cache=cache)
+        report = engine.run(seed=1, fast=True)
+        by_name = {r.module: r for r in report.records}
+        assert report.n_failed == 1
+        assert by_name["crasher"].status == "failed"
+        assert "RuntimeError: intentional test crash" in by_name["crasher"].error
+        assert by_name["alpha"].ok and by_name["beta"].ok
+        # Failures are never cached: the crasher re-executes next run.
+        rerun = engine.run(seed=1, fast=True)
+        rerun_by_name = {r.module: r for r in rerun.records}
+        assert not rerun_by_name["crasher"].cache_hit
+        assert rerun_by_name["alpha"].cache_hit
+
+    def test_failed_record_refuses_to_result(self, registry):
+        engine = ExperimentEngine(modules=("crasher",), registry=REGISTRY)
+        record = engine.run(seed=1, fast=True).records[0]
+        with pytest.raises(RuntimeError, match="crasher failed"):
+            record.to_result()
+
+    def test_results_skips_failures(self, registry):
+        engine = ExperimentEngine(modules=("alpha", "crasher"),
+                                  registry=REGISTRY)
+        results = engine.run(seed=1, fast=True).results()
+        assert [r.experiment_id for r in results] == ["alpha"]
+
+
+class TestSelection:
+    def test_only_filter_keeps_registry_order(self, registry):
+        report = _engine().run(seed=1, fast=True, only=["beta", "alpha"])
+        assert [r.module for r in report.records] == ["alpha", "beta"]
+
+    def test_unknown_module_raises(self, registry):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            _engine().run(seed=1, fast=True, only=["nonexistent"])
+
+
+class TestRunallIntegration:
+    """The real runall CLI drives the engine end to end."""
+
+    def test_runall_json_and_cache(self, tmp_path, capsys):
+        from repro.experiments.runall import main
+
+        json_path = tmp_path / "report.json"
+        args = ["--fast", "--only", "table3_temperature",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--jobs", "2", "--json", str(json_path)]
+        assert main(args) == 0
+        loaded = json.loads(json_path.read_text())
+        assert loaded["experiments"][0]["module"] == "table3_temperature"
+        assert loaded["experiments"][0]["status"] == "ok"
+        assert loaded["run"]["n_cache_hits"] == 0
+        # Warm re-run: served from the on-disk cache.
+        assert main(args) == 0
+        loaded = json.loads(json_path.read_text())
+        assert loaded["run"]["n_cache_hits"] == 1
+        out = capsys.readouterr().out
+        assert "(cached)" in out
+
+    def test_run_all_prints_and_returns_results(self, capsys):
+        from repro.experiments.runall import run_all
+
+        results = run_all(seed=0, fast=True, only=["table3_temperature"],
+                          jobs=1, cache=None)
+        assert len(results) == 1
+        assert results[0].experiment_id == "table3"
+        assert "paper vs measured" in capsys.readouterr().out
