@@ -3,12 +3,19 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench goldens goldens-check reproduce clean-cache
+.PHONY: verify test test-all bench lint goldens goldens-check reproduce clean-cache
 
 verify: test
 
 test:
 	$(PY) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; pip install -e '.[dev]' to enable linting"; \
+	fi
 
 test-all:
 	$(PY) -m pytest -x -q -m ""

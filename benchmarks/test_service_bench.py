@@ -1,0 +1,123 @@
+"""Load-generator benchmark for the simulation service.
+
+Open-loop load from 8 concurrent clients: each client fires its
+requests on a fixed schedule (independent of completion times, as real
+traffic does), mixed across the SPEC catalogue, CPUs and offsets.
+Reports sustained RPS and p50/p95/p99 latency through
+``benchmark.extra_info``, and asserts every client gets exactly one
+correct response per request — zero lost, zero duplicated — which is
+the acceptance bar for the serving layer.
+
+Run with:
+    pytest benchmarks/test_service_bench.py --benchmark-only -q
+"""
+
+import asyncio
+
+from repro.service import ServiceConfig, SimRequest, SimulationService
+from repro.workloads.spec import SPEC_PROFILES
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+#: Per-client injection rate; aggregate offered load is 8x this.
+CLIENT_RPS = 25
+
+
+def _client_population(client_id, n):
+    """A mixed query population: SPEC workloads, 2 CPUs, 2 offsets."""
+    names = sorted(SPEC_PROFILES)
+    requests = []
+    for i in range(n):
+        k = client_id * n + i
+        requests.append(SimRequest(
+            cpu="C" if k % 2 else "A",
+            workload=names[k % len(names)],
+            voltage_offset=-0.097 if k % 4 < 2 else -0.07,
+            seed=k,
+        ))
+    return requests
+
+
+async def _client(service, client_id):
+    """One open-loop client; returns its (requests, responses)."""
+    loop = asyncio.get_running_loop()
+    requests = _client_population(client_id, REQUESTS_PER_CLIENT)
+    start = loop.time()
+    tasks = []
+    for i, request in enumerate(requests):
+        delay = start + i / CLIENT_RPS - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(loop.create_task(service.submit(request)))
+    return requests, await asyncio.gather(*tasks)
+
+
+def _run_load(config):
+    """One full load run; returns (per-client outcomes, elapsed, metrics)."""
+    async def scenario():
+        async with SimulationService(config) as service:
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            outcomes = await asyncio.gather(
+                *[_client(service, c) for c in range(N_CLIENTS)])
+            elapsed = loop.time() - start
+            return outcomes, elapsed, service.metrics.snapshot()
+
+    return asyncio.run(scenario())
+
+
+def _assert_and_annotate(benchmark, outcomes, elapsed, snapshot):
+    """Zero lost/duplicated responses + publish the latency profile."""
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    answered = 0
+    for requests, responses in outcomes:
+        assert len(responses) == len(requests)  # nothing lost
+        for request, response in zip(requests, responses):
+            assert response.ok, (response.status, response.error)
+            assert response.request == request  # answers its own question
+            answered += 1
+    assert answered == total
+    counters = snapshot["counters"]
+    assert counters["requests_completed"] == total  # exactly once each
+    latency = snapshot["histograms"]["latency_s"]
+    benchmark.extra_info.update({
+        "clients": N_CLIENTS,
+        "sustained_rps": round(total / elapsed, 1),
+        "p50_ms": None if latency["p50"] is None
+        else round(latency["p50"] * 1e3, 2),
+        "p95_ms": None if latency["p95"] is None
+        else round(latency["p95"] * 1e3, 2),
+        "p99_ms": None if latency["p99"] is None
+        else round(latency["p99"] * 1e3, 2),
+        "mean_batch_occupancy":
+            snapshot["histograms"]["batch_occupancy"]["mean"],
+        "batches": counters["batches_dispatched"],
+    })
+
+
+def test_service_open_loop_processes(benchmark):
+    """8-client open-loop load on the real process tier (2 shards x 2)."""
+    config = ServiceConfig(n_shards=2, workers_per_shard=2,
+                           use_processes=True, max_queue_depth=256,
+                           max_batch_size=8, batch_window_s=0.004)
+
+    def run():
+        outcomes, elapsed, snapshot = _run_load(config)
+        _assert_and_annotate(benchmark, outcomes, elapsed, snapshot)
+        return elapsed
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_service_open_loop_threads(benchmark):
+    """Same 8-client load on thread workers: isolates service overhead."""
+    config = ServiceConfig(n_shards=2, workers_per_shard=2,
+                           use_processes=False, max_queue_depth=256,
+                           max_batch_size=8, batch_window_s=0.004)
+
+    def run():
+        outcomes, elapsed, snapshot = _run_load(config)
+        _assert_and_annotate(benchmark, outcomes, elapsed, snapshot)
+        return elapsed
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)

@@ -9,6 +9,7 @@ Subcommands:
 * ``reproduce`` — run the paper's experiments (wrapper over runall).
 * ``figures``   — render the regenerated figures as terminal plots.
 * ``audit``     — run the security audit on a sampled chip.
+* ``serve``     — run the simulation service (JSON-lines TCP).
 
 Examples:
     python -m repro simulate --cpu C --workload 557.xz --strategy fV
@@ -17,6 +18,7 @@ Examples:
     python -m repro trace info /tmp/nginx.npz
     python -m repro tune --cpu C
     python -m repro audit --offset -0.097
+    python -m repro serve --port 8642 --shards 2 --workers-per-shard 2
 """
 
 from __future__ import annotations
@@ -28,21 +30,27 @@ from typing import List, Optional
 import numpy as np
 
 
-def _resolve_profile(name: str):
-    from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE
-    from repro.workloads.spec import SPEC_PROFILES
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (clear error otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
 
-    if name == "nginx":
-        return NGINX_PROFILE
-    if name == "vlc":
-        return VLC_PROFILE
-    if name in SPEC_PROFILES:
-        return SPEC_PROFILES[name]
-    matches = [k for k in SPEC_PROFILES if name in k]
-    if len(matches) == 1:
-        return SPEC_PROFILES[matches[0]]
-    known = sorted(SPEC_PROFILES) + ["nginx", "vlc"]
-    raise SystemExit(f"unknown workload {name!r}; known: {', '.join(known)}")
+
+def _resolve_profile(name: str):
+    from repro.workloads import resolve_profile
+
+    try:
+        return resolve_profile(name)
+    except ValueError as exc:
+        # Unknown name: lists the full catalogue; ambiguous fragment:
+        # lists only the matching candidates (see repro.workloads.resolve).
+        raise SystemExit(str(exc))
 
 
 def _print_result(r) -> None:
@@ -179,6 +187,59 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return runall_main(argv)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service until interrupted (or --duration)."""
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.runtime.cache import ResultCache
+    from repro.service import ServiceConfig, SimulationService, start_tcp_server
+    from repro.service.server import service_cache_dir
+
+    config = ServiceConfig(
+        n_shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        use_processes=not args.inline,
+        max_queue_depth=args.max_queue,
+        max_batch_size=args.batch_size,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        default_timeout_s=args.timeout,
+    )
+    cache = None
+    if not args.no_cache:
+        root = Path(args.cache_dir) if args.cache_dir else service_cache_dir()
+        cache = ResultCache(root, max_bytes=args.cache_max_bytes)
+
+    async def _run() -> None:
+        service = SimulationService(config, cache=cache)
+        await service.start()
+        server = await start_tcp_server(service, args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(f"repro service listening on {args.host}:{port}  "
+              f"[{config.n_shards} shard(s) x {config.workers_per_shard} "
+              f"worker(s), queue {config.max_queue_depth}, "
+              f"batch {config.max_batch_size}, "
+              f"cache {'off' if cache is None else 'on'}]", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            print(json.dumps(service.metrics.snapshot()["counters"],
+                             indent=2, sort_keys=True))
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Render the regenerated figures as terminal plots."""
     from repro.experiments.figures import render, render_all
@@ -264,8 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="run the paper's experiments")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--only", nargs="*")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="parallel worker processes")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="parallel worker processes (>= 1)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-cache", action="store_true",
                    help="always recompute; skip the result cache")
@@ -286,6 +347,35 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--chip-cores", type=int, default=4)
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("serve", help="run the simulation service over TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--shards", type=_positive_int, default=2,
+                   help="worker-pool shards (keyed by cpu/strategy)")
+    p.add_argument("--workers-per-shard", type=_positive_int, default=2,
+                   help="processes per shard")
+    p.add_argument("--max-queue", type=_positive_int, default=128,
+                   help="admission bound; beyond it requests are rejected")
+    p.add_argument("--batch-size", type=_positive_int, default=8,
+                   help="micro-batch occupancy cap")
+    p.add_argument("--batch-window-ms", type=float, default=5.0,
+                   help="how long an under-full batch waits for companions")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="default per-request timeout in seconds")
+    p.add_argument("--inline", action="store_true",
+                   help="thread workers instead of process shards")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: "
+                        "~/.cache/repro-suit/service)")
+    p.add_argument("--cache-max-bytes", type=int, default=1 << 30,
+                   help="LRU size cap of the result cache")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then drain (default: forever)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -16,22 +16,33 @@ Writes are atomic (temp file + :func:`os.replace`), so concurrent pool
 workers and concurrent engine invocations can share one cache directory
 without torn entries.  A corrupt or unreadable entry is treated as a
 miss and overwritten.
+
+The cache can be **size-bounded**: construct with ``max_bytes`` (or run
+``python -m repro.runtime.cache --prune``) and the least-recently-used
+entries are deleted until the directory fits the cap.  Recency is the
+entry file's mtime — refreshed on every :meth:`ResultCache.get` hit —
+so a long-lived service keeps its hot results and sheds cold sweeps.
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Bump when the cached payload layout changes; invalidates old entries.
 CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default size cap applied by ``python -m repro.runtime.cache --prune``.
+DEFAULT_PRUNE_MAX_BYTES = 1 << 30
 
 
 def default_cache_dir() -> Path:
@@ -104,18 +115,32 @@ def package_digest(root: Optional[Path] = None, *, refresh: bool = False) -> str
 
 
 class ResultCache:
-    """Content-addressed store of serialized experiment results."""
+    """Content-addressed store of serialized experiment results.
 
-    def __init__(self, root: Optional[Path] = None) -> None:
-        """Create a cache rooted at *root* (default :func:`default_cache_dir`)."""
+    Args:
+        root: cache directory (default :func:`default_cache_dir`).
+        max_bytes: optional size cap; when set, every :meth:`put`
+            LRU-prunes the directory back under the cap.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        """See class docstring."""
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = max_bytes
 
     def path_for(self, key: str) -> Path:
         """Path of the entry addressed by *key*."""
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
-        """Return the stored payload for *key*, or None on miss/corruption."""
+        """Return the stored payload for *key*, or None on miss/corruption.
+
+        A hit refreshes the entry's mtime, which is what LRU pruning
+        orders by.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -127,10 +152,20 @@ class ResultCache:
         if entry.get("cache_schema") != CACHE_SCHEMA_VERSION:
             return None
         payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if isinstance(payload, dict):
+            try:
+                os.utime(path, (time.time(), time.time()))
+            except OSError:
+                pass  # recency refresh is best-effort
+            return payload
+        return None
 
     def put(self, key: str, payload: dict) -> Path:
-        """Atomically store *payload* under *key*; returns the entry path."""
+        """Atomically store *payload* under *key*; returns the entry path.
+
+        When the cache is size-bounded, pruning runs after the write so
+        the new entry itself is counted (and, being newest, survives).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key,
@@ -146,7 +181,54 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self.prune()
         return path
+
+    def entries(self) -> List[Tuple[Path, float, int]]:
+        """Every entry as ``(path, mtime, size_bytes)``, oldest first."""
+        if not self.root.is_dir():
+            return []
+        listed = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently removed
+            listed.append((path, stat.st_mtime, stat.st_size))
+        listed.sort(key=lambda item: item[1])
+        return listed
+
+    def total_bytes(self) -> int:
+        """Sum of all entry sizes on disk."""
+        return sum(size for _, _, size in self.entries())
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Delete least-recently-used entries until the cap fits.
+
+        Args:
+            max_bytes: cap to enforce; defaults to the instance's
+                ``max_bytes``.  ``None`` on both sides is a no-op.
+
+        Returns:
+            Number of entries removed.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        listed = self.entries()
+        total = sum(size for _, _, size in listed)
+        removed = 0
+        for path, _, size in listed:  # oldest first
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone: someone else pruned it
+            total -= size
+            removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -166,3 +248,52 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*.json"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.runtime.cache`` — inspect, prune or clear a cache.
+
+    With no action flag, prints the cache statistics.  ``--prune``
+    LRU-prunes to ``--max-bytes`` (default 1 GiB); ``--clear`` removes
+    everything.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.cache",
+        description="inspect, LRU-prune or clear an on-disk result cache")
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: the experiment "
+                             "cache, honouring $REPRO_CACHE_DIR)")
+    parser.add_argument("--prune", action="store_true",
+                        help="delete least-recently-used entries until "
+                             "the cache fits --max-bytes")
+    parser.add_argument("--max-bytes", type=int,
+                        default=DEFAULT_PRUNE_MAX_BYTES,
+                        help="size cap enforced by --prune "
+                             "(default: 1 GiB)")
+    parser.add_argument("--clear", action="store_true",
+                        help="delete every entry")
+    args = parser.parse_args(argv)
+    if args.max_bytes < 0:
+        parser.error("--max-bytes must be >= 0")
+    cache = ResultCache(Path(args.dir) if args.dir else None)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    if args.prune:
+        before = cache.total_bytes()
+        removed = cache.prune(args.max_bytes)
+        after = cache.total_bytes()
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({before - after:,} bytes) from {cache.root}; "
+              f"{len(cache)} entries / {after:,} bytes remain "
+              f"(cap {args.max_bytes:,})")
+        return 0
+    print(f"cache {cache.root}: {len(cache)} entries, "
+          f"{cache.total_bytes():,} bytes")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

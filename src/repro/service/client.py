@@ -1,0 +1,152 @@
+"""Client for the JSON-lines TCP simulation service.
+
+:class:`ServiceClient` keeps one connection and pipelines: every
+message carries a client-side ``id``, a background reader task routes
+the (possibly out-of-order) responses back to their waiters, so many
+requests can be in flight on a single connection.
+
+.. code-block:: python
+
+    client = await ServiceClient.connect("127.0.0.1", 8642)
+    response = await client.submit(SimRequest("C", "557.xz"))
+    snapshot = await client.metrics()
+    await client.close()
+
+For scripts that don't want an event loop,
+:func:`request_simulations` wraps connect/submit-all/close in one
+synchronous call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.service.request import SimRequest, SimResponse
+
+
+class ServiceClient:
+    """One pipelined connection to a running simulation service.
+
+    Build instances with :meth:`connect`; the constructor only wires
+    already-opened streams.
+    """
+
+    def __init__(self, reader: "asyncio.StreamReader",
+                 writer: "asyncio.StreamWriter") -> None:
+        """Wrap an open (reader, writer) stream pair."""
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 8642) -> "ServiceClient":
+        """Open a connection to the service at *host*:*port*."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        """Route incoming lines to their waiting request futures."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("service connection closed"))
+            self._pending.clear()
+
+    async def _roundtrip(self, message: dict) -> dict:
+        """Send one message and await its id-matched reply."""
+        msg_id = next(self._ids)
+        message["id"] = msg_id
+        future: "asyncio.Future[dict]" = \
+            asyncio.get_running_loop().create_future()
+        self._pending[msg_id] = future
+        self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        return await future
+
+    async def submit(self, request: Union[SimRequest, dict]) -> SimResponse:
+        """Submit one request and await its response."""
+        if isinstance(request, dict):
+            request = SimRequest.from_dict(request)
+        reply = await self._roundtrip(
+            {"op": "submit", "request": request.to_dict()})
+        if reply.get("op") == "error":
+            raise ValueError(reply.get("error", "protocol error"))
+        return SimResponse.from_dict(reply)
+
+    async def submit_many(self, requests: Sequence[Union[SimRequest, dict]]
+                          ) -> List[SimResponse]:
+        """Pipeline *requests* concurrently; responses in request order."""
+        return list(await asyncio.gather(
+            *(self.submit(request) for request in requests)))
+
+    async def metrics(self) -> dict:
+        """Fetch the service's metrics snapshot."""
+        reply = await self._roundtrip({"op": "metrics"})
+        return reply.get("metrics", {})
+
+    async def ping(self) -> dict:
+        """Liveness probe; returns the pong message (with version)."""
+        return await self._roundtrip({"op": "ping"})
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        try:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+
+
+def request_simulations(requests: Sequence[Union[SimRequest, dict]],
+                        host: str = "127.0.0.1", port: int = 8642,
+                        timeout_s: Optional[float] = None
+                        ) -> List[SimResponse]:
+    """Synchronous convenience: connect, pipeline *requests*, close.
+
+    Args:
+        requests: the requests (SimRequest objects or wire dicts).
+        host: service host.
+        port: service port.
+        timeout_s: overall bound on the whole exchange.
+
+    Returns:
+        Responses in request order.
+    """
+    async def _run() -> List[SimResponse]:
+        client = await ServiceClient.connect(host, port)
+        try:
+            work = client.submit_many(requests)
+            if timeout_s is not None:
+                return await asyncio.wait_for(work, timeout_s)
+            return await work
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())

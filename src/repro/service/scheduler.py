@@ -1,0 +1,163 @@
+"""Deadline-aware priority scheduling with bounded-queue admission.
+
+The scheduler is the service's single waiting room.  Entries are
+ordered by ``(priority, absolute deadline, arrival sequence)`` — an
+intentional echo of SUIT's own deadline timer: just as the OS returns
+the core to the efficient curve when the trap deadline expires, the
+service promotes a request as its deadline approaches, and interactive
+requests (lower priority value) preempt bulk sweeps outright.
+
+Admission is bounded: when ``max_depth`` requests are already queued,
+:meth:`DeadlineScheduler.push` raises :class:`AdmissionError` carrying
+a suggested ``retry_after_s`` — backpressure instead of unbounded
+queueing, so a saturated service degrades into explicit rejections
+rather than silently growing latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.service.request import SimRequest
+
+
+class AdmissionError(RuntimeError):
+    """Raised when the bounded queue is full (backpressure).
+
+    Attributes:
+        depth: queue depth at rejection time.
+        retry_after_s: suggested client back-off before resubmitting.
+    """
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        """Build the error with the rejection context."""
+        super().__init__(
+            f"admission queue full ({depth} queued); "
+            f"retry after {retry_after_s:.3f}s")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class ScheduledEntry:
+    """One admitted request waiting for (or undergoing) execution.
+
+    Attributes:
+        request: the canonicalized request.
+        future: resolved by the dispatcher with the worker outcome dict.
+        key: the request's canonical identity (dedup map key).
+        cache_key: result-cache address, or None when caching is off.
+        enqueued_at: ``time.monotonic()`` at admission.
+        due: absolute deadline (monotonic seconds; ``inf`` when none).
+    """
+
+    request: SimRequest
+    future: "asyncio.Future[dict]"
+    key: str
+    cache_key: Optional[str] = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+    due: float = math.inf
+
+    def sort_key(self, seq: int) -> Tuple[int, float, int]:
+        """Heap ordering: priority band, then deadline, then FIFO."""
+        return (self.request.priority, self.due, seq)
+
+
+class DeadlineScheduler:
+    """Bounded priority queue feeding the micro-batcher.
+
+    Args:
+        max_depth: admission bound; pushes beyond it raise
+            :class:`AdmissionError`.
+        retry_after_base_s: base of the suggested back-off; the hint
+            scales linearly with queue depth so clients spread out.
+    """
+
+    def __init__(self, max_depth: int = 128,
+                 retry_after_base_s: float = 0.05) -> None:
+        """See class docstring."""
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.retry_after_base_s = retry_after_base_s
+        self._heap: List[Tuple[Tuple[int, float, int], ScheduledEntry]] = []
+        self._seq = itertools.count()
+        self._available: Optional[asyncio.Event] = None
+
+    def _event(self) -> asyncio.Event:
+        """The (lazily created) not-empty event, bound to the running loop."""
+        if self._available is None:
+            self._available = asyncio.Event()
+        return self._available
+
+    @property
+    def depth(self) -> int:
+        """Number of queued entries."""
+        return len(self._heap)
+
+    def suggest_retry_after(self) -> float:
+        """Back-off hint for a rejected client, scaled by queue depth."""
+        return self.retry_after_base_s * (1.0 + self.depth / self.max_depth)
+
+    def push(self, entry: ScheduledEntry) -> None:
+        """Admit *entry*, or raise :class:`AdmissionError` when full."""
+        if len(self._heap) >= self.max_depth:
+            raise AdmissionError(len(self._heap), self.suggest_retry_after())
+        heapq.heappush(self._heap, (entry.sort_key(next(self._seq)), entry))
+        self._event().set()
+
+    async def pop(self) -> ScheduledEntry:
+        """Remove and return the most urgent entry, waiting if empty."""
+        while not self._heap:
+            self._event().clear()
+            await self._event().wait()
+        _, entry = heapq.heappop(self._heap)
+        if not self._heap:
+            self._event().clear()
+        return entry
+
+    def take_compatible(self, shard_key: str,
+                        limit: int) -> List[ScheduledEntry]:
+        """Remove up to *limit* queued entries sharing *shard_key*.
+
+        Used by the micro-batcher to fill a batch opened by a popped
+        entry; returns the taken entries in scheduling order.
+        """
+        if limit <= 0 or not self._heap:
+            return []
+        taken: List[Tuple[Tuple[int, float, int], ScheduledEntry]] = []
+        kept: List[Tuple[Tuple[int, float, int], ScheduledEntry]] = []
+        for item in sorted(self._heap, key=lambda pair: pair[0]):
+            if len(taken) < limit and item[1].request.shard_key == shard_key:
+                taken.append(item)
+            else:
+                kept.append(item)
+        if taken:
+            self._heap = kept
+            heapq.heapify(self._heap)
+            if not self._heap:
+                self._event().clear()
+        return [entry for _, entry in taken]
+
+    def drain(self) -> List[ScheduledEntry]:
+        """Remove and return every queued entry (shutdown path)."""
+        entries = [entry for _, entry in sorted(
+            self._heap, key=lambda pair: pair[0])]
+        self._heap.clear()
+        self._event().clear()
+        return entries
+
+
+def absolute_deadline(request: SimRequest,
+                      now: Optional[float] = None) -> float:
+    """Monotonic absolute deadline of *request* (``inf`` when unset)."""
+    if request.deadline_s is None:
+        return math.inf
+    base = time.monotonic() if now is None else now
+    return base + float(request.deadline_s)

@@ -1,0 +1,446 @@
+"""The asyncio simulation job server.
+
+Request lifecycle (see ``docs/service.md`` for the full walk-through):
+
+1. **Validate + canonicalize** — malformed requests fail immediately;
+   well-formed ones get a canonical identity key.
+2. **Cache fast path** — a completed identical request in the attached
+   :class:`~repro.runtime.cache.ResultCache` answers instantly.
+3. **Dedup** — an identical request already in flight shares its
+   future; one simulation answers every waiter.
+4. **Admission control** — the bounded
+   :class:`~repro.service.scheduler.DeadlineScheduler` either admits
+   the entry or rejects it with a ``retry_after_s`` hint.
+5. **Micro-batch + dispatch** — the dispatcher loop drains the queue
+   through the :class:`~repro.service.batcher.MicroBatcher` onto the
+   :class:`~repro.service.workers.ShardedWorkerTier`; worker crashes
+   are retried with backoff.
+6. **Respond** — per-request timeouts bound the wait; graceful
+   shutdown drains in-flight work before tearing pools down.
+
+`start_tcp_server` exposes the service over a JSON-lines TCP protocol
+(one request object per line, ``id``-correlated concurrent responses)
+— the transport behind ``python -m repro serve`` and
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Set
+
+from repro import __version__ as REPRO_VERSION
+from repro.runtime.cache import ResultCache, default_cache_dir, package_digest
+from repro.service.batcher import Batch, MicroBatcher
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    InvalidRequestError,
+    SimRequest,
+    SimResponse,
+)
+from repro.service.scheduler import (
+    AdmissionError,
+    DeadlineScheduler,
+    ScheduledEntry,
+    absolute_deadline,
+)
+from repro.service.workers import BatchExecutionError, ShardedWorkerTier
+
+
+def service_cache_dir() -> Path:
+    """Default on-disk cache root for service results.
+
+    A sibling of the experiment cache (``.../repro-suit/service``), so
+    ``python -m repro.runtime.cache --prune`` can manage either.
+    """
+    return default_cache_dir().parent / "service"
+
+
+def service_cache_key(request: SimRequest) -> str:
+    """Content address of one request's result in the shared cache.
+
+    Covers the canonical request identity, the package digest (any
+    simulator change invalidates results) and the distribution version.
+    """
+    material = {
+        "kind": "repro.service.result",
+        "request": request.canonical_dict(),
+        "package_digest": package_digest(),
+        "version": REPRO_VERSION,
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`SimulationService`.
+
+    Attributes:
+        n_shards: worker-pool shards (keyed by cpu/strategy).
+        workers_per_shard: processes (or threads) per shard.
+        use_processes: process pools (real isolation) vs thread pools
+            (cheap; for tests and latency-insensitive embedding).
+        max_queue_depth: admission bound of the scheduler.
+        max_batch_size: micro-batch occupancy cap.
+        batch_window_s: how long an under-full batch waits for
+            companions (interactive requests skip it).
+        interactive_cutoff: priority at or below which a request is
+            treated as interactive.
+        max_retries: worker-crash retries per batch.
+        retry_backoff_s: initial crash-retry backoff (doubles each try).
+        default_timeout_s: per-request wait bound when the request
+            carries no deadline.
+        batch_timeout_s: hard bound on one batch execution (None: rely
+            on per-request timeouts).
+        retry_after_base_s: base of the backpressure retry hint.
+        max_inflight_batches: dispatch concurrency bound; ``None``
+            defaults to ``n_shards * workers_per_shard``, i.e. one
+            batch per worker.  Keeping excess work in the scheduler
+            (rather than in executor queues) is what makes priorities,
+            deadlines and admission control real.
+    """
+
+    n_shards: int = 2
+    workers_per_shard: int = 1
+    use_processes: bool = True
+    max_queue_depth: int = 128
+    max_batch_size: int = 8
+    batch_window_s: float = 0.005
+    interactive_cutoff: int = 0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    default_timeout_s: float = 60.0
+    batch_timeout_s: Optional[float] = None
+    retry_after_base_s: float = 0.05
+    max_inflight_batches: Optional[int] = None
+
+
+class SimulationService:
+    """The asyncio job server over the SUIT simulator.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly:
+
+    .. code-block:: python
+
+        async with SimulationService(ServiceConfig()) as service:
+            response = await service.submit(SimRequest("C", "557.xz"))
+
+    Args:
+        config: tunables (defaults are sensible for tests).
+        cache: optional result cache consulted before scheduling and
+            filled after successful simulations.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        """See class docstring."""
+        self.config = config or ServiceConfig()
+        self.cache = cache
+        self.metrics = ServiceMetrics()
+        self.scheduler = DeadlineScheduler(
+            max_depth=self.config.max_queue_depth,
+            retry_after_base_s=self.config.retry_after_base_s)
+        self.batcher = MicroBatcher(
+            self.scheduler, max_batch_size=self.config.max_batch_size,
+            window_s=self.config.batch_window_s,
+            interactive_cutoff=self.config.interactive_cutoff)
+        self.tier = ShardedWorkerTier(
+            n_shards=self.config.n_shards,
+            workers_per_shard=self.config.workers_per_shard,
+            use_processes=self.config.use_processes,
+            max_retries=self.config.max_retries,
+            retry_backoff_s=self.config.retry_backoff_s,
+            metrics=self.metrics)
+        self._inflight: dict = {}
+        self._batch_tasks: Set["asyncio.Task"] = set()
+        self._dispatcher: Optional["asyncio.Task"] = None
+        self._batch_slots: Optional["asyncio.Semaphore"] = None
+        self._closed = False
+
+    async def start(self) -> "SimulationService":
+        """Start the dispatcher loop; idempotent."""
+        if self._dispatcher is None:
+            self._closed = False
+            slots = (self.config.max_inflight_batches
+                     if self.config.max_inflight_batches is not None
+                     else self.config.n_shards
+                     * self.config.workers_per_shard)
+            self._batch_slots = asyncio.Semaphore(max(1, slots))
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop())
+        return self
+
+    async def __aenter__(self) -> "SimulationService":
+        """Async context entry: :meth:`start`."""
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Async context exit: graceful :meth:`stop`."""
+        await self.stop()
+
+    @property
+    def closed(self) -> bool:
+        """True once shutdown began; submissions are rejected."""
+        return self._closed
+
+    async def submit(self, request: SimRequest) -> SimResponse:
+        """Answer one request (however long that takes, bounded by its
+        deadline); never raises for per-request problems — bad input,
+        backpressure, timeouts and failures all come back as statuses.
+        """
+        arrival = time.monotonic()
+        self.metrics.inc("requests_submitted")
+        if self._closed:
+            self.metrics.inc("requests_rejected")
+            return SimResponse(request=request, status=STATUS_REJECTED,
+                               error="service is shutting down",
+                               retry_after_s=1.0)
+        try:
+            request.validate()
+        except InvalidRequestError as exc:
+            self.metrics.inc("requests_invalid")
+            return SimResponse(request=request, status=STATUS_FAILED,
+                               error=str(exc))
+        key = request.canonical_key()
+
+        cache_key: Optional[str] = None
+        if self.cache is not None:
+            cache_key = service_cache_key(request)
+            payload = self.cache.get(cache_key)
+            if payload is not None:
+                self.metrics.inc("cache_hits")
+                self.metrics.inc("requests_completed")
+                latency = time.monotonic() - arrival
+                self.metrics.observe_latency(latency)
+                return SimResponse(request=request, status=STATUS_OK,
+                                   payload=payload, source="cache",
+                                   latency_s=latency)
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.inc("dedup_hits")
+            return await self._await_outcome(existing, request, arrival,
+                                             source="dedup")
+
+        future: "asyncio.Future[dict]" = \
+            asyncio.get_running_loop().create_future()
+        entry = ScheduledEntry(request=request, future=future, key=key,
+                               cache_key=cache_key,
+                               due=absolute_deadline(request, now=arrival))
+        try:
+            self.scheduler.push(entry)
+        except AdmissionError as exc:
+            self.metrics.inc("requests_rejected")
+            return SimResponse(request=request, status=STATUS_REJECTED,
+                               error=str(exc),
+                               retry_after_s=exc.retry_after_s)
+        self._inflight[key] = future
+        self.metrics.set_gauge("queue_depth", self.scheduler.depth)
+        return await self._await_outcome(future, request, arrival,
+                                         source="computed")
+
+    async def _await_outcome(self, future: "asyncio.Future[dict]",
+                             request: SimRequest, arrival: float,
+                             source: str) -> SimResponse:
+        """Wait (bounded) for *future* and shape it into a response."""
+        timeout = (request.deadline_s if request.deadline_s is not None
+                   else self.config.default_timeout_s)
+        try:
+            outcome = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.inc("requests_timed_out")
+            latency = time.monotonic() - arrival
+            return SimResponse(
+                request=request, status=STATUS_TIMEOUT, source=source,
+                error=f"no result within {timeout:.3f}s", latency_s=latency)
+        latency = time.monotonic() - arrival
+        self.metrics.observe_latency(latency)
+        status = STATUS_OK if outcome.get("status") == "ok" else STATUS_FAILED
+        self.metrics.inc("requests_completed" if status == STATUS_OK
+                         else "requests_failed")
+        return SimResponse(
+            request=request, status=status,
+            payload=outcome.get("payload"), error=outcome.get("error"),
+            source=source, latency_s=latency,
+            retries=int(outcome.get("retries", 0)))
+
+    async def _dispatch_loop(self) -> None:
+        """Forever: build the next batch and launch its execution task.
+
+        Bounded by the batch-slot semaphore: when every worker already
+        has a batch, the loop blocks and requests accumulate in the
+        scheduler — where priority ordering and admission control
+        apply — instead of in executor queues where they would not.
+        """
+        assert self._batch_slots is not None
+        while True:
+            await self._batch_slots.acquire()
+            try:
+                batch = await self.batcher.next_batch()
+            except BaseException:
+                self._batch_slots.release()
+                raise
+            self.metrics.set_gauge("queue_depth", self.scheduler.depth)
+            self.metrics.inc("batches_dispatched")
+            self.metrics.observe_batch(batch.occupancy)
+            task = asyncio.get_running_loop().create_task(
+                self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: Batch) -> None:
+        """Execute one batch on the tier and resolve its futures."""
+        requests = [entry.request.to_dict() for entry in batch.entries]
+        try:
+            outcomes, retries = await self.tier.run_batch(
+                batch.shard_key, requests,
+                timeout_s=self.config.batch_timeout_s)
+        except (BatchExecutionError, asyncio.TimeoutError) as exc:
+            self.metrics.inc("batch_failures")
+            outcomes = [{"status": "failed", "error": str(exc),
+                         "payload": None} for _ in batch.entries]
+            retries = self.config.max_retries
+        finally:
+            if self._batch_slots is not None:
+                self._batch_slots.release()
+        if retries:
+            self.metrics.inc("batch_retries", retries)
+        for entry, outcome in zip(batch.entries, outcomes):
+            self.metrics.inc("simulations_executed")
+            if (self.cache is not None and entry.cache_key is not None
+                    and outcome.get("status") == "ok"
+                    and outcome.get("payload") is not None):
+                self.cache.put(entry.cache_key, outcome["payload"])
+            if self._inflight.get(entry.key) is entry.future:
+                del self._inflight[entry.key]
+            if not entry.future.done():
+                entry.future.set_result({**outcome, "retries": retries})
+
+    async def stop(self, drain: bool = True,
+                   timeout_s: float = 30.0) -> None:
+        """Stop the service; with *drain*, finish admitted work first.
+
+        New submissions are rejected immediately; queued and in-flight
+        requests are completed (bounded by *timeout_s*), then the
+        dispatcher is cancelled and the worker pools shut down.  Without
+        *drain*, queued entries are failed with a shutdown error.
+        """
+        self._closed = True
+        if not drain:
+            for entry in self.scheduler.drain():
+                self._inflight.pop(entry.key, None)
+                if not entry.future.done():
+                    entry.future.set_result({
+                        "status": "failed", "payload": None,
+                        "error": "service stopped before execution"})
+        deadline = time.monotonic() + timeout_s
+        while (drain and (self.scheduler.depth or self._batch_tasks
+                          or self._inflight)
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.005)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks),
+                                 return_exceptions=True)
+        for key, future in list(self._inflight.items()):
+            if not future.done():
+                future.set_result({"status": "failed", "payload": None,
+                                   "error": "service stopped"})
+            self._inflight.pop(key, None)
+        self.tier.shutdown(wait=False)
+
+
+async def _handle_message(service: SimulationService, message: dict,
+                          writer: "asyncio.StreamWriter",
+                          lock: "asyncio.Lock") -> None:
+    """Answer one decoded protocol message on *writer*."""
+    msg_id = message.get("id")
+    op = message.get("op", "submit")
+    if op == "submit":
+        try:
+            request = SimRequest.from_dict(message.get("request") or {})
+        except InvalidRequestError as exc:
+            out = {"op": "error", "error": str(exc)}
+        else:
+            response = await service.submit(request)
+            out = response.to_dict()
+            out["op"] = "response"
+    elif op == "metrics":
+        out = {"op": "metrics", "metrics": service.metrics.snapshot()}
+    elif op == "ping":
+        out = {"op": "pong", "version": REPRO_VERSION}
+    else:
+        out = {"op": "error", "error": f"unknown op {op!r}"}
+    if msg_id is not None:
+        out["id"] = msg_id
+    try:
+        async with lock:
+            writer.write(json.dumps(out).encode("utf-8") + b"\n")
+            await writer.drain()
+    except (ConnectionError, RuntimeError):
+        pass  # peer went away mid-response; nothing to answer anymore
+
+
+async def _handle_connection(service: SimulationService,
+                             reader: "asyncio.StreamReader",
+                             writer: "asyncio.StreamWriter") -> None:
+    """Serve one JSON-lines connection; messages run concurrently."""
+    lock = asyncio.Lock()
+    tasks: Set["asyncio.Task"] = set()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                message = json.loads(line)
+            except ValueError:
+                async with lock:
+                    writer.write(b'{"op": "error", "error": "bad json"}\n')
+                    await writer.drain()
+                continue
+            task = asyncio.get_running_loop().create_task(
+                _handle_message(service, message, writer, lock))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*list(tasks), return_exceptions=True)
+    finally:
+        try:
+            writer.close()
+        except RuntimeError:
+            pass
+
+
+async def start_tcp_server(service: SimulationService,
+                           host: str = "127.0.0.1",
+                           port: int = 0) -> "asyncio.AbstractServer":
+    """Expose *service* over JSON-lines TCP; returns the asyncio server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.sockets[0].getsockname()[1]``.
+    """
+    async def handler(reader: "asyncio.StreamReader",
+                      writer: "asyncio.StreamWriter") -> None:
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)

@@ -1,0 +1,223 @@
+"""The sharded worker tier: where simulations actually execute.
+
+Shards are keyed by the request's ``shard_key`` (CPU model + strategy)
+so one worker pool repeatedly simulates the same CPU — its synthesized
+trace cache (:attr:`SuitSystem._trace_cache` via the module-level
+system cache below) stays hot, which is most of a warm request's cost.
+
+Robustness: a worker process dying (OOM-kill, segfault, the fault-
+injection hook below) surfaces as ``BrokenProcessPool`` on the batch
+future.  The tier recycles the broken pool and retries the batch with
+exponential backoff, up to ``max_retries`` times, then raises
+:class:`BatchExecutionError` so the server can fail the affected
+requests explicitly instead of hanging their futures.
+
+Fault-injection hooks (test/benchmark surface, mirroring the paper's
+own fault-injection methodology):
+
+* ``__crash__:<path>`` — if ``<path>`` does not exist, create it and
+  kill the worker process with ``os._exit``; on retry the sentinel
+  exists and the request completes.  Verifies transparent retry.
+* ``__sleep__:<seconds>`` — hold a worker for that long; used to build
+  saturation and timeout scenarios deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, Executor, Future
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.metrics import ServiceMetrics
+
+#: Workload-name prefixes of the fault-injection hooks.
+CRASH_PREFIX = "__crash__:"
+SLEEP_PREFIX = "__sleep__:"
+
+#: Per-process cache of configured systems, keyed by the request fields
+#: that define one (everything but the workload).  Keeps per-CPU trace
+#: synthesis warm across the batches a shard receives.
+_SYSTEM_CACHE: Dict[Tuple[str, str, float, int, int], object] = {}
+_SYSTEM_CACHE_MAX = 16
+
+
+class BatchExecutionError(RuntimeError):
+    """A batch failed after exhausting its worker-crash retries."""
+
+
+def _system_for(req: dict):
+    """A (cached) configured :class:`~repro.core.suit.SuitSystem`."""
+    from repro.core.suit import SuitSystem
+
+    key = (req["cpu"], req["strategy"], float(req["voltage_offset"]),
+           int(req["seed"]), int(req["n_cores"]))
+    system = _SYSTEM_CACHE.get(key)
+    if system is None:
+        if len(_SYSTEM_CACHE) >= _SYSTEM_CACHE_MAX:
+            _SYSTEM_CACHE.clear()
+        system = SuitSystem.for_cpu(
+            req["cpu"], strategy_name=req["strategy"],
+            voltage_offset=float(req["voltage_offset"]),
+            n_cores=int(req["n_cores"]), seed=int(req["seed"]))
+        _SYSTEM_CACHE[key] = system
+    return system
+
+
+def _simulate(req: dict) -> dict:
+    """Run one request's simulation; returns the jsonified SimResult."""
+    workload = req["workload"]
+    if workload.startswith(CRASH_PREFIX):
+        sentinel = Path(workload[len(CRASH_PREFIX):])
+        if not sentinel.exists():
+            sentinel.write_text("crashed once\n", encoding="utf-8")
+            os._exit(3)  # simulate a hard worker death (no cleanup)
+        return {"workload": workload, "crash_recovered": True}
+    if workload.startswith(SLEEP_PREFIX):
+        seconds = float(workload[len(SLEEP_PREFIX):])
+        time.sleep(seconds)
+        return {"workload": workload, "slept_s": seconds}
+    from repro.runtime.serialization import jsonify
+    from repro.workloads import resolve_profile
+
+    result = _system_for(req).run_profile(resolve_profile(workload))
+    payload = jsonify(result)
+    assert isinstance(payload, dict)
+    return payload
+
+
+def execute_request(req: dict) -> dict:
+    """Execute one request dict; never raises (failures become outcomes).
+
+    Returns an outcome dict: ``{"status", "payload", "error",
+    "wall_time_s", "worker"}`` — the same shape the engine's pool
+    workers return, so the server can treat both uniformly.
+    """
+    start = time.perf_counter()
+    worker = multiprocessing.current_process().name
+    try:
+        payload: Optional[dict] = _simulate(req)
+        status, error = "ok", None
+    except BaseException:  # noqa: BLE001 - the traceback is the answer
+        payload, status = None, "failed"
+        error = traceback.format_exc()
+    return {"status": status, "payload": payload, "error": error,
+            "wall_time_s": time.perf_counter() - start, "worker": worker}
+
+
+def execute_batch(requests: List[dict]) -> List[dict]:
+    """Execute a batch of request dicts in submission order.
+
+    Runs inside a pool worker; the per-request failure isolation of
+    :func:`execute_request` means one bad request cannot poison its
+    batch siblings (a hard process death, of course, still can — that
+    is what the tier-level retry handles).
+    """
+    return [execute_request(req) for req in requests]
+
+
+def shard_index(shard_key: str, n_shards: int) -> int:
+    """Stable shard assignment: sha256(shard_key) mod n_shards."""
+    digest = hashlib.sha256(shard_key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, n_shards)
+
+
+class ShardedWorkerTier:
+    """A fixed set of worker pools, one per shard, with crash retries.
+
+    Args:
+        n_shards: number of independent pools; requests map to shards
+            by :func:`shard_index` of their shard key.
+        workers_per_shard: pool width per shard.
+        use_processes: ``True`` for :class:`ProcessPoolExecutor` (real
+            isolation, crash-retry works), ``False`` for threads (fast
+            unit tests, no process spawn cost).
+        max_retries: batch re-executions allowed after pool breakage.
+        retry_backoff_s: initial backoff; doubles per retry.
+        metrics: optional registry for ``worker_restarts`` counts.
+    """
+
+    def __init__(self, n_shards: int = 2, workers_per_shard: int = 1,
+                 use_processes: bool = True, max_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 metrics: Optional[ServiceMetrics] = None) -> None:
+        """See class docstring."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.n_shards = n_shards
+        self.workers_per_shard = workers_per_shard
+        self.use_processes = use_processes
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.metrics = metrics
+        self._pools: Dict[int, Executor] = {}
+
+    def _make_pool(self) -> Executor:
+        """Create one shard's executor."""
+        if self.use_processes:
+            return ProcessPoolExecutor(max_workers=self.workers_per_shard)
+        return ThreadPoolExecutor(max_workers=self.workers_per_shard,
+                                  thread_name_prefix="repro-service")
+
+    def _pool(self, index: int) -> Executor:
+        """The (lazily created) executor of shard *index*."""
+        pool = self._pools.get(index)
+        if pool is None:
+            pool = self._make_pool()
+            self._pools[index] = pool
+        return pool
+
+    def _recycle(self, index: int) -> None:
+        """Tear down and forget shard *index*'s broken pool."""
+        pool = self._pools.pop(index, None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+            if self.metrics is not None:
+                self.metrics.inc("worker_restarts")
+
+    async def run_batch(self, shard_key: str, requests: List[dict],
+                        timeout_s: Optional[float] = None
+                        ) -> Tuple[List[dict], int]:
+        """Execute *requests* on the shard owning *shard_key*.
+
+        Returns ``(outcomes, retries_used)``.  Raises
+        :class:`BatchExecutionError` when every attempt broke the pool,
+        and :class:`asyncio.TimeoutError` when *timeout_s* elapses.
+        """
+        index = shard_index(shard_key, self.n_shards)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            pool = self._pool(index)
+            future: Future = pool.submit(execute_batch, requests)
+            try:
+                outcomes = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout_s)
+                return outcomes, attempt
+            except asyncio.TimeoutError:
+                future.cancel()
+                raise
+            except BrokenExecutor as exc:
+                last_error = exc
+                self._recycle(index)
+                if attempt < self.max_retries:
+                    await asyncio.sleep(
+                        self.retry_backoff_s * (2 ** attempt))
+        raise BatchExecutionError(
+            f"batch on shard {index} ({shard_key}) failed after "
+            f"{self.max_retries + 1} attempts: {last_error!r}")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut down every shard's pool."""
+        for pool in self._pools.values():
+            pool.shutdown(wait=wait)
+        self._pools.clear()

@@ -24,6 +24,12 @@ from repro.workloads.spec import (
     SPEC_FP_NAMES,
 )
 from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE, network_profiles
+from repro.workloads.resolve import (
+    AmbiguousWorkloadError,
+    UnknownWorkloadError,
+    resolve_profile,
+    workload_catalogue,
+)
 from repro.workloads.phases import Phase, PhasedWorkload
 from repro.workloads.recorder import InstructionRecorder
 from repro.workloads.programs import (
@@ -53,6 +59,10 @@ __all__ = [
     "NGINX_PROFILE",
     "VLC_PROFILE",
     "network_profiles",
+    "AmbiguousWorkloadError",
+    "UnknownWorkloadError",
+    "resolve_profile",
+    "workload_catalogue",
     "Phase",
     "PhasedWorkload",
     "InstructionRecorder",

@@ -1,0 +1,75 @@
+"""Workload-name resolution shared by the CLI and the service workers.
+
+Accepts an exact profile name ("557.xz", "nginx", "vlc") or any
+unambiguous fragment ("xz", "leela").  Ambiguity and unknown names
+raise dedicated exceptions carrying the candidate lists, so callers can
+render precise errors (the CLI lists the *matching* candidates for an
+ambiguous fragment, not the whole catalogue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.network import NGINX_PROFILE, VLC_PROFILE
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec import SPEC_PROFILES
+
+
+class UnknownWorkloadError(ValueError):
+    """No workload matches the requested name.
+
+    Attributes:
+        name: the requested name.
+        known: every resolvable workload name, sorted.
+    """
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        """Build the error with the full catalogue for the message."""
+        super().__init__(
+            f"unknown workload {name!r}; known: {', '.join(known)}")
+        self.name = name
+        self.known = known
+
+
+class AmbiguousWorkloadError(ValueError):
+    """A name fragment matches more than one workload.
+
+    Attributes:
+        name: the requested fragment.
+        candidates: the matching workload names, sorted.
+    """
+
+    def __init__(self, name: str, candidates: List[str]) -> None:
+        """Build the error listing only the matching candidates."""
+        super().__init__(
+            f"ambiguous workload {name!r}; matches: "
+            f"{', '.join(candidates)}")
+        self.name = name
+        self.candidates = candidates
+
+
+def workload_catalogue() -> Dict[str, WorkloadProfile]:
+    """Every resolvable workload profile, keyed by canonical name."""
+    catalogue: Dict[str, WorkloadProfile] = dict(SPEC_PROFILES)
+    catalogue["nginx"] = NGINX_PROFILE
+    catalogue["vlc"] = VLC_PROFILE
+    return catalogue
+
+
+def resolve_profile(name: str) -> WorkloadProfile:
+    """Resolve *name* (exact or unambiguous fragment) to a profile.
+
+    Raises:
+        UnknownWorkloadError: nothing matches.
+        AmbiguousWorkloadError: several workloads match the fragment.
+    """
+    catalogue = workload_catalogue()
+    if name in catalogue:
+        return catalogue[name]
+    matches = sorted(k for k in catalogue if name in k)
+    if len(matches) == 1:
+        return catalogue[matches[0]]
+    if matches:
+        raise AmbiguousWorkloadError(name, matches)
+    raise UnknownWorkloadError(name, sorted(catalogue))

@@ -9,12 +9,31 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for cmd in ("simulate", "suite", "trace", "tune", "reproduce", "audit"):
+        for cmd in ("simulate", "suite", "trace", "tune", "reproduce",
+                    "audit", "serve"):
             assert cmd in text
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    @pytest.mark.parametrize("jobs", ["0", "-2", "four"])
+    def test_reproduce_rejects_bad_jobs(self, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["reproduce", "--jobs", jobs])
+        assert excinfo.value.code == 2  # argparse usage error, no traceback
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "not an integer" in err
+
+    def test_reproduce_accepts_positive_jobs(self):
+        args = build_parser().parse_args(["reproduce", "--jobs", "4"])
+        assert args.jobs == 4
+
+    @pytest.mark.parametrize("flag", ["--shards", "--workers-per-shard",
+                                      "--max-queue", "--batch-size"])
+    def test_serve_rejects_nonpositive_sizes(self, flag):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", flag, "0"])
 
 
 class TestSimulate:
@@ -30,6 +49,16 @@ class TestSimulate:
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--workload", "notabenchmark"])
+
+    def test_ambiguous_workload_lists_matching_candidates(self, capsys):
+        # "ca" matches 507.cactuBSSN and 527.cam4 (and nothing else).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--workload", "ca"])
+        message = str(excinfo.value)
+        assert "ambiguous" in message
+        assert "507.cactuBSSN" in message
+        assert "527.cam4" in message
+        assert "557.xz" not in message  # not the full catalogue
 
     def test_emulation_strategy(self, capsys):
         assert main(["simulate", "--workload", "557.xz",
@@ -68,6 +97,28 @@ class TestTune:
     def test_small_grid(self, capsys):
         assert main(["tune", "--cpu", "C", "--deadlines", "20,30"]) == 0
         assert "best parameters" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serves_for_duration_and_drains(self, capsys):
+        # Ephemeral port, thread workers, short run: a full serve
+        # lifecycle (bind, announce, drain, metrics dump) in ~0.2 s.
+        assert main(["serve", "--port", "0", "--inline", "--no-cache",
+                     "--duration", "0.2", "--shards", "1",
+                     "--workers-per-shard", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "cache off" in out
+
+    def test_banner_reports_cache_on_even_when_empty(self, tmp_path,
+                                                     capsys):
+        # An empty ResultCache is falsy (len == 0); the banner must
+        # report configuration, not current occupancy.
+        assert main(["serve", "--port", "0", "--inline",
+                     "--duration", "0.1", "--shards", "1",
+                     "--workers-per-shard", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "cache on" in capsys.readouterr().out
 
 
 class TestFigures:

@@ -1,0 +1,121 @@
+"""Tests for the ResultCache size bound: LRU pruning and the CLI.
+
+PR 1 gave the cache atomic writes and content addressing; this pins the
+new eviction layer — ``max_bytes`` on the constructor, recency refresh
+on hits, :meth:`ResultCache.prune`, and the
+``python -m repro.runtime.cache`` entry point a long-lived service uses
+to keep its disk footprint bounded.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime.cache import DEFAULT_PRUNE_MAX_BYTES, ResultCache, main
+
+
+def _fill(cache, n, size=200):
+    """Write *n* entries of roughly *size* payload bytes, oldest first.
+
+    Backdates mtimes one second apart so LRU order is deterministic
+    without sleeping.
+    """
+    for i in range(n):
+        cache.put(f"key{i:02d}", {"i": i, "blob": "x" * size})
+        ts = time.time() - (n - i)
+        os.utime(cache.path_for(f"key{i:02d}"), (ts, ts))
+
+
+class TestSizeAccounting:
+    def test_total_bytes_matches_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 3)
+        expected = sum(p.stat().st_size for p in tmp_path.glob("*.json"))
+        assert cache.total_bytes() == expected > 0
+
+    def test_entries_sorted_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 3)
+        mtimes = [mtime for _, mtime, _ in cache.entries()]
+        assert mtimes == sorted(mtimes)
+
+
+class TestLruPrune:
+    def test_prune_removes_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 5)
+        keep_bytes = cache.total_bytes() - 1  # force dropping one entry
+        removed = cache.prune(max_bytes=keep_bytes)
+        assert removed == 1
+        assert cache.get("key00") is None  # oldest gone
+        assert cache.get("key04") is not None  # newest kept
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 4)
+        assert cache.get("key00") is not None  # touch the oldest
+        removed = cache.prune(max_bytes=cache.total_bytes() - 1)
+        assert removed == 1
+        assert cache.get("key00") is not None  # survived: recently used
+        assert cache.get("key01") is None  # next-oldest evicted instead
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 3)
+        assert cache.prune(max_bytes=0) == 3
+        assert len(cache) == 0
+
+    def test_prune_without_cap_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_bounded_put_keeps_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=600)
+        for i in range(20):
+            cache.put(f"k{i}", {"i": i, "blob": "y" * 100})
+        assert cache.total_bytes() <= 600
+        assert len(cache) >= 1
+        assert cache.get("k19") is not None  # newest always survives
+
+    def test_rejects_negative_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=-1)
+
+
+class TestCacheCli:
+    def test_stats(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 2)
+        assert main(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+
+    def test_prune_flag(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 4)
+        assert main(["--dir", str(tmp_path), "--prune",
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 4" in out
+        assert len(cache) == 0
+
+    def test_prune_default_cap_is_generous(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 2)
+        assert DEFAULT_PRUNE_MAX_BYTES == 1 << 30
+        assert main(["--dir", str(tmp_path), "--prune"]) == 0
+        assert len(cache) == 2  # far under 1 GiB: nothing removed
+
+    def test_clear_flag(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 3)
+        assert main(["--dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 3" in capsys.readouterr().out
+        assert len(cache) == 0
+
+    def test_rejects_negative_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--dir", str(tmp_path), "--prune", "--max-bytes", "-5"])

@@ -1,0 +1,146 @@
+"""Round-trip tests for every payload shape the service transports.
+
+The service ships jsonified :class:`~repro.core.metrics.SimResult`
+objects through pool workers, the TCP protocol and the on-disk result
+cache — all via :mod:`repro.runtime.serialization` and ``json``.  These
+tests pin the round-trip for the awkward citizens: numpy scalars and
+arrays, dataclasses, NaN/inf, enum keys, nested containers.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import SimResult
+from repro.experiments.common import ExperimentResult, Metric
+from repro.isa.opcodes import Opcode
+from repro.runtime.serialization import (
+    deserialize_result,
+    jsonify,
+    serialize_result,
+)
+
+
+def roundtrip(value):
+    """jsonify -> JSON bytes -> parse (what cache/wire transport does)."""
+    return json.loads(json.dumps(jsonify(value)))
+
+
+class TestNumpyScalars:
+    @pytest.mark.parametrize("value, expected", [
+        (np.int32(-7), -7),
+        (np.int64(2**40), 2**40),
+        (np.uint8(255), 255),
+        (np.float64(0.25), 0.25),
+        (np.bool_(True), True),
+    ])
+    def test_exact(self, value, expected):
+        assert roundtrip(value) == expected
+
+    def test_float32_survives(self):
+        out = roundtrip(np.float32(1.5))
+        assert out == 1.5 and isinstance(out, float)
+
+
+class TestNonFinite:
+    def test_nan_roundtrips(self):
+        out = roundtrip(float("nan"))
+        assert isinstance(out, float) and math.isnan(out)
+
+    def test_inf_roundtrips(self):
+        assert roundtrip(float("inf")) == math.inf
+        assert roundtrip(float("-inf")) == -math.inf
+
+    def test_nan_inside_array(self):
+        out = roundtrip(np.array([1.0, np.nan, np.inf]))
+        assert out[0] == 1.0
+        assert math.isnan(out[1])
+        assert out[2] == math.inf
+
+
+class TestArrays:
+    def test_1d(self):
+        assert roundtrip(np.arange(4)) == [0, 1, 2, 3]
+
+    def test_2d_nested(self):
+        assert roundtrip(np.ones((2, 3))) == [[1.0] * 3] * 2
+
+    def test_empty(self):
+        assert roundtrip(np.array([])) == []
+
+
+class TestContainers:
+    def test_tuple_and_set(self):
+        assert roundtrip((1, 2)) == [1, 2]
+        assert roundtrip({3, 1, 2}) == sorted(
+            roundtrip({3, 1, 2}))  # deterministic order
+
+    def test_enum_values_and_keys(self):
+        assert roundtrip(Opcode.IMUL) == "IMUL"
+        assert roundtrip({Opcode.IMUL: 1}) == {"IMUL": 1}
+
+    def test_nested_mixture(self):
+        value = {"a": [np.float64(1.0), (np.int32(2),)],
+                 "b": {"c": np.array([3])}}
+        assert roundtrip(value) == {"a": [1.0, [2]], "b": {"c": [3]}}
+
+
+class TestSimResultPayload:
+    """The exact shape the service's workers put on the wire."""
+
+    def _result(self):
+        return SimResult(
+            workload="557.xz", cpu_name="Intel Xeon Silver 4208",
+            strategy="fV", voltage_offset=-0.097,
+            duration_s=1.01, baseline_duration_s=1.0,
+            energy_rel=0.9, state_time={"E": 0.8, "Cf": 0.2},
+            n_exceptions=12, n_switches=3, n_timer_fires=3,
+            n_thrash_stretches=1,
+            timeline=[(0.0, "E"), (0.5, "Cf")])
+
+    def test_dataclass_jsonifies_to_field_dict(self):
+        payload = roundtrip(self._result())
+        assert payload["workload"] == "557.xz"
+        assert payload["state_time"] == {"E": 0.8, "Cf": 0.2}
+        assert payload["timeline"] == [[0.0, "E"], [0.5, "Cf"]]
+        assert set(payload) == {f.name for f in
+                                dataclasses.fields(SimResult)}
+
+    def test_payload_is_pure_json(self):
+        payload = roundtrip(self._result())
+        # A second pass must be the identity: nothing non-JSON remains.
+        assert roundtrip(payload) == payload
+
+
+class TestExperimentResultRoundtrip:
+    def test_full_roundtrip_preserves_metrics_and_data(self):
+        result = ExperimentResult(experiment_id="svc", title="service test")
+        result.metrics.append(Metric("eff", 12.5, 11.0, "%"))
+        result.metrics.append(Metric("count", 3.0, None, ""))
+        result.lines.append("a line")
+        result.data["series"] = np.array([1.0, float("nan")])
+        result.data["params"] = {"deadline": np.float64(30e-6)}
+
+        payload = json.loads(json.dumps(serialize_result(result)))
+        back = deserialize_result(payload)
+
+        assert back.experiment_id == "svc"
+        assert back.title == "service test"
+        assert back.lines == ["a line"]
+        assert [m.name for m in back.metrics] == ["eff", "count"]
+        assert back.metrics[0].paper == 11.0
+        assert back.metrics[1].paper is None
+        assert back.data["series"][0] == 1.0
+        assert math.isnan(back.data["series"][1])
+        assert back.data["params"]["deadline"] == 30e-6
+
+    def test_serialize_is_deterministic(self):
+        result = ExperimentResult(experiment_id="det", title="t")
+        result.data["mix"] = {Opcode.IMUL: np.arange(3),
+                              "set": {2, 1}}
+        a = json.dumps(serialize_result(result), sort_keys=True)
+        b = json.dumps(serialize_result(result), sort_keys=True)
+        assert a == b
