@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench lint goldens goldens-check reproduce clean-cache
+.PHONY: verify test test-all bench lint goldens goldens-check reproduce trace-smoke clean-cache
 
 verify: test
 
@@ -31,6 +31,12 @@ goldens-check:
 
 reproduce:
 	$(PY) -m repro.experiments.runall --fast --jobs 4 --json report.json
+
+# Run a small experiment with execution tracing on and schema-check the
+# resulting Chrome trace (see docs/observability.md).
+trace-smoke:
+	$(PY) -m repro trace fig15_strategies --out trace-smoke.json --validate
+	@rm -f trace-smoke.json
 
 clean-cache:
 	$(PY) -c "from repro.runtime.cache import ResultCache; print(ResultCache().clear(), 'entries removed')"

@@ -4,21 +4,26 @@ Subcommands:
 
 * ``simulate``  — run a workload under SUIT and print the result.
 * ``suite``     — run a workload suite and print Table 6-style aggregates.
-* ``trace``     — synthesise / record / inspect traces (.npz files).
+* ``trace``     — synthesise / record / inspect traces (.npz files), or
+  run an experiment with execution tracing on (``trace <experiment>``)
+  and export a Chrome trace-event JSON (chrome://tracing / Perfetto).
 * ``tune``      — grid-search the operating-strategy parameters.
 * ``reproduce`` — run the paper's experiments (wrapper over runall).
 * ``figures``   — render the regenerated figures as terminal plots.
 * ``audit``     — run the security audit on a sampled chip.
 * ``serve``     — run the simulation service (JSON-lines TCP).
+* ``metrics``   — fetch a running service's metrics (Prometheus text).
 
 Examples:
     python -m repro simulate --cpu C --workload 557.xz --strategy fV
     python -m repro suite --cpu A --offset -0.070
     python -m repro trace gen --workload nginx --out /tmp/nginx.npz
     python -m repro trace info /tmp/nginx.npz
+    python -m repro trace fig15_strategies --out trace.json --validate
     python -m repro tune --cpu C
     python -m repro audit --offset -0.097
     python -m repro serve --port 8642 --shards 2 --workers-per-shard 2
+    python -m repro metrics --port 8642
 """
 
 from __future__ import annotations
@@ -140,6 +145,67 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    """Run one experiment with tracing on; export the execution trace."""
+    import importlib
+    import json
+
+    from repro.experiments.runall import EXPERIMENT_MODULES
+    from repro.obs import disable_tracing, enable_tracing, validate_chrome_trace
+
+    if args.experiment not in EXPERIMENT_MODULES:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; known experiments:\n  "
+            + "\n  ".join(EXPERIMENT_MODULES))
+    tracer = enable_tracing(capacity=args.capacity)
+    try:
+        module = importlib.import_module(
+            f"repro.experiments.{args.experiment}")
+        module.run(seed=args.seed, fast=not args.full)
+        if args.jsonl:
+            tracer.export_jsonl(args.out)
+        else:
+            tracer.export_chrome(args.out)
+    finally:
+        disable_tracing()
+    dropped = (f" ({tracer.n_dropped} dropped: ring buffer full)"
+               if tracer.n_dropped else "")
+    print(f"wrote {len(tracer)} trace events to {args.out}{dropped}")
+    if args.validate:
+        if args.jsonl:
+            raise SystemExit("--validate checks Chrome JSON; drop --jsonl")
+        with open(args.out, encoding="utf-8") as handle:
+            n_events = validate_chrome_trace(json.load(handle))
+        print(f"trace validates: {n_events} events")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Fetch and print a running service's metrics."""
+    import asyncio
+    import json
+
+    from repro.service.client import ServiceClient
+
+    async def _fetch() -> str:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            if args.json:
+                return json.dumps(await client.metrics(), indent=2,
+                                  sort_keys=True)
+            return await client.metrics_text()
+        finally:
+            await client.close()
+
+    try:
+        text = asyncio.run(_fetch())
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach service at {args.host}:{args.port}: {exc}")
+    print(text.rstrip("\n"))
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     """Grid-search the operating-strategy parameters."""
     from repro.core.tuning import grid_search
@@ -171,7 +237,10 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     """Run the paper's experiments (wrapper over the experiment engine)."""
     from repro.experiments.runall import main as runall_main
 
-    argv: List[str] = ["--jobs", str(args.jobs), "--seed", str(args.seed)]
+    argv: List[str] = ["--jobs", str(args.jobs), "--seed", str(args.seed),
+                       "--log-level", args.log_level]
+    if args.log_json:
+        argv.append("--log-json")
     if args.fast:
         argv.append("--fast")
     if args.only:
@@ -193,10 +262,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from repro.obs import logging_setup
     from repro.runtime.cache import ResultCache
     from repro.service import ServiceConfig, SimulationService, start_tcp_server
     from repro.service.server import service_cache_dir
 
+    try:
+        logging_setup(args.log_level, json_format=args.log_json)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     config = ServiceConfig(
         n_shards=args.shards,
         workers_per_shard=args.workers_per_shard,
@@ -315,6 +389,22 @@ def build_parser() -> argparse.ArgumentParser:
     i = trace_sub.add_parser("info", help="inspect a saved trace")
     i.add_argument("path")
     p.set_defaults(func=cmd_trace)
+    t = trace_sub.add_parser(
+        "run", help="run an experiment with execution tracing on")
+    t.add_argument("experiment",
+                   help="experiment module name (e.g. fig15_strategies)")
+    t.add_argument("--out", required=True,
+                   help="trace output path (Chrome trace-event JSON)")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--full", action="store_true",
+                   help="full (slower) run instead of --fast")
+    t.add_argument("--jsonl", action="store_true",
+                   help="export JSON lines instead of Chrome JSON")
+    t.add_argument("--validate", action="store_true",
+                   help="schema-check the written Chrome trace")
+    t.add_argument("--capacity", type=_positive_int, default=1_000_000,
+                   help="ring-buffer capacity in events")
+    t.set_defaults(func=cmd_trace_run)
 
     p = sub.add_parser("tune", help="parameter grid search")
     common(p)
@@ -334,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the metric summary to this file")
     p.add_argument("--json", nargs="?", const=True, default=None,
                    metavar="PATH", help="write the machine-readable report")
+    p.add_argument("--log-level", default="INFO",
+                   help="logging threshold (DEBUG, INFO, ...)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log records as JSON lines")
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("figures", help="render the figures as terminal plots")
@@ -375,12 +469,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU size cap of the result cache")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then drain (default: forever)")
+    p.add_argument("--log-level", default="INFO",
+                   help="logging threshold (DEBUG, INFO, ...)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log records as JSON lines")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("metrics",
+                       help="fetch a running service's metrics")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--json", action="store_true",
+                   help="JSON snapshot instead of Prometheus text")
+    p.set_defaults(func=cmd_metrics)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Sugar: ``repro trace <experiment> ...`` means ``trace run ...``
+    # (the .npz verbs gen/record/info keep their spelling).
+    if (len(argv) >= 2 and argv[0] == "trace"
+            and argv[1] not in ("gen", "record", "info", "run")
+            and not argv[1].startswith("-")):
+        argv.insert(1, "run")
     args = build_parser().parse_args(argv)
     return args.func(args)
 

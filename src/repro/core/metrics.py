@@ -55,6 +55,9 @@ class SimResult:
         n_timer_fires: deadline expiries (returns to E).
         n_thrash_stretches: deadlines armed stretched by p_df.
         timeline: optional recorded (time, state) transitions.
+        timeline_truncated: True when the recording hit the simulator's
+            timeline cap and later transitions were dropped — figures
+            built from ``timeline`` only cover a prefix of the run.
     """
 
     workload: str
@@ -70,6 +73,7 @@ class SimResult:
     n_timer_fires: int = 0
     n_thrash_stretches: int = 0
     timeline: Optional[List[Tuple[float, str]]] = None
+    timeline_truncated: bool = False
 
     @property
     def duration_ratio(self) -> float:

@@ -27,6 +27,7 @@ from repro.core.thrashing import ThrashingMonitor
 from repro.emulation.dispatch import emulation_cycles
 from repro.hardware.cpu import CpuModel
 from repro.kernel.timer import DeadlineTimer
+from repro.obs.tracer import TRACK_SIM, get_tracer
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.trace import FaultableTrace
 
@@ -65,6 +66,9 @@ class TraceSimulator(CpuControl):
         self.harden_imul = harden_imul
         self._rng = np.random.default_rng(seed)
         self._record = record_timeline
+        # Telemetry: events are only built when a recording tracer is
+        # installed (one boolean check per site keeps the hot path free).
+        self._tracer = get_tracer()
 
         points = cpu.operating_points(voltage_offset)
         self._speed = {SuitState.E: points.speed_e,
@@ -100,6 +104,7 @@ class TraceSimulator(CpuControl):
         self._n_timer_fires = 0
         self._n_thrash = 0
         self._timeline: Optional[List[Tuple[float, str]]] = [] if record_timeline else None
+        self._timeline_truncated = False
 
     # ------------------------------------------------------------------
     # CpuControl interface (what the strategies drive, as in Listing 1)
@@ -140,6 +145,10 @@ class TraceSimulator(CpuControl):
             if self.cpu.transitions.voltage is None:
                 raise ValueError(f"{self.cpu.name} has no voltage control")
             delay = self.cpu.transitions.voltage_change(self._rng)
+            if self._tracer.enabled:
+                self._tracer.complete("voltage settle", "sim", ts_s=self._t,
+                                      dur_s=delay, track=TRACK_SIM,
+                                      args={"target": target.value})
             self._pending = (self._t + delay, target, False)
             return
         if target is SuitState.E:
@@ -148,6 +157,11 @@ class TraceSimulator(CpuControl):
             # late, once the voltage has actually dropped.
             if self._state is SuitState.CV and self.cpu.transitions.voltage is not None:
                 delay = self.cpu.transitions.voltage_change(self._rng)
+                if self._tracer.enabled:
+                    self._tracer.complete("voltage settle", "sim",
+                                          ts_s=self._t, dur_s=delay,
+                                          track=TRACK_SIM,
+                                          args={"target": target.value})
             else:
                 delay, _ = self.cpu.transitions.frequency_change(self._rng)
             old_power = self._power_now
@@ -187,6 +201,10 @@ class TraceSimulator(CpuControl):
         call = max(call - self.cpu.exception_delay.mean_s, 0.0)
         freq = self.cpu.nominal_frequency * self._speed[self._state]
         routine = emulation_cycles(opcode) / freq
+        if self._tracer.enabled:
+            self._tracer.complete("emulation", "sim", ts_s=self._t,
+                                  dur_s=call + routine, track=TRACK_SIM,
+                                  args={"opcode": opcode.name})
         self._stall(call + routine)
         self._emulated_current = True
 
@@ -254,14 +272,21 @@ class TraceSimulator(CpuControl):
 
     def _set_state(self, state: SuitState) -> None:
         if state is not self._state:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "p-state change", "sim", ts_s=self._t, track=TRACK_SIM,
+                    args={"from": self._state.value, "to": state.value})
             self._state = state
             self._power_now = self._power[state]
             self._log_state()
 
     def _log_state(self) -> None:
-        if self._timeline is not None and len(self._timeline) < _TIMELINE_CAP:
-            label = self._state.value + ("/disabled" if self._disabled else "")
-            self._timeline.append((self._t, label))
+        if self._timeline is not None:
+            if len(self._timeline) < _TIMELINE_CAP:
+                label = self._state.value + ("/disabled" if self._disabled else "")
+                self._timeline.append((self._t, label))
+            else:
+                self._timeline_truncated = True
 
     def _complete_pending(self) -> None:
         assert self._pending is not None
@@ -281,6 +306,9 @@ class TraceSimulator(CpuControl):
     def _fire_timer(self) -> None:
         self._timer.cancel()
         self._n_timer_fires += 1
+        if self._tracer.enabled:
+            self._tracer.instant("timer fire", "sim", ts_s=self._t,
+                                 track=TRACK_SIM)
         self.strategy.on_timer_interrupt(self)
 
     def _handle_event(self) -> None:
@@ -293,9 +321,19 @@ class TraceSimulator(CpuControl):
         # Disabled: #DO exception.
         self._n_exceptions += 1
         self._thrash.record(self._t)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "#DO trap", "sim", ts_s=self._t, track=TRACK_SIM,
+                args={"opcode": self.trace.event_opcode(self._ev).name,
+                      "event": self._ev})
         self._stall(self.cpu.exception_delay.sample(self._rng))
         self._emulated_current = False
         self.strategy.on_disabled_instruction(self)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "decision: emulate" if self._emulated_current
+                else "decision: curve-switch",
+                "sim", ts_s=self._t, track=TRACK_SIM)
         if self._emulated_current:
             # Instruction consumed by the emulation path.
             self._ev += 1
@@ -415,4 +453,5 @@ class TraceSimulator(CpuControl):
             n_timer_fires=self._n_timer_fires,
             n_thrash_stretches=self._n_thrash,
             timeline=self._timeline,
+            timeline_truncated=self._timeline_truncated,
         )

@@ -7,6 +7,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import get_registry
 from repro.workloads.generator import generate_trace
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.trace import FaultableTrace
@@ -121,12 +122,18 @@ def cached_trace(profile: WorkloadProfile, seed: int = 0) -> FaultableTrace:
     profile field — it only means a trace may be synthesised once per
     worker instead of once per machine.
     """
+    hits = get_registry().counter("trace_cache_hits_total",
+                                  "synthesised traces served from cache")
+    misses = get_registry().counter("trace_cache_misses_total",
+                                    "traces synthesised on a cache miss")
     key = _trace_cache_key(profile, seed)
     with _TRACE_CACHE_LOCK:
         trace = _TRACE_CACHE.get(key)
         if trace is not None:
             _TRACE_CACHE.move_to_end(key)
+            hits.inc()
             return trace
+    misses.inc()
     trace = generate_trace(profile, seed=seed)
     with _TRACE_CACHE_LOCK:
         existing = _TRACE_CACHE.get(key)

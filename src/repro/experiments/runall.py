@@ -18,12 +18,19 @@ the machine-readable report next to the markdown summary.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.obs import logging_setup
+
+# Explicit name: under ``python -m repro.experiments.runall`` this file
+# runs as ``__main__``, which would fall outside the ``repro`` logger
+# hierarchy that logging_setup configures.
+logger = logging.getLogger("repro.experiments.runall")
 
 #: Experiment module names, in paper order.
 EXPERIMENT_MODULES = (
@@ -46,6 +53,7 @@ EXPERIMENT_MODULES = (
     "fig12_undervolt_sweep",
     "fig13_dvfs_curves",
     "fig14_imul_latency",
+    "fig15_strategies",
     "fig16_per_benchmark",
     "ablation_imul",
     "ablation_thrashing",
@@ -72,13 +80,15 @@ def _print_report(report) -> None:
     for record in report.records:
         if record.ok:
             print(record.to_result().report())
+            print(flush=True)
             cached = " (cached)" if record.cache_hit else ""
-            print(f"[{record.module} finished in "
-                  f"{record.wall_time_s:.1f}s{cached}]\n", flush=True)
+            logger.info("%s finished in %.1fs%s", record.module,
+                        record.wall_time_s, cached)
         else:
             print(f"== {record.module}: FAILED ==")
             print(record.error)
             print(flush=True)
+            logger.error("%s failed: %s", record.module, record.error)
 
 
 def run_all(seed: int = 0, fast: bool = False,
@@ -137,7 +147,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="PATH",
                         help="write the machine-readable report "
                              "(default: report.json next to --out)")
+    parser.add_argument("--log-level", default="INFO",
+                        help="logging threshold (DEBUG, INFO, ...)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines")
     args = parser.parse_args(argv)
+
+    try:
+        logging_setup(args.log_level, json_format=args.log_json)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     cache = None
     if not args.no_cache:
@@ -152,7 +171,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(summarize(report.results()))
-        print(f"summary written to {args.out}")
+        logger.info("summary written to %s", args.out)
     if args.json is not None:
         if args.json is True:
             base = Path(args.out).parent if args.out else Path(".")
@@ -160,9 +179,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             json_path = Path(args.json)
         report.write(json_path)
-        print(f"report written to {json_path} "
-              f"({report.n_cache_hits}/{len(report.records)} cached, "
-              f"{report.total_wall_time_s:.1f}s)")
+        logger.info("report written to %s (%d/%d cached, %.1fs)",
+                    json_path, report.n_cache_hits, len(report.records),
+                    report.total_wall_time_s)
     return 0 if report.n_failed == 0 else 1
 
 

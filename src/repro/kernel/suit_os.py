@@ -22,6 +22,7 @@ from repro.isa.opcodes import Opcode
 from repro.kernel.exceptions import ExceptionVector, TrapFrame
 from repro.kernel.handler import ExceptionTable, KernelCosts
 from repro.kernel.timer import DeadlineTimer
+from repro.obs.tracer import TRACK_SIM, get_tracer
 from repro.power.dvfs import CurveKind
 
 
@@ -59,6 +60,7 @@ class SuitOs:
         self.timer = DeadlineTimer()
         self.exceptions = ExceptionTable(costs)
         self.log = SuitOsLog()
+        self._tracer = get_tracer()
         self._exception_times: List[float] = []
         self._booted = False
 
@@ -107,6 +109,10 @@ class SuitOs:
         self.msrs.disable(TRAPPED_OPCODES)
         self.msrs.select_curve(CurveKind.EFFICIENT)
         self.log.record(time_s, "timer: disabled set, efficient curve")
+        if self._tracer.enabled:
+            self._tracer.instant("timer fire", "kernel", ts_s=time_s,
+                                 track=TRACK_SIM,
+                                 args={"curve": "efficient"})
 
     # -- introspection -------------------------------------------------------
 
@@ -126,6 +132,11 @@ class SuitOs:
     def _do_handler(self, frame: TrapFrame) -> None:
         time_s = frame.timestamp_s
         self._exception_times.append(time_s)
+        if self._tracer.enabled:
+            self._tracer.instant("#DO trap", "kernel", ts_s=time_s,
+                                 track=TRACK_SIM,
+                                 args={"opcode": frame.opcode.name,
+                                       "rip": frame.rip})
         if self.emulate:
             self.log.record(time_s, f"#DO {frame.opcode.name}: emulated")
             frame.advance()  # skip the instruction: emulation produced it
@@ -139,6 +150,12 @@ class SuitOs:
         deadline = self.params.scaled_deadline(thrashing)
         self.timer.arm(time_s, deadline)
         self.msrs.set_deadline(deadline)
+        if self._tracer.enabled:
+            self._tracer.instant("p-state change", "kernel", ts_s=time_s,
+                                 track=TRACK_SIM,
+                                 args={"curve": "conservative",
+                                       "deadline_us": deadline * 1e6,
+                                       "thrashing": thrashing})
         self.log.record(
             time_s,
             f"#DO {frame.opcode.name}: conservative, enabled, deadline "

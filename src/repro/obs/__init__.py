@@ -1,0 +1,71 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+One dependency-free subsystem shared by every layer of the
+reproduction (see ``docs/observability.md``):
+
+* **Metrics** — a thread-safe registry of labelled counters, gauges and
+  bucket histograms (:class:`MetricsRegistry`), with a process-wide
+  default (:func:`get_registry`) and a Prometheus text renderer
+  (:func:`render_prometheus`).
+* **Tracing** — typed span/instant events in a bounded ring buffer
+  (:class:`Tracer`), exported as Chrome trace-event JSON (open in
+  ``chrome://tracing`` / Perfetto) or JSON lines.  Off by default; the
+  installed :class:`NullTracer` makes instrumentation a single boolean
+  check (:func:`enable_tracing` turns recording on).
+* **Profiling hooks** — :func:`profiled` spans wired into the
+  simulator, engine and service hot paths.
+* **Logging** — :func:`logging_setup` configures the ``repro`` logger
+  hierarchy with an optional JSON formatter.
+"""
+
+from repro.obs.logsetup import JsonLogFormatter, logging_setup
+from repro.obs.profiling import profiled
+from repro.obs.prometheus import parse_prometheus, render_prometheus
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    get_registry,
+    latency_bounds,
+    set_registry,
+)
+from repro.obs.tracer import (
+    TRACK_SIM,
+    TRACK_WALL,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramFamily",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "TRACK_SIM",
+    "TRACK_WALL",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "latency_bounds",
+    "logging_setup",
+    "parse_prometheus",
+    "profiled",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,61 @@
+"""Structured logging setup for the ``repro`` namespace.
+
+:func:`logging_setup` configures the ``repro`` logger hierarchy with a
+stream handler and either a human-readable or a JSON-lines formatter —
+the latter is what log shippers and ``jq`` pipelines want.  It is
+idempotent: calling it again reconfigures rather than stacking
+handlers, so tests and long-lived embedders can flip levels freely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional, Union
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message (+exc)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render *record* as a single JSON line."""
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def logging_setup(level: Union[int, str] = "INFO", json_format: bool = False,
+                  stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Configure the ``repro`` logger; returns it.
+
+    Args:
+        level: threshold name or number ("DEBUG", "INFO", ...).
+        json_format: emit JSON lines instead of the plain format.
+        stream: destination (default ``sys.stderr``, so stdout stays
+            reserved for report/result output).
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_format:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,58 @@
+"""Profiling hooks: one context manager feeding both telemetry sinks.
+
+:func:`profiled` wraps a block so that its wall-clock duration lands in
+a histogram of the default registry *and* — when tracing is on — as a
+span in the trace.  It is the convenience glue the engine and service
+hot paths use; both sinks stay individually addressable for callers
+with special needs (simulated-time events, labelled series).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tracer import get_tracer
+
+#: Default histogram bounds for code-path durations (1 us .. ~134 s).
+DURATION_BOUNDS = tuple(1e-6 * 2 ** i for i in range(28))
+
+
+@contextmanager
+def profiled(name: str, cat: str = "profile",
+             histogram: Optional[str] = None,
+             registry: Optional[MetricsRegistry] = None,
+             bounds: Sequence[float] = DURATION_BOUNDS,
+             args: Optional[dict] = None) -> Iterator[None]:
+    """Time the body; observe the duration and (if tracing) record a span.
+
+    Args:
+        name: span name, and the default histogram name
+            (``<name>_seconds`` with non-metric characters replaced).
+        cat: trace category.
+        histogram: explicit histogram name; None derives one from *name*.
+        registry: target registry (default: the process-wide one).
+        bounds: histogram bucket bounds.
+        args: optional trace-event payload.
+    """
+    tracer = get_tracer()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration = time.perf_counter() - start
+        metric = histogram or _metric_name(name)
+        target = registry if registry is not None else get_registry()
+        target.histogram(metric, f"duration of {name}",
+                         bounds=list(bounds)).observe(duration)
+        if tracer.enabled:
+            tracer.complete(name, cat, ts_s=tracer.now_s() - duration,
+                            dur_s=duration, args=args)
+
+
+def _metric_name(name: str) -> str:
+    """Histogram name derived from a span name."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{cleaned.strip('_').lower()}_seconds"

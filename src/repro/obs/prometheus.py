@@ -1,0 +1,117 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Renders the version-0.0.4 text format a Prometheus server scrapes:
+``# HELP`` / ``# TYPE`` headers, one sample line per label series,
+histogram families expanded into cumulative ``_bucket`` samples plus
+``_sum`` and ``_count``.  Counters get the conventional ``_total``
+suffix when their registered name does not already carry it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HistogramFamily,
+    MetricsRegistry,
+)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: Sequence[Tuple[str, str]] = ()) -> str:
+    """``{k="v",...}`` rendering (empty string when no labels)."""
+    pairs = [f'{k}="{_escape(v)}"' for k, v in zip(names, values)]
+    pairs.extend(f'{k}="{_escape(v)}"' for k, v in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    """Sample value rendering (integers without a trailing .0)."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "") -> str:
+    """Render every metric of *registry* in Prometheus text format.
+
+    Args:
+        registry: the registry to expose.
+        prefix: prepended to every metric name (e.g. ``"repro_"``).
+
+    Returns:
+        The exposition text, terminated by a newline (empty registry
+        renders as an empty string).
+    """
+    lines: List[str] = []
+    for metric in registry.collect():
+        name = prefix + metric.name
+        if isinstance(metric, Counter):
+            if not name.endswith("_total"):
+                name += "_total"
+            lines.append(f"# HELP {name} {metric.help}".rstrip())
+            lines.append(f"# TYPE {name} counter")
+            for values, count in sorted(metric.series().items()):
+                labels = _labels_text(metric.label_names, values)
+                lines.append(f"{name}{labels} {_format_value(count)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {name} {metric.help}".rstrip())
+            lines.append(f"# TYPE {name} gauge")
+            for values, val in sorted(metric.series().items()):
+                labels = _labels_text(metric.label_names, values)
+                lines.append(f"{name}{labels} {_format_value(val)}")
+        elif isinstance(metric, HistogramFamily):
+            lines.append(f"# HELP {name} {metric.help}".rstrip())
+            lines.append(f"# TYPE {name} histogram")
+            for values, hist in sorted(metric.series().items()):
+                cumulative = 0
+                for bound, count in zip(hist.bounds, hist.counts):
+                    cumulative += count
+                    labels = _labels_text(metric.label_names, values,
+                                          extra=[("le", repr(float(bound)))])
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _labels_text(metric.label_names, values,
+                                      extra=[("le", "+Inf")])
+                lines.append(f"{name}_bucket{labels} {hist.n}")
+                plain = _labels_text(metric.label_names, values)
+                lines.append(f"{name}_sum{plain} {_format_value(hist.total)}")
+                lines.append(f"{name}_count{plain} {hist.n}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition *text* back into ``{series: value}``.
+
+    A deliberately small parser for tests and the CLI: comment lines
+    are skipped, every sample line must split into a series name (with
+    optional ``{...}`` labels) and a float value.  Raises ``ValueError``
+    on malformed lines — which is exactly what the "is this output
+    Prometheus-parseable" tests want to detect.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "}" in line:
+            series, _, rest = line.rpartition("} ")
+            series += "}"
+            value_text = rest
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed sample {line!r}")
+            series, value_text = parts
+        try:
+            samples[series] = float(value_text)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value in {line!r}")
+    return samples

@@ -33,6 +33,7 @@ from __future__ import annotations
 import importlib
 import importlib.util
 import json
+import logging
 import multiprocessing
 import time
 import traceback
@@ -42,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.obs import get_registry, get_tracer
 from repro.runtime.cache import (
     ResultCache,
     experiment_cache_key,
@@ -50,6 +52,8 @@ from repro.runtime.cache import (
 )
 from repro.runtime.seeding import derive_seed
 from repro.runtime.serialization import deserialize_result, serialize_result
+
+logger = logging.getLogger(__name__)
 
 #: Version of the report JSON schema.
 REPORT_SCHEMA_VERSION = 1
@@ -69,10 +73,14 @@ def _execute_experiment(registry: str, name: str, seed: int, fast: bool) -> dict
     cannot take down the pool or the run.
     """
     start = time.perf_counter()
+    cpu_start = time.process_time()
     worker = multiprocessing.current_process().name
+    tracer = get_tracer()
     try:
-        module = importlib.import_module(f"{registry}.{name}")
-        result = module.run(seed=seed, fast=fast)
+        with tracer.span(f"experiment:{name}", cat="engine",
+                         args={"seed": seed, "fast": fast}):
+            module = importlib.import_module(f"{registry}.{name}")
+            result = module.run(seed=seed, fast=fast)
         payload: Optional[dict] = serialize_result(result)
         status, error = "ok", None
     except BaseException:  # noqa: BLE001 - the traceback is the report
@@ -80,6 +88,7 @@ def _execute_experiment(registry: str, name: str, seed: int, fast: bool) -> dict
         error = traceback.format_exc()
     return {"module": name, "status": status, "error": error,
             "payload": payload, "wall_time_s": time.perf_counter() - start,
+            "cpu_time_s": time.process_time() - cpu_start,
             "worker": worker}
 
 
@@ -95,6 +104,7 @@ class ExperimentRecord:
             :func:`repro.runtime.serialization.serialize_result`.
         error: traceback text when failed.
         wall_time_s: execution time (0.0 for cache hits).
+        cpu_time_s: process CPU time consumed (0.0 for cache hits).
         cache_hit: whether the result came from the cache.
         cache_key: content address used (None when caching is off).
         worker: name of the process that executed the experiment.
@@ -106,6 +116,7 @@ class ExperimentRecord:
     payload: Optional[dict] = None
     error: Optional[str] = None
     wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
     cache_hit: bool = False
     cache_key: Optional[str] = None
     worker: str = "cache"
@@ -126,6 +137,7 @@ class ExperimentRecord:
         entry = self.canonical_dict()
         entry["runtime"] = {
             "wall_time_s": self.wall_time_s,
+            "cpu_time_s": self.cpu_time_s,
             "cache_hit": self.cache_hit,
             "worker": self.worker,
         }
@@ -288,6 +300,13 @@ class ExperimentEngine:
         module names, a hard-killed worker process).
         """
         started = time.perf_counter()
+        metrics = get_registry()
+        experiments = metrics.counter(
+            "engine_experiments_total", "engine experiment outcomes",
+            label_names=("status",))
+        wall_hist = metrics.histogram(
+            "engine_experiment_wall_seconds",
+            "per-experiment wall time of cache misses")
         names = self.select(only)
         records: Dict[str, ExperimentRecord] = {}
         pending: List[Tuple[str, int, Optional[str]]] = []
@@ -298,19 +317,30 @@ class ExperimentEngine:
                 key = self.cache_key_for(name, seed=derived, fast=fast)
                 payload = self.cache.get(key)
                 if payload is not None:
+                    metrics.counter("engine_cache_hits_total",
+                                    "experiments served from the cache").inc()
+                    experiments.inc(status="cached")
                     records[name] = ExperimentRecord(
                         module=name, status="ok", seed=derived,
                         payload=payload, cache_hit=True, cache_key=key)
                     continue
             pending.append((name, derived, key))
 
+        logger.info("engine: %d experiment(s), %d cached, %d to run on "
+                    "%d worker(s)", len(names), len(names) - len(pending),
+                    len(pending), self.jobs)
         for outcome, (name, derived, key) in zip(
                 self._execute(pending, fast), pending):
             record = ExperimentRecord(
                 module=name, status=outcome["status"], seed=derived,
                 payload=outcome["payload"], error=outcome["error"],
                 wall_time_s=outcome["wall_time_s"], cache_hit=False,
+                cpu_time_s=outcome.get("cpu_time_s", 0.0),
                 cache_key=key, worker=outcome["worker"])
+            experiments.inc(status=record.status)
+            wall_hist.observe(record.wall_time_s)
+            if not record.ok:
+                logger.warning("engine: %s failed", name)
             if self.cache is not None and record.ok and key is not None:
                 self.cache.put(key, record.payload)
             records[name] = record
@@ -320,6 +350,13 @@ class ExperimentEngine:
             cache_enabled=self.cache is not None,
             records=[records[name] for name in names])
         report.total_wall_time_s = time.perf_counter() - started
+        if names:
+            metrics.gauge("engine_cache_hit_ratio",
+                          "cache hits / experiments of the last run").set(
+                report.n_cache_hits / len(names))
+        logger.info("engine: run complete in %.1fs (%d failed, %d cached)",
+                    report.total_wall_time_s, report.n_failed,
+                    report.n_cache_hits)
         return report
 
     def _execute(self, pending: Sequence[Tuple[str, int, Optional[str]]],

@@ -104,6 +104,22 @@ class ServiceClient:
         reply = await self._roundtrip({"op": "metrics"})
         return reply.get("metrics", {})
 
+    async def metrics_text(self) -> str:
+        """Fetch the service's metrics in Prometheus text format."""
+        reply = await self._roundtrip({"op": "metrics",
+                                       "format": "prometheus"})
+        return reply.get("text", "")
+
+    async def trace(self) -> dict:
+        """Fetch the service-side tracer's recorded events.
+
+        Returns ``{"enabled": bool, "events": [chrome-trace-event, ...]}``
+        (empty when the service runs with tracing off).
+        """
+        reply = await self._roundtrip({"op": "trace"})
+        return {"enabled": reply.get("enabled", False),
+                "events": reply.get("events", [])}
+
     async def ping(self) -> dict:
         """Liveness probe; returns the pong message (with version)."""
         return await self._roundtrip({"op": "ping"})

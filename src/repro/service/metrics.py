@@ -4,161 +4,104 @@ Everything the load generator and the operator dashboards need —
 request/dedup/cache/rejection counters, queue-depth gauge, latency and
 batch-occupancy histograms with approximate percentiles — collected
 behind one :class:`ServiceMetrics` object and exported as a plain JSON
-dict by :meth:`ServiceMetrics.snapshot`.
+dict by :meth:`ServiceMetrics.snapshot` or as Prometheus text by
+:meth:`ServiceMetrics.prometheus_text`.
 
-The histograms are fixed-bucket: geometric bounds for latencies (they
-span five orders of magnitude), linear bounds for batch occupancy.
-Percentiles are read as the upper bound of the bucket holding the
-requested rank — cheap, allocation-free on the hot path, and accurate
-to one bucket width, which is what serving dashboards use.
+Since the unified telemetry layer landed, this module is a thin facade
+over :class:`repro.obs.MetricsRegistry`: every counter, gauge and
+histogram lives in a (per-instance, injectable) registry, so the
+service shares one metrics model with the engine and the simulator.
+
+.. deprecated::
+    ``Histogram`` and ``latency_bounds`` moved to
+    :mod:`repro.obs.registry`; they are re-exported here so existing
+    imports (``from repro.service.metrics import Histogram``) keep
+    working.  New code should import them from :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
+from repro.obs.prometheus import render_prometheus
+from repro.obs.registry import Histogram, MetricsRegistry, latency_bounds
 
-def latency_bounds(lo: float = 1e-4, hi: float = 120.0) -> List[float]:
-    """Geometric bucket bounds from *lo* to at least *hi* seconds."""
-    bounds = [lo]
-    while bounds[-1] < hi:
-        bounds.append(bounds[-1] * 2.0)
-    return bounds
+__all__ = ["Histogram", "ServiceMetrics", "latency_bounds"]
 
-
-class Histogram:
-    """Fixed-bucket histogram with approximate percentiles.
-
-    Args:
-        bounds: ascending bucket upper bounds; one implicit overflow
-            bucket catches everything above the last bound.
-    """
-
-    def __init__(self, bounds: Sequence[float]) -> None:
-        """See class docstring."""
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bounds must be non-empty and ascending")
-        self.bounds: List[float] = [float(b) for b in bounds]
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.n = 0
-        self.total = 0.0
-        self.max_seen = 0.0
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        idx = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                idx = i
-                break
-        self.counts[idx] += 1
-        self.n += 1
-        self.total += value
-        if value > self.max_seen:
-            self.max_seen = value
-
-    def percentile(self, p: float) -> Optional[float]:
-        """Upper bound of the bucket holding rank ``p`` (0..1); None when empty.
-
-        The overflow bucket reports the largest value seen, so a
-        pathological tail is never under-reported.
-        """
-        if not 0.0 <= p <= 1.0:
-            raise ValueError("p must be in [0, 1]")
-        if self.n == 0:
-            return None
-        rank = max(1, int(p * self.n + 0.5))
-        cumulative = 0
-        for i, count in enumerate(self.counts):
-            cumulative += count
-            if cumulative >= rank:
-                return self.bounds[i] if i < len(self.bounds) else self.max_seen
-        return self.max_seen
-
-    @property
-    def mean(self) -> Optional[float]:
-        """Arithmetic mean of the observations; None when empty."""
-        return self.total / self.n if self.n else None
-
-    def to_json_dict(self) -> dict:
-        """JSON form: counts per bucket plus the headline percentiles."""
-        return {
-            "n": self.n,
-            "mean": self.mean,
-            "max": self.max_seen if self.n else None,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds + [None], self.counts)
-            ],
-        }
+#: Counter names the service increments, with their help strings.
+#: Pre-registered at zero so a scrape of an idle service still shows
+#: every counter the dashboards alert on.
+SERVICE_COUNTERS = {
+    "requests_submitted": "requests received by submit()",
+    "requests_completed": "requests answered with status ok",
+    "requests_failed": "requests answered with status failed",
+    "requests_invalid": "requests rejected at validation",
+    "requests_rejected": "requests rejected by admission control",
+    "requests_timed_out": "requests that missed their deadline",
+    "cache_hits": "requests answered from the result cache",
+    "dedup_hits": "requests coalesced onto an in-flight twin",
+    "simulations_executed": "simulations run on the worker tier",
+    "batches_dispatched": "micro-batches handed to the worker tier",
+    "batch_retries": "batch executions retried after worker crashes",
+    "batch_failures": "batches that exhausted their retries",
+    "worker_restarts": "worker pools rebuilt after a crash",
+}
 
 
 class ServiceMetrics:
     """All counters, gauges and histograms of one service instance.
 
-    Counter names the service increments (all monotonic):
+    The documented counter names are listed in :data:`SERVICE_COUNTERS`
+    (all monotonic).  Thread-safe: the worker tier's executor callbacks
+    and the asyncio loop may touch it from different threads.
 
-    ``requests_submitted``, ``requests_completed``, ``requests_failed``,
-    ``requests_invalid``, ``requests_rejected``, ``requests_timed_out``,
-    ``cache_hits``, ``dedup_hits``, ``simulations_executed``,
-    ``batches_dispatched``, ``batch_retries``, ``batch_failures``,
-    ``worker_restarts``.
-
-    Thread-safe: the worker tier's executor callbacks and the asyncio
-    loop may touch it from different threads.
+    Args:
+        registry: the backing :class:`~repro.obs.MetricsRegistry`; a
+            private one is created when omitted, so two service
+            instances never share series.
     """
 
-    def __init__(self) -> None:
-        """Create an empty metrics registry."""
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._gauges: Dict[str, float] = {}
-        self.latency = Histogram(latency_bounds())
-        self.batch_occupancy = Histogram(list(range(1, 33)))
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """See class docstring."""
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name, help_text in SERVICE_COUNTERS.items():
+            self.registry.counter(name, help_text)
+        self.registry.gauge("queue_depth", "scheduler queue depth").set(0)
+        self.latency: Histogram = self.registry.histogram(
+            "latency_s", "request latency in seconds",
+            bounds=latency_bounds()).child()
+        self.batch_occupancy: Histogram = self.registry.histogram(
+            "batch_occupancy", "requests per dispatched micro-batch",
+            bounds=list(range(1, 33))).child()
 
     def inc(self, name: str, delta: int = 1) -> None:
         """Increment counter *name* by *delta*."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + int(delta)
+        self.registry.counter(name, SERVICE_COUNTERS.get(name, "")).inc(delta)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge *name* to *value*."""
-        with self._lock:
-            self._gauges[name] = float(value)
+        self.registry.gauge(name).set(value)
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 when never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self.registry.counter(name).value()
 
     def gauge(self, name: str) -> Optional[float]:
         """Current value of gauge *name*, or None when never set."""
-        with self._lock:
-            return self._gauges.get(name)
+        return self.registry.gauge(name).value()
 
     def observe_latency(self, seconds: float) -> None:
         """Record one request latency."""
-        with self._lock:
-            self.latency.observe(seconds)
+        self.latency.observe(seconds)
 
     def observe_batch(self, occupancy: int) -> None:
         """Record one dispatched batch's occupancy."""
-        with self._lock:
-            self.batch_occupancy.observe(occupancy)
+        self.batch_occupancy.observe(occupancy)
 
     def snapshot(self) -> dict:
         """The whole registry as a JSON-ready dict (stable key order)."""
-        with self._lock:
-            return {
-                "counters": dict(sorted(self._counters.items())),
-                "gauges": dict(sorted(self._gauges.items())),
-                "histograms": {
-                    "latency_s": self.latency.to_json_dict(),
-                    "batch_occupancy": self.batch_occupancy.to_json_dict(),
-                },
-            }
+        return self.registry.snapshot()
+
+    def prometheus_text(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        return render_prometheus(self.registry)

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Optional, Set
 
 from repro import __version__ as REPRO_VERSION
+from repro.obs.tracer import get_tracer
 from repro.runtime.cache import ResultCache, default_cache_dir, package_digest
 from repro.service.batcher import Batch, MicroBatcher
 from repro.service.metrics import ServiceMetrics
@@ -294,6 +295,12 @@ class SimulationService:
             self.metrics.set_gauge("queue_depth", self.scheduler.depth)
             self.metrics.inc("batches_dispatched")
             self.metrics.observe_batch(batch.occupancy)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant("batch formed", "service",
+                               args={"occupancy": batch.occupancy,
+                                     "shard": batch.shard_key,
+                                     "queue_depth": self.scheduler.depth})
             task = asyncio.get_running_loop().create_task(
                 self._run_batch(batch))
             self._batch_tasks.add(task)
@@ -316,6 +323,11 @@ class SimulationService:
                 self._batch_slots.release()
         if retries:
             self.metrics.inc("batch_retries", retries)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant("worker retry", "service",
+                               args={"shard": batch.shard_key,
+                                     "retries": retries})
         for entry, outcome in zip(batch.entries, outcomes):
             self.metrics.inc("simulations_executed")
             if (self.cache is not None and entry.cache_key is not None
@@ -383,7 +395,15 @@ async def _handle_message(service: SimulationService, message: dict,
             out = response.to_dict()
             out["op"] = "response"
     elif op == "metrics":
-        out = {"op": "metrics", "metrics": service.metrics.snapshot()}
+        if message.get("format") == "prometheus":
+            out = {"op": "metrics", "format": "prometheus",
+                   "text": service.metrics.prometheus_text()}
+        else:
+            out = {"op": "metrics", "metrics": service.metrics.snapshot()}
+    elif op == "trace":
+        tracer = get_tracer()
+        out = {"op": "trace", "enabled": tracer.enabled,
+               "events": [event.to_chrome() for event in tracer.events()]}
     elif op == "ping":
         out = {"op": "pong", "version": REPRO_VERSION}
     else:

@@ -148,7 +148,8 @@ class TestDeterminism:
         assert loaded["schema"]["name"] == "repro.experiment-report"
         assert [e["module"] for e in loaded["experiments"]] == ["alpha", "beta"]
         runtime = loaded["experiments"][0]["runtime"]
-        assert set(runtime) == {"wall_time_s", "cache_hit", "worker"}
+        assert set(runtime) == {"wall_time_s", "cpu_time_s", "cache_hit",
+                                "worker"}
 
 
 class TestFailureIsolation:
@@ -210,8 +211,9 @@ class TestRunallIntegration:
         assert main(args) == 0
         loaded = json.loads(json_path.read_text())
         assert loaded["run"]["n_cache_hits"] == 1
-        out = capsys.readouterr().out
-        assert "(cached)" in out
+        captured = capsys.readouterr()
+        # The progress line moved to the logger (stderr).
+        assert "(cached)" in captured.err
 
     def test_run_all_prints_and_returns_results(self, capsys):
         from repro.experiments.runall import run_all
