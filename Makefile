@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench lint goldens goldens-check reproduce trace-smoke clean-cache
+.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke clean-cache
 
 verify: test
 
@@ -22,6 +22,14 @@ test-all:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Tiny sweep-kernel benchmark (synthetic trace, sanity speedup bound)
+# plus the bit-exactness suite it depends on; the CI companion of the
+# full `pytest benchmarks/test_sweep_bench.py` run that writes
+# BENCH_simulator.json (see docs/performance.md).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/test_sweep_bench.py -x -q
+	$(PY) -m pytest tests/test_batchsim_equivalence.py -x -q
 
 goldens:
 	$(PY) -m repro.runtime.goldens --update

@@ -1,0 +1,140 @@
+"""Sweep-kernel benchmark: vectorized batch replay vs per-config scalar.
+
+Measures the wall time of a >= 64-config sweep over one trap-dense
+trace (the paper's Nginx workload) through both evaluation paths:
+
+* **scalar** — one :class:`~repro.core.simulator.TraceSimulator` per
+  config, the pre-batchsim hot path of fig15/fig16 and the service;
+* **vector** — one :func:`~repro.core.batchsim.simulate_sweep` call
+  sharing a single compiled :class:`~repro.core.batchsim.TraceEpisode`
+  (episode compilation is charged to the vector side).
+
+Results are bit-identical by construction (asserted here config by
+config; ``tests/test_batchsim_equivalence.py`` is the exhaustive
+suite), so the comparison is pure speed.  The measurement is written to
+``BENCH_simulator.json`` at the repo root — the machine-readable record
+of the speedup claim (config count, wall seconds per path, speedup).
+
+``REPRO_BENCH_SMOKE=1`` (the ``make bench-smoke`` CI hook) shrinks the
+sweep to a small synthetic trace, asserts only that the fast path wins,
+and leaves the committed JSON untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.batchsim import SweepConfig, simulate_sweep
+from repro.core.params import default_params_for
+from repro.core.simulator import TraceSimulator
+from repro.core.strategy import strategy_for
+from repro.hardware.models import cpu_c_xeon_4208
+from repro.isa.opcodes import Opcode
+from repro.workloads.generator import generate_trace
+from repro.workloads.network import NGINX_PROFILE
+from repro.workloads.profile import WorkloadProfile
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Dense enough (~hundreds of thousands of events) that the scan cost
+#: dominates and the smoke comparison is not timer noise.
+_SMOKE_PROFILE = WorkloadProfile(
+    name="smoke", suite="SPECint", n_instructions=50_000_000, ipc=1.2,
+    efficient_occupancy=0.1, n_episodes=20, dense_gap=50,
+    imul_density=0.1, opcode_mix={Opcode.VOR: 1.0})
+
+
+def _configs(n_offsets: int, n_seeds: int):
+    """fV and V sweeps across offsets x seeds (the scan-heavy paths)."""
+    offsets = [-0.070 - 0.004 * i for i in range(n_offsets)]
+    return [SweepConfig(strategy=s, voltage_offset=off, seed=seed)
+            for s in ("fV", "V")
+            for off in offsets
+            for seed in range(n_seeds)]
+
+
+def _run_scalar(cpu, profile, trace, configs, params):
+    results = []
+    for c in configs:
+        sim = TraceSimulator(cpu, profile, trace,
+                             strategy_for(c.strategy, params),
+                             c.voltage_offset, seed=c.seed)
+        results.append(sim.run())
+    return results
+
+
+def test_sweep_vectorization_speedup():
+    cpu = cpu_c_xeon_4208()
+    params = default_params_for(cpu.vendor)
+    profile = _SMOKE_PROFILE if SMOKE else NGINX_PROFILE
+    configs = _configs(2, 2) if SMOKE else _configs(8, 4)
+    assert SMOKE or len(configs) >= 64
+    trace = generate_trace(profile, seed=0)
+
+    start = time.perf_counter()
+    scalar = _run_scalar(cpu, profile, trace, configs, params)
+    scalar_s = time.perf_counter() - start
+
+    # Fresh episode: compilation is part of the vector wall time.
+    trace._batchsim_episode = None
+    start = time.perf_counter()
+    vector = simulate_sweep(cpu, profile, trace, configs, params=params)
+    vector_s = time.perf_counter() - start
+
+    for fast, slow in zip(vector, scalar):
+        assert fast.duration_s == slow.duration_s
+        assert fast.energy_rel == slow.energy_rel
+        assert fast.n_exceptions == slow.n_exceptions
+
+    speedup = scalar_s / vector_s
+    record = {
+        "benchmark": "sweep_vectorization",
+        "workload": profile.name,
+        "n_events": int(trace.n_events),
+        "n_configs": len(configs),
+        "scalar_wall_s": round(scalar_s, 3),
+        "vector_wall_s": round(vector_s, 3),
+        "speedup": round(speedup, 2),
+        "smoke": SMOKE,
+    }
+    print(json.dumps(record, indent=2))
+    if SMOKE:
+        # CI machines vary; just require the fast path to win.
+        assert speedup > 1.0
+    else:
+        BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        assert speedup >= 5.0, f"sweep speedup regressed: {speedup:.2f}x"
+
+
+@pytest.mark.skipif(SMOKE, reason="store fan-out timing is full-mode only")
+def test_shared_store_attach_beats_regeneration():
+    """Attaching a published trace must be far cheaper than
+    re-synthesising it — the point of the zero-copy store."""
+    from repro.workloads.tracestore import SharedTraceStore
+
+    store = SharedTraceStore.create("bench")
+    try:
+        start = time.perf_counter()
+        trace = generate_trace(NGINX_PROFILE, seed=0)
+        generate_s = time.perf_counter() - start
+
+        store.publish("bench-key", trace)
+        store._traces.clear()  # force a true re-attach, not the cache
+        start = time.perf_counter()
+        attached = store.get("bench-key")
+        attach_s = time.perf_counter() - start
+
+        assert attached is not None
+        assert attached.n_events == trace.n_events
+        assert attach_s < generate_s / 10
+        print(f"generate {generate_s * 1e3:.1f} ms vs "
+              f"attach {attach_s * 1e3:.3f} ms")
+    finally:
+        store.cleanup()

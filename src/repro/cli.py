@@ -247,6 +247,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         argv.extend(["--only", *args.only])
     if args.no_cache:
         argv.append("--no-cache")
+    if args.share_traces:
+        argv.append("--share-traces")
     if args.out:
         argv.extend(["--out", args.out])
     if args.json is not None:
@@ -279,6 +281,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.batch_size,
         batch_window_s=args.batch_window_ms / 1000.0,
         default_timeout_s=args.timeout,
+        share_traces=args.share_traces,
     )
     cache = None
     if not args.no_cache:
@@ -420,6 +423,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-cache", action="store_true",
                    help="always recompute; skip the result cache")
+    p.add_argument("--share-traces", action="store_true",
+                   help="serve synthesised traces to pool workers through "
+                        "the zero-copy shared trace store")
     p.add_argument("--out", default=None,
                    help="write the metric summary to this file")
     p.add_argument("--json", nargs="?", const=True, default=None,
@@ -460,6 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-request timeout in seconds")
     p.add_argument("--inline", action="store_true",
                    help="thread workers instead of process shards")
+    p.add_argument("--share-traces", action="store_true",
+                   help="serve synthesised traces to worker processes "
+                        "through the zero-copy shared trace store")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
     p.add_argument("--cache-dir", default=None,

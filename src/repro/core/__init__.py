@@ -21,6 +21,8 @@ from repro.core.strategy import (
 from repro.core.thrashing import ThrashingMonitor
 from repro.core.metrics import SimResult, imul_latency_overhead, geomean_change, median_change
 from repro.core.simulator import TraceSimulator
+from repro.core.batchsim import (SweepConfig, TraceEpisode, compile_episode,
+                                 simulate_sweep)
 from repro.core.multicore import merged_multicore_trace
 from repro.core.estimates import emulation_estimate, nosimd_estimate
 from repro.core.policy import AdaptiveStrategyPolicy, StrategyDecision, oracle_best
@@ -47,6 +49,10 @@ __all__ = [
     "geomean_change",
     "median_change",
     "TraceSimulator",
+    "SweepConfig",
+    "TraceEpisode",
+    "compile_episode",
+    "simulate_sweep",
     "merged_multicore_trace",
     "emulation_estimate",
     "nosimd_estimate",

@@ -16,6 +16,7 @@ array), which keeps multi-million-event traces tractable.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,10 @@ from repro.workloads.trace import FaultableTrace
 
 _TIMELINE_CAP = 200_000
 _SCAN_CHUNK = 65_536
+#: Gap thresholds are clamped here so they always fit int64; gaps are
+#: bounded by n_instructions, far below it, so the clamp never changes
+#: a comparison outcome.
+_MAX_GAP = 2 ** 62
 
 
 class TraceSimulator(CpuControl):
@@ -105,6 +110,7 @@ class TraceSimulator(CpuControl):
         self._n_thrash = 0
         self._timeline: Optional[List[Tuple[float, str]]] = [] if record_timeline else None
         self._timeline_truncated = False
+        self._scan_buf = np.empty(_SCAN_CHUNK, dtype=bool)
 
     # ------------------------------------------------------------------
     # CpuControl interface (what the strategies drive, as in Listing 1)
@@ -366,26 +372,34 @@ class TraceSimulator(CpuControl):
         hi = trace.n_events
         if self._pending is not None:
             horizon_pos = self._pos + (self._pending[0] - self._t) * rate
-            hi = int(np.searchsorted(idx, horizon_pos, side="left"))
+            # Integer query: a float query would promote (copy) the
+            # whole int64 index array on every call.  For integer
+            # indices, idx >= horizon_pos iff idx >= ceil(horizon_pos).
+            hi = int(np.searchsorted(idx, math.ceil(horizon_pos),
+                                     side="left"))
         start = self._ev
         if start >= hi:
             return
-        # Galloping chunked scan for the first oversized gap.
+        # Galloping chunked scan for the first oversized gap, against an
+        # integer threshold (gap > x iff gap > floor(x) for int gaps)
+        # and into a reused scratch buffer: no per-chunk temporaries.
+        thr = min(math.floor(deadline_instr), _MAX_GAP)
         stop = hi  # exclusive index of first non-consumable event
-        found = False
+        buf = self._scan_buf
         chunk = _SCAN_CHUNK
         lo = start
         while lo < hi:
             end = min(lo + chunk, hi)
-            big = gaps[lo:end] > deadline_instr
+            m = end - lo
+            if m > buf.size:
+                buf = self._scan_buf = np.empty(m, dtype=bool)
+            big = np.greater(gaps[lo:end], thr, out=buf[:m])
             k = int(np.argmax(big))
-            if big.size and big[k]:
+            if big[k]:
                 stop = lo + k
-                found = True
                 break
             lo = end
             chunk *= 2
-        del found
         last = stop - 1
         if last < start:
             return
@@ -418,9 +432,7 @@ class TraceSimulator(CpuControl):
         calls = np.clip(
             self._rng.normal(call.mean_s, call.sigma_s or 0.0, size=n_rem),
             call.mean_s * 0.25, call.mean_s * 4.0)
-        routines = np.array([
-            emulation_cycles(op) for op in trace.opcode_table
-        ])[trace.opcodes[self._ev:]] / freq
+        routines = trace.emulation_cycle_table()[trace.opcodes[self._ev:]] / freq
         stall_total = float(calls.sum() + routines.sum())
         self._energy += self._power_now * (run_time + stall_total)
         self._state_time[self._state.value] += run_time

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.batchsim import SweepConfig, simulate_sweep
 from repro.core.estimates import emulation_estimate, nosimd_estimate
 from repro.core.metrics import SimResult, geomean_change, median_change
 from repro.core.multicore import merged_multicore_trace
@@ -25,8 +26,8 @@ from repro.core.simulator import TraceSimulator
 from repro.core.strategy import OperatingStrategy, strategy_for
 from repro.hardware.cpu import CpuModel
 from repro.hardware.models import ALL_CPU_FACTORIES
-from repro.workloads.generator import generate_trace
 from repro.workloads.profile import WorkloadProfile
+from repro.workloads.tracecache import cached_trace
 from repro.workloads.trace import FaultableTrace
 
 
@@ -111,6 +112,25 @@ class SuitSystem:
             return emulation_estimate(self.cpu, profile, trace, self.voltage_offset)
         return self.run_trace(profile, trace, record_timeline)
 
+    def run_sweep(self, profile: WorkloadProfile,
+                  configs: Iterable[SweepConfig]) -> List[SimResult]:
+        """Evaluate many sweep configs over this profile's trace.
+
+        The trace is synthesised (or served from cache) once and
+        compiled once; every config replays the shared episode through
+        the vectorised kernel (:mod:`repro.core.batchsim`).  Per-config
+        semantics match :meth:`run_profile` bit-for-bit: a config with
+        this system's strategy, offset and ``seed == self.seed``
+        reproduces ``run_profile(profile)`` exactly.
+
+        Note the config seeds only steer the *simulation* RNG; trace
+        synthesis always uses this system's seed, as in
+        :meth:`run_profile`.
+        """
+        return simulate_sweep(self.cpu, profile, self._trace(profile),
+                              list(configs), params=self.params,
+                              n_cores=self.n_cores)
+
     def run_profile_nosimd(self, profile: WorkloadProfile) -> SimResult:
         """The benchmark compiled without SIMD under this configuration."""
         return nosimd_estimate(self.cpu, profile, self.voltage_offset)
@@ -163,7 +183,9 @@ class SuitSystem:
 
     def _trace(self, profile: WorkloadProfile) -> FaultableTrace:
         if profile.name not in self._trace_cache:
-            self._trace_cache[profile.name] = generate_trace(profile, seed=self.seed)
+            # The layered cache (process LRU over the shared trace
+            # store) serves identical values: generate_trace is pure.
+            self._trace_cache[profile.name] = cached_trace(profile, self.seed)
         return self._trace_cache[profile.name]
 
 

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.obs.registry import get_registry
-from repro.workloads.generator import generate_trace
-from repro.workloads.profile import WorkloadProfile
-from repro.workloads.trace import FaultableTrace
+# Re-exported for compatibility: the cache now lives with the workloads
+# (layered over the shared trace store), see repro.workloads.tracecache.
+from repro.workloads.tracecache import (  # noqa: F401
+    TRACE_CACHE_MAX_ENTRIES,
+    cached_trace,
+    clear_trace_cache,
+    trace_cache_info,
+)
 
 
 @dataclass(frozen=True)
@@ -90,73 +92,6 @@ class ExperimentResult:
             parts.append("-- paper vs measured --")
             parts.extend(m.format() for m in self.metrics)
         return "\n".join(parts)
-
-
-#: Upper bound on retained traces; oldest-used entries are evicted first.
-#: Sized to hold the full SPEC suite plus the network workloads at two
-#: seeds (23 SPEC + nginx + vlc = 25 per seed) without thrashing.
-TRACE_CACHE_MAX_ENTRIES = 56
-
-_TRACE_CACHE: "OrderedDict[Tuple[str, int], FaultableTrace]" = OrderedDict()
-_TRACE_CACHE_LOCK = threading.Lock()
-
-
-def _trace_cache_key(profile: WorkloadProfile, seed: int) -> Tuple[str, int]:
-    """Value-based cache key for ``(profile, seed)``.
-
-    Keyed on the profile's full field repr rather than its name: two
-    distinct profiles that happen to share a name (common in tests and
-    ad-hoc sweeps) must not alias each other's traces.
-    """
-    return (repr(profile), int(seed))
-
-
-def cached_trace(profile: WorkloadProfile, seed: int = 0) -> FaultableTrace:
-    """Per-process LRU trace cache: experiments share synthesised traces.
-
-    The cache is bounded (:data:`TRACE_CACHE_MAX_ENTRIES`, LRU
-    eviction) and thread-safe.  It is deliberately **per process**: pool
-    workers of the experiment engine each hold their own copy and never
-    share entries.  That cannot diverge results — ``generate_trace`` is
-    a pure function of ``(profile, seed)`` and the key covers every
-    profile field — it only means a trace may be synthesised once per
-    worker instead of once per machine.
-    """
-    hits = get_registry().counter("trace_cache_hits_total",
-                                  "synthesised traces served from cache")
-    misses = get_registry().counter("trace_cache_misses_total",
-                                    "traces synthesised on a cache miss")
-    key = _trace_cache_key(profile, seed)
-    with _TRACE_CACHE_LOCK:
-        trace = _TRACE_CACHE.get(key)
-        if trace is not None:
-            _TRACE_CACHE.move_to_end(key)
-            hits.inc()
-            return trace
-    misses.inc()
-    trace = generate_trace(profile, seed=seed)
-    with _TRACE_CACHE_LOCK:
-        existing = _TRACE_CACHE.get(key)
-        if existing is not None:
-            _TRACE_CACHE.move_to_end(key)
-            return existing
-        _TRACE_CACHE[key] = trace
-        while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
-            _TRACE_CACHE.popitem(last=False)
-    return trace
-
-
-def clear_trace_cache() -> None:
-    """Drop every cached trace (tests and memory-sensitive callers)."""
-    with _TRACE_CACHE_LOCK:
-        _TRACE_CACHE.clear()
-
-
-def trace_cache_info() -> Dict[str, int]:
-    """Current size and capacity of this process's trace cache."""
-    with _TRACE_CACHE_LOCK:
-        return {"entries": len(_TRACE_CACHE),
-                "max_entries": TRACE_CACHE_MAX_ENTRIES}
 
 
 def pct(value: float) -> str:

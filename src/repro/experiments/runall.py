@@ -93,19 +93,21 @@ def _print_report(report) -> None:
 
 def run_all(seed: int = 0, fast: bool = False,
             only: Optional[Sequence[str]] = None, jobs: int = 1,
-            cache=None) -> List[ExperimentResult]:
+            cache=None, share_traces: bool = False) -> List[ExperimentResult]:
     """Run all (or the selected) experiments; returns their results.
 
     Thin wrapper over :class:`~repro.runtime.engine.ExperimentEngine`
     keeping the historical interface: prints each report as it is known
     and returns the successful :class:`ExperimentResult` objects in
     paper order.  Pass a :class:`~repro.runtime.cache.ResultCache` as
-    *cache* to memoize across invocations.
+    *cache* to memoize across invocations; *share_traces* serves
+    synthesised traces to pool workers through the zero-copy shared
+    store.
     """
     from repro.runtime.engine import ExperimentEngine
 
     engine = ExperimentEngine(modules=EXPERIMENT_MODULES, jobs=jobs,
-                              cache=cache)
+                              cache=cache, share_traces=share_traces)
     report = engine.run(seed=seed, fast=fast, only=only)
     _print_report(report)
     return report.results()
@@ -138,6 +140,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="parallel worker processes (default 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always recompute; do not touch the result cache")
+    parser.add_argument("--share-traces", action="store_true",
+                        help="serve synthesised traces to pool workers "
+                             "through the zero-copy shared trace store")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro-suit)")
@@ -162,7 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.no_cache:
         cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
     engine = ExperimentEngine(modules=EXPERIMENT_MODULES, jobs=args.jobs,
-                              cache=cache)
+                              cache=cache, share_traces=args.share_traces)
     try:
         report = engine.run(seed=args.seed, fast=args.fast, only=args.only)
     except ValueError as exc:

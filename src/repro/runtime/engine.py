@@ -247,11 +247,18 @@ class ExperimentEngine:
         registry: package the modules live in.
         jobs: process-pool width; ``<= 1`` executes in-process.
         cache: result cache, or None to disable memoization.
+        share_traces: serve synthesised traces from a zero-copy shared
+            store (:mod:`repro.workloads.tracestore`) for the duration
+            of each :meth:`run`: pool workers attach read-only views by
+            name instead of re-synthesising per process.  Cannot change
+            results — the store is just another layer of the pure
+            trace cache.
     """
 
     def __init__(self, modules: Optional[Sequence[str]] = None,
                  registry: str = DEFAULT_REGISTRY, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 share_traces: bool = False) -> None:
         """See class docstring."""
         if modules is None:
             from repro.experiments.runall import EXPERIMENT_MODULES
@@ -261,6 +268,7 @@ class ExperimentEngine:
         self.registry = registry
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.share_traces = share_traces
 
     def select(self, only: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
         """Registry-ordered selection; unknown names raise ValueError."""
@@ -300,6 +308,23 @@ class ExperimentEngine:
         module names, a hard-killed worker process).
         """
         started = time.perf_counter()
+        store = None
+        if self.share_traces:
+            from repro.workloads.tracestore import SharedTraceStore
+
+            store = SharedTraceStore.create("engine")
+            store.activate()
+        try:
+            return self._run_selected(started, seed, fast, only)
+        finally:
+            if store is not None:
+                stats = store.stats()
+                logger.info("engine: trace store drained (%d published)",
+                            stats["published"])
+                store.cleanup()
+
+    def _run_selected(self, started: float, seed: int, fast: bool,
+                      only: Optional[Sequence[str]]) -> EngineReport:
         metrics = get_registry()
         experiments = metrics.counter(
             "engine_experiments_total", "engine experiment outcomes",

@@ -109,6 +109,12 @@ class ServiceConfig:
             batch per worker.  Keeping excess work in the scheduler
             (rather than in executor queues) is what makes priorities,
             deadlines and admission control real.
+        share_traces: publish synthesized traces to the zero-copy
+            shared trace store (:mod:`repro.workloads.tracestore`);
+            worker processes attach read-only views instead of each
+            re-synthesizing the trace.  The store is created on
+            :meth:`SimulationService.start` and torn down after the
+            drain in :meth:`SimulationService.stop`.
     """
 
     n_shards: int = 2
@@ -124,6 +130,7 @@ class ServiceConfig:
     batch_timeout_s: Optional[float] = None
     retry_after_base_s: float = 0.05
     max_inflight_batches: Optional[int] = None
+    share_traces: bool = False
 
 
 class SimulationService:
@@ -167,12 +174,21 @@ class SimulationService:
         self._batch_tasks: Set["asyncio.Task"] = set()
         self._dispatcher: Optional["asyncio.Task"] = None
         self._batch_slots: Optional["asyncio.Semaphore"] = None
+        self._trace_store = None
         self._closed = False
 
     async def start(self) -> "SimulationService":
         """Start the dispatcher loop; idempotent."""
         if self._dispatcher is None:
             self._closed = False
+            if self.config.share_traces and self._trace_store is None:
+                # Activate before the first dispatch so lazily spawned
+                # pool workers inherit the store's environment variable.
+                from repro.workloads.tracestore import SharedTraceStore
+
+                store = SharedTraceStore.create("service")
+                store.activate()
+                self._trace_store = store
             slots = (self.config.max_inflight_batches
                      if self.config.max_inflight_batches is not None
                      else self.config.n_shards
@@ -377,6 +393,10 @@ class SimulationService:
                                    "error": "service stopped"})
             self._inflight.pop(key, None)
         self.tier.shutdown(wait=False)
+        if self._trace_store is not None:
+            store, self._trace_store = self._trace_store, None
+            store.deactivate()
+            store.cleanup()
 
 
 async def _handle_message(service: SimulationService, message: dict,

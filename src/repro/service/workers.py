@@ -111,15 +111,95 @@ def execute_request(req: dict) -> dict:
             "wall_time_s": time.perf_counter() - start, "worker": worker}
 
 
+def _simulate_group(requests: List[dict]) -> List[dict]:
+    """Vectorized evaluation of one same-trace request group.
+
+    Every request shares ``(cpu, workload, seed, n_cores)``, so the
+    trace is fetched once (from the layered cache — zero-copy shared
+    store when active) and compiled once; each request becomes one
+    :class:`~repro.core.batchsim.SweepConfig` of a single
+    :meth:`~repro.core.suit.SuitSystem.run_sweep` call.  Returns the
+    jsonified payloads in request order; raises on any failure (the
+    caller falls back to per-request execution).
+    """
+    from repro.core.batchsim import SweepConfig
+    from repro.runtime.serialization import jsonify
+    from repro.workloads import resolve_profile
+
+    first = requests[0]
+    system = _system_for(first)
+    profile = resolve_profile(first["workload"])
+    configs = [SweepConfig(strategy=req["strategy"],
+                           voltage_offset=float(req["voltage_offset"]),
+                           seed=int(req["seed"]))
+               for req in requests]
+    payloads = []
+    for result in system.run_sweep(profile, configs):
+        payload = jsonify(result)
+        assert isinstance(payload, dict)
+        payloads.append(payload)
+    return payloads
+
+
+def _group_key(req: dict) -> Optional[tuple]:
+    """Trace-sharing identity of *req*, or None when it must run alone.
+
+    Requests agreeing on this key replay the same synthesized trace
+    (strategy and voltage offset only steer the simulation, not the
+    trace), so they can share one compiled episode.  Fault-injection
+    hooks and malformed requests are excluded — they take the
+    per-request path, whose error isolation is the answer for them.
+    """
+    workload = req.get("workload")
+    if (not isinstance(workload, str)
+            or workload.startswith((CRASH_PREFIX, SLEEP_PREFIX))):
+        return None
+    try:
+        if req["strategy"] not in ("fV", "f", "V", "e"):
+            return None
+        return (req["cpu"], workload, int(req["seed"]), int(req["n_cores"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def execute_batch(requests: List[dict]) -> List[dict]:
     """Execute a batch of request dicts in submission order.
 
-    Runs inside a pool worker; the per-request failure isolation of
-    :func:`execute_request` means one bad request cannot poison its
-    batch siblings (a hard process death, of course, still can — that
-    is what the tier-level retry handles).
+    Runs inside a pool worker.  Requests sharing a trace — same
+    ``(cpu, workload, seed, n_cores)`` — are dispatched as **one**
+    vectorized sweep over the shared compiled episode
+    (:mod:`repro.core.batchsim`) instead of simulating each from
+    scratch; the trace arrays are never serialized per request.  If a
+    group fails, its members are retried individually through
+    :func:`execute_request`, whose per-request failure isolation means
+    one bad request cannot poison its batch siblings (a hard process
+    death, of course, still can — that is what the tier-level retry
+    handles).
     """
-    return [execute_request(req) for req in requests]
+    outcomes: List[Optional[dict]] = [None] * len(requests)
+    groups: Dict[tuple, List[int]] = {}
+    for i, req in enumerate(requests):
+        key = _group_key(req)
+        if key is None:
+            outcomes[i] = execute_request(req)
+        else:
+            groups.setdefault(key, []).append(i)
+    for members in groups.values():
+        start = time.perf_counter()
+        worker = multiprocessing.current_process().name
+        try:
+            payloads = _simulate_group([requests[i] for i in members])
+        except BaseException:  # noqa: BLE001 - fall back to isolation
+            for i in members:
+                outcomes[i] = execute_request(requests[i])
+            continue
+        wall = time.perf_counter() - start
+        for i, payload in zip(members, payloads):
+            outcomes[i] = {"status": "ok", "payload": payload,
+                           "error": None, "wall_time_s": wall,
+                           "worker": worker, "vectorized": True,
+                           "group_width": len(members)}
+    return outcomes
 
 
 def shard_index(shard_key: str, n_shards: int) -> int:

@@ -43,6 +43,7 @@ class FaultableTrace:
     opcodes: np.ndarray
     opcode_table: Tuple[Opcode, ...]
     _gaps: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _emul_cycles: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         self.indices = np.asarray(self.indices, dtype=np.int64)
@@ -82,6 +83,21 @@ class FaultableTrace:
             else:
                 self._gaps = np.diff(self.indices, prepend=np.int64(0))
         return self._gaps
+
+    def emulation_cycle_table(self) -> np.ndarray:
+        """Emulation cycle cost per ``opcode_table`` entry (int64).
+
+        Cached; index with :attr:`opcodes` to price every event.  Raises
+        ``KeyError`` if the table contains an opcode without an
+        emulation routine, exactly like pricing it on the fly would.
+        """
+        if self._emul_cycles is None:
+            # Imported here: workloads stays importable without pulling
+            # the emulation package in at module load.
+            from repro.emulation.dispatch import emulation_cycles
+            self._emul_cycles = np.array(
+                [emulation_cycles(op) for op in self.opcode_table])
+        return self._emul_cycles
 
     def event_opcode(self, event: int) -> Opcode:
         """Decoded opcode of event number *event*."""

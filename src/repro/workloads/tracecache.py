@@ -1,0 +1,121 @@
+"""Layered trace cache: per-process LRU over the shared trace store.
+
+One call — :func:`cached_trace` — serves every consumer of synthesised
+traces (experiments, ``SuitSystem``, the service worker tier).  Lookup
+order:
+
+1. **L1, per-process LRU** (bounded, thread-safe): repeated use within
+   a process is a dictionary hit.
+2. **L2, shared store** (:mod:`repro.workloads.tracestore`), when a
+   store is active via ``REPRO_TRACE_STORE``: the trace arrays are
+   attached as read-only views of another process's pages — zero-copy.
+3. **Synthesis**: ``generate_trace`` builds the trace, which is then
+   published to the active store (if any) so sibling workers attach
+   instead of re-synthesising, and cached in L1.
+
+The key covers the profile's full field ``repr`` plus the seed, so two
+distinct profiles sharing a name can never alias each other's traces;
+``generate_trace`` is pure, which is what makes every layer safe.
+
+This module supersedes the cache that lived in
+``repro.experiments.common`` (which now re-exports it unchanged).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.obs.registry import get_registry
+from repro.workloads.generator import generate_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.trace import FaultableTrace
+from repro.workloads.tracestore import active_store
+
+#: Upper bound on retained traces; oldest-used entries are evicted first.
+#: Sized to hold the full SPEC suite plus the network workloads at two
+#: seeds (23 SPEC + nginx + vlc = 25 per seed) without thrashing.
+TRACE_CACHE_MAX_ENTRIES = 56
+
+_TRACE_CACHE: "OrderedDict[Tuple[str, int], FaultableTrace]" = OrderedDict()
+_TRACE_CACHE_LOCK = threading.Lock()
+
+
+def _trace_cache_key(profile: WorkloadProfile, seed: int) -> Tuple[str, int]:
+    """Value-based cache key for ``(profile, seed)``.
+
+    Keyed on the profile's full field repr rather than its name: two
+    distinct profiles that happen to share a name (common in tests and
+    ad-hoc sweeps) must not alias each other's traces.
+    """
+    return (repr(profile), int(seed))
+
+
+def store_key(profile: WorkloadProfile, seed: int) -> str:
+    """The shared-store key for ``(profile, seed)``."""
+    return f"{int(seed)}\x1f{repr(profile)}"
+
+
+def _cache_put(key: Tuple[str, int], trace: FaultableTrace) -> FaultableTrace:
+    with _TRACE_CACHE_LOCK:
+        existing = _TRACE_CACHE.get(key)
+        if existing is not None:
+            _TRACE_CACHE.move_to_end(key)
+            return existing
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > TRACE_CACHE_MAX_ENTRIES:
+            _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+def cached_trace(profile: WorkloadProfile, seed: int = 0) -> FaultableTrace:
+    """The synthesised trace for ``(profile, seed)``, served from the
+    nearest layer (process LRU, shared store, synthesis).
+
+    The cache is bounded (:data:`TRACE_CACHE_MAX_ENTRIES`, LRU
+    eviction) and thread-safe.  L1 is deliberately **per process**;
+    with an active shared store the trace *arrays* are nevertheless
+    shared machine-wide, because the L1 entry is just a view of the
+    store's pages.  That cannot diverge results — ``generate_trace``
+    is a pure function of ``(profile, seed)`` and the key covers every
+    profile field.
+    """
+    registry = get_registry()
+    hits = registry.counter("trace_cache_hits_total",
+                            "synthesised traces served from cache")
+    misses = registry.counter("trace_cache_misses_total",
+                              "traces synthesised on a cache miss")
+    key = _trace_cache_key(profile, seed)
+    with _TRACE_CACHE_LOCK:
+        trace = _TRACE_CACHE.get(key)
+        if trace is not None:
+            _TRACE_CACHE.move_to_end(key)
+            hits.inc()
+            return trace
+
+    store = active_store()
+    if store is not None:
+        shared = store.get(store_key(profile, seed))
+        if shared is not None:
+            hits.inc()
+            return _cache_put(key, shared)
+
+    misses.inc()
+    trace = generate_trace(profile, seed=seed)
+    if store is not None:
+        trace = store.publish(store_key(profile, seed), trace)
+    return _cache_put(key, trace)
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (tests and memory-sensitive callers)."""
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE.clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Current size and capacity of this process's trace cache."""
+    with _TRACE_CACHE_LOCK:
+        return {"entries": len(_TRACE_CACHE),
+                "max_entries": TRACE_CACHE_MAX_ENTRIES}

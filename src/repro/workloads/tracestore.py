@@ -1,0 +1,401 @@
+"""Zero-copy shared trace store over POSIX shared memory.
+
+Multi-million-event traces are the largest objects in the system, and
+both fan-out tiers used to duplicate them per process: every
+``ExperimentEngine --jobs`` worker and every ``repro.service`` shard
+re-synthesised (or would have to unpickle) its own private copy of the
+same ``FaultableTrace``.  This module puts the trace arrays —
+``indices``, ``gaps`` and ``opcodes``, laid out back-to-back in one
+``multiprocessing.shared_memory`` segment per trace — behind a small
+on-disk manifest, so cooperating processes **attach read-only views**
+instead of copying:
+
+* The *owner* (engine run or service) calls :meth:`SharedTraceStore.create`,
+  then :meth:`~SharedTraceStore.activate` to export the store location
+  through the ``REPRO_TRACE_STORE`` environment variable; worker
+  processes inherit it and attach lazily via :func:`active_store`.
+* Any process may :meth:`~SharedTraceStore.publish` a trace (first
+  publisher wins, serialised by an advisory file lock); everyone else
+  gets NumPy views of the same physical pages via
+  :meth:`~SharedTraceStore.get`.  Views are marked non-writeable.
+* Lifecycle is refcounted at two levels: each process holds its
+  segment handles open for as long as its store object lives (the OS
+  keeps the pages alive while *any* handle is open), and the owner
+  unlinks every published segment on :meth:`~SharedTraceStore.cleanup`
+  — called explicitly on drain and, as a crash net, from ``atexit``.
+  Publishing workers hand ownership to the store owner: segments are
+  explicitly unregistered from ``multiprocessing``'s resource tracker
+  so a worker's death never unlinks pages other processes still map.
+
+The tiny derived per-trace tables (the emulation-cycle table) travel in
+the manifest itself; the compiled block-maximum index of
+``repro.core.batchsim`` stays per-process (it is a few kilobytes).
+
+Everything here degrades gracefully: if shared memory or the manifest
+directory is unavailable the callers fall back to private traces, and
+the ``trace_store_errors_total`` counter records it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode
+from repro.obs.registry import get_registry
+from repro.workloads.trace import FaultableTrace
+
+try:  # advisory locking: POSIX only, and optional (worst case: a
+    import fcntl  # racing publisher wastes one duplicate segment).
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Environment variable carrying the store root to worker processes.
+ENV_VAR = "REPRO_TRACE_STORE"
+
+#: Segment handles whose mappings could not be handed off to their
+#: surviving views (unexpected SharedMemory internals): held forever so
+#: their __del__ never fires mid-use; the OS reclaims them at exit.
+_PARKED: list = []
+
+
+def _park(shm: shared_memory.SharedMemory) -> None:
+    """Disarm a handle whose buffer is still exported to live views.
+
+    The mapping's lifetime transfers to the views: the mmap object
+    stays referenced through their memoryview chain and is reclaimed
+    by refcount once the last view dies, while the SharedMemory
+    object's own close()/__del__ becomes a no-op (otherwise it would
+    raise BufferError noise at arbitrary GC points).
+    """
+    try:
+        if shm._fd >= 0:  # the fd is not needed once mapped
+            os.close(shm._fd)
+            shm._fd = -1
+        shm._buf = None
+        shm._mmap = None
+    except (AttributeError, OSError):  # pragma: no cover - internals moved
+        _PARKED.append(shm)
+
+_MANIFEST_VERSION = 1
+
+
+def _unregister(name: str) -> None:
+    """Detach *name* from the multiprocessing resource tracker.
+
+    The tracker unlinks every segment a process registered when that
+    process exits; with many processes sharing one segment that is
+    exactly wrong — lifecycle belongs to the store owner alone.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class SharedTraceStore:
+    """A directory of trace manifests plus one shm segment per trace.
+
+    Args:
+        root: manifest directory (created by :meth:`create`).
+        owner: whether this instance is responsible for unlinking the
+            segments at the end of the run.
+    """
+
+    def __init__(self, root: Path, owner: bool = False) -> None:
+        self.root = Path(root)
+        self.owner = owner
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._traces: Dict[str, FaultableTrace] = {}
+        self._refcounts: Dict[str, int] = {}
+        self._closed = False
+        if owner:
+            atexit.register(self.cleanup)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, tag: str = "traces") -> "SharedTraceStore":
+        """Create an owning store under a fresh temporary directory."""
+        root = Path(tempfile.mkdtemp(prefix=f"repro-{tag}-"))
+        return cls(root, owner=True)
+
+    def activate(self) -> None:
+        """Export this store to child processes via ``REPRO_TRACE_STORE``."""
+        os.environ[ENV_VAR] = str(self.root)
+        _reset_active_cache()
+
+    def deactivate(self) -> None:
+        """Stop exporting this store to new child processes."""
+        if os.environ.get(ENV_VAR) == str(self.root):
+            del os.environ[ENV_VAR]
+        _reset_active_cache()
+
+    # -- publishing / attaching ----------------------------------------
+
+    @staticmethod
+    def _digest(key: str) -> str:
+        return hashlib.sha256(key.encode()).hexdigest()[:24]
+
+    def _meta_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    @contextmanager
+    def _lock(self) -> Iterator[None]:
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.root / ".lock"
+        with open(lock_path, "a+") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def contains(self, key: str) -> bool:
+        """Whether a trace was published under *key*."""
+        return self._meta_path(self._digest(key)).exists()
+
+    def publish(self, key: str, trace: FaultableTrace) -> FaultableTrace:
+        """Publish *trace* under *key*; return the shared-memory view.
+
+        First publisher wins: when another process already published
+        this key, its copy is attached and returned instead.  On any
+        shared-memory failure the private *trace* is returned unshared.
+        """
+        registry = get_registry()
+        digest = self._digest(key)
+        try:
+            with self._lock():
+                if not self._meta_path(digest).exists():
+                    self._write_segment(key, digest, trace)
+                    registry.counter(
+                        "trace_store_publish_total",
+                        "traces published to the shared store").inc()
+        except OSError:
+            registry.counter("trace_store_errors_total",
+                             "shared trace store failures").inc()
+            return trace
+        shared = self.get(key)
+        return shared if shared is not None else trace
+
+    def _write_segment(self, key: str, digest: str,
+                       trace: FaultableTrace) -> None:
+        indices = np.ascontiguousarray(trace.indices, dtype=np.int64)
+        gaps = np.ascontiguousarray(trace.gaps(), dtype=np.int64)
+        opcodes = np.ascontiguousarray(trace.opcodes, dtype=np.uint8)
+        n = int(indices.size)
+        total = indices.nbytes + gaps.nbytes + opcodes.nbytes
+        shm_name = f"repro_{digest[:12]}_{os.getpid()}"
+        shm = shared_memory.SharedMemory(name=shm_name, create=True,
+                                         size=max(total, 1))
+        # Ownership belongs to the store owner, not whichever worker
+        # happened to publish first (see _unregister).
+        _unregister(shm.name)
+        buf = shm.buf
+        buf[:indices.nbytes] = indices.tobytes()
+        off = indices.nbytes
+        buf[off:off + gaps.nbytes] = gaps.tobytes()
+        off += gaps.nbytes
+        buf[off:off + opcodes.nbytes] = opcodes.tobytes()
+        self._segments[digest] = shm
+
+        try:
+            emul = [int(c) for c in trace.emulation_cycle_table()]
+        except KeyError:
+            emul = None  # opcode without an emulation routine
+        meta = {
+            "version": _MANIFEST_VERSION,
+            "key": key,
+            "shm": shm.name,
+            "name": trace.name,
+            "n_instructions": int(trace.n_instructions),
+            "ipc": float(trace.ipc),
+            "n_events": n,
+            "opcode_table": [op.value for op in trace.opcode_table],
+            "emul_cycles": emul,
+        }
+        tmp = self._meta_path(digest).with_suffix(".tmp")
+        tmp.write_text(json.dumps(meta))
+        os.replace(tmp, self._meta_path(digest))
+
+    def get(self, key: str) -> Optional[FaultableTrace]:
+        """Attach the trace published under *key*, or None.
+
+        The returned trace's arrays are read-only views of the shared
+        pages; repeated calls in one process return the same object.
+        """
+        digest = self._digest(key)
+        cached = self._traces.get(digest)
+        if cached is not None:
+            self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+            return cached
+        meta_path = self._meta_path(digest)
+        registry = get_registry()
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            shm = self._segments.get(digest)
+            if shm is None:
+                shm = shared_memory.SharedMemory(name=meta["shm"])
+                _unregister(shm.name)
+                self._segments[digest] = shm
+        except OSError:
+            registry.counter("trace_store_errors_total",
+                             "shared trace store failures").inc()
+            return None
+        n = int(meta["n_events"])
+        indices = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+        gaps = np.frombuffer(shm.buf, dtype=np.int64, count=n,
+                             offset=indices.nbytes)
+        opcodes = np.frombuffer(shm.buf, dtype=np.uint8, count=n,
+                                offset=2 * indices.nbytes)
+        for arr in (indices, gaps, opcodes):
+            arr.flags.writeable = False
+        trace = FaultableTrace(
+            name=str(meta["name"]),
+            n_instructions=int(meta["n_instructions"]),
+            ipc=float(meta["ipc"]),
+            indices=indices,
+            opcodes=opcodes,
+            opcode_table=tuple(Opcode(v) for v in meta["opcode_table"]),
+        )
+        trace._gaps = gaps
+        if meta.get("emul_cycles") is not None:
+            trace._emul_cycles = np.array(meta["emul_cycles"])
+        self._traces[digest] = trace
+        self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+        registry.counter("trace_store_attach_hits_total",
+                         "traces attached from the shared store").inc()
+        return trace
+
+    def release(self, key: str) -> None:
+        """Drop one reference to *key*; the last release in a process
+        closes its mapping (the segment survives until the owner
+        unlinks it)."""
+        digest = self._digest(key)
+        count = self._refcounts.get(digest)
+        if count is None:
+            return
+        if count > 1:
+            self._refcounts[digest] = count - 1
+            return
+        self._refcounts.pop(digest, None)
+        self._traces.pop(digest, None)
+        shm = self._segments.pop(digest, None)
+        if shm is not None:
+            try:
+                shm.close()
+            except (OSError, BufferError):  # views still alive
+                _park(shm)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Published / attached segment counts for this process."""
+        published = len(list(self.root.glob("*.json"))) \
+            if self.root.is_dir() else 0
+        return {"published": published,
+                "attached": len(self._segments),
+                "refcounts": sum(self._refcounts.values())}
+
+    def close(self) -> None:
+        """Close every mapping this process holds (keeps segments
+        alive for other processes)."""
+        self._traces.clear()
+        self._refcounts.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except (OSError, BufferError):  # views still alive
+                _park(shm)
+        self._segments.clear()
+
+    def cleanup(self) -> None:
+        """Owner teardown: close mappings, unlink every published
+        segment and remove the manifest directory.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.close()
+        self.deactivate()
+        if not self.owner:
+            return
+        if self.root.is_dir():
+            for meta_path in self.root.glob("*.json"):
+                try:
+                    meta = json.loads(meta_path.read_text())
+                    shm = shared_memory.SharedMemory(name=meta["shm"])
+                    shm.close()
+                    shm.unlink()
+                except (OSError, ValueError):
+                    pass
+                try:
+                    meta_path.unlink()
+                except OSError:  # pragma: no cover
+                    pass
+            for leftover in (self.root / ".lock", ):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            try:
+                self.root.rmdir()
+            except OSError:  # pragma: no cover - non-empty/races
+                pass
+
+    def __enter__(self) -> "SharedTraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+
+# -- process-wide attachment (workers) ---------------------------------
+
+_active: Optional[SharedTraceStore] = None
+_active_root: Optional[str] = None
+
+
+def _reset_active_cache() -> None:
+    global _active, _active_root
+    if _active is not None and not _active.owner:
+        _active.close()
+    _active = None
+    _active_root = None
+
+
+def active_store() -> Optional[SharedTraceStore]:
+    """The store exported through ``REPRO_TRACE_STORE``, if any.
+
+    Worker-side entry point: attaches (read/publish, non-owning) to the
+    store the parent process activated.  Returns None when no store is
+    active or its directory is gone.
+    """
+    global _active, _active_root
+    root = os.environ.get(ENV_VAR)
+    if not root:
+        if _active is not None:
+            _reset_active_cache()
+        return None
+    if _active is not None and _active_root == root:
+        return _active
+    _reset_active_cache()
+    if not Path(root).is_dir():
+        return None
+    _active = SharedTraceStore(Path(root), owner=False)
+    _active_root = root
+    return _active

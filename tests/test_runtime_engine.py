@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import importlib
 import json
+import os
 import sys
 import textwrap
 from pathlib import Path
@@ -190,6 +191,33 @@ class TestSelection:
     def test_unknown_module_raises(self, registry):
         with pytest.raises(ValueError, match="unknown experiment"):
             _engine().run(seed=1, fast=True, only=["nonexistent"])
+
+
+class TestSharedTraces:
+    """The shared trace store brackets a --share-traces run."""
+
+    def test_store_is_active_during_run_and_gone_after(self, registry,
+                                                       monkeypatch):
+        from repro.workloads.tracestore import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        engine = ExperimentEngine(modules=("alpha", "beta"),
+                                  registry=REGISTRY, jobs=2,
+                                  share_traces=True)
+        report = engine.run(seed=7, fast=True)
+        assert report.n_failed == 0
+        assert ENV_VAR not in os.environ  # store torn down with the run
+
+    def test_share_traces_report_is_byte_identical(self, registry,
+                                                   monkeypatch):
+        from repro.workloads.tracestore import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plain = _engine(jobs=2).run(seed=7, fast=True)
+        shared = ExperimentEngine(modules=("alpha", "beta"),
+                                  registry=REGISTRY, jobs=2,
+                                  share_traces=True).run(seed=7, fast=True)
+        assert shared.canonical_json() == plain.canonical_json()
 
 
 class TestRunallIntegration:
