@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke clean-cache
+.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke coverage clean-cache
 
 verify: test
 
@@ -39,6 +39,19 @@ goldens-check:
 
 reproduce:
 	$(PY) -m repro.experiments.runall --fast --jobs 4 --json report.json
+
+# 30-second seeded chaos soak: the full service (process pools, shared
+# trace store, result cache) under worker kills, shm unlinks and cache
+# corruption, refereed by the differential oracle.  Fails on any
+# silently wrong answer; the same --seed replays the identical fault
+# schedule (see docs/testing.md).
+chaos-smoke:
+	$(PY) -m repro chaos --seed 42 --duration 30
+
+# Tier-1 suite with line coverage (requires pytest-cov: pip install
+# -e '.[dev]').  CI enforces the floor; ratchet it upward, never down.
+coverage:
+	$(PY) -m pytest -x -q --cov=repro --cov-report=term --cov-fail-under=70
 
 # Run a small experiment with execution tracing on and schema-check the
 # resulting Chrome trace (see docs/observability.md).

@@ -13,6 +13,8 @@ Subcommands:
 * ``audit``     — run the security audit on a sampled chip.
 * ``serve``     — run the simulation service (JSON-lines TCP).
 * ``metrics``   — fetch a running service's metrics (Prometheus text).
+* ``chaos``     — seeded fault-injection soak with the differential
+  oracle; any wrong answer fails the run (exit code 1).
 
 Examples:
     python -m repro simulate --cpu C --workload 557.xz --strategy fV
@@ -24,6 +26,7 @@ Examples:
     python -m repro audit --offset -0.097
     python -m repro serve --port 8642 --shards 2 --workers-per-shard 2
     python -m repro metrics --port 8642
+    python -m repro chaos --seed 7 --duration 30 --kill-rate 0.1
 """
 
 from __future__ import annotations
@@ -317,6 +320,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos soak refereed by the differential oracle.
+
+    Prints the JSON report (injected vs recovered vs wrong-answer);
+    exits 0 only when the oracle saw zero wrong answers.  The
+    ``fault_schedule`` section of the report is a pure function of
+    ``--seed``, so rerunning with the same seed replays the identical
+    schedule.
+    """
+    import asyncio
+    import json
+
+    from repro.testkit.soak import ChaosSoak, SoakConfig
+
+    config = SoakConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        passes=args.passes,
+        n_requests=args.requests,
+        worker_kill_rate=args.kill_rate,
+        shm_unlink_rate=args.shm_unlink_rate,
+        manifest_corrupt_rate=args.manifest_corrupt_rate,
+        cache_corrupt_rate=args.cache_corrupt_rate,
+        admission_reject_rate=args.admission_reject_rate,
+        slow_worker_rate=args.slow_rate,
+        request_fail_rate=args.fail_rate,
+        use_processes=not args.inline,
+        n_shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        check_engine=args.engine,
+    )
+    result = asyncio.run(ChaosSoak(config).run())
+    report = result.to_json_dict()
+    if not args.full_schedule:
+        # The full schedule can run to thousands of entries; keep the
+        # default report readable and replay-comparable via its seed.
+        schedule = report["fault_schedule"]
+        report["fault_schedule"] = {
+            "seed": schedule.get("seed"),
+            "horizon": schedule.get("horizon"),
+            "specs": schedule.get("specs", []),
+            "n_entries": len(schedule.get("entries", [])),
+        }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not result.passed:
+        print(f"CHAOS SOAK FAILED: {result.wrong_answers} wrong "
+              "answer(s) — silent corruption detected", flush=True)
+        return 1
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Render the regenerated figures as terminal plots."""
     from repro.experiments.figures import render, render_all
@@ -483,6 +537,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-json", action="store_true",
                    help="emit log records as JSON lines")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault-injection soak with the "
+                            "differential oracle")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed: fixes the fault schedule and the "
+                        "canonical request set")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="soak for at least N seconds (and >= 2 passes)")
+    p.add_argument("--passes", type=_positive_int, default=None,
+                   help="drive exactly N request-set passes instead of "
+                        "--duration (deterministic workload)")
+    p.add_argument("--requests", type=_positive_int, default=8,
+                   help="canonical request-set size")
+    p.add_argument("--kill-rate", type=float, default=0.1,
+                   help="P(kill a pool worker) per batch dispatch")
+    p.add_argument("--shm-unlink-rate", type=float, default=0.1,
+                   help="P(unlink the shm segment) per store attach")
+    p.add_argument("--manifest-corrupt-rate", type=float, default=0.05,
+                   help="P(corrupt the manifest) per store attach")
+    p.add_argument("--cache-corrupt-rate", type=float, default=0.1,
+                   help="P(corrupt the entry file) per cache read")
+    p.add_argument("--admission-reject-rate", type=float, default=0.05,
+                   help="P(injected admission overflow) per submit")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="P(hold a worker 50 ms) per request")
+    p.add_argument("--fail-rate", type=float, default=0.0,
+                   help="P(injected worker exception) per request")
+    p.add_argument("--shards", type=_positive_int, default=2,
+                   help="service worker-pool shards")
+    p.add_argument("--workers-per-shard", type=_positive_int, default=2,
+                   help="workers per shard")
+    p.add_argument("--inline", action="store_true",
+                   help="thread workers instead of process shards "
+                        "(worker-kill faults become no-ops)")
+    p.add_argument("--engine", action="store_true",
+                   help="also run the engine determinism channel")
+    p.add_argument("--full-schedule", action="store_true",
+                   help="embed every planned fault in the report "
+                        "instead of the summary")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("metrics",
                        help="fetch a running service's metrics")

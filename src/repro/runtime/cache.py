@@ -35,6 +35,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.testkit.chaos import inject
+
 #: Bump when the cached payload layout changes; invalidates old entries.
 CACHE_SCHEMA_VERSION = 1
 
@@ -43,6 +45,19 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default size cap applied by ``python -m repro.runtime.cache --prune``.
 DEFAULT_PRUNE_MAX_BYTES = 1 << 30
+
+
+def _count_corrupt_entry() -> None:
+    """Record one corrupt/truncated cache entry in the obs registry."""
+    try:
+        from repro.obs.registry import get_registry
+
+        get_registry().counter(
+            "cache_corrupt_entries_total",
+            "on-disk cache entries found corrupt and treated as misses",
+        ).inc()
+    except Exception:  # pragma: no cover - metrics must never fault
+        pass
 
 
 def default_cache_dir() -> Path:
@@ -138,17 +153,24 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """Return the stored payload for *key*, or None on miss/corruption.
 
-        A hit refreshes the entry's mtime, which is what LRU pruning
+        A truncated, bit-flipped or otherwise undecodable entry is a
+        *counted* miss (``cache_corrupt_entries_total``) and is deleted
+        so the recompute's :meth:`put` starts from a clean slot; an
+        absent entry or a schema-version mismatch is a plain miss.  A
+        hit refreshes the entry's mtime, which is what LRU pruning
         orders by.
         """
         path = self.path_for(key)
+        inject("cache.entry", path=path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
-            return None
+            return self._corrupt_miss(path)
         if not isinstance(entry, dict):
-            return None
+            return self._corrupt_miss(path)
         if entry.get("cache_schema") != CACHE_SCHEMA_VERSION:
             return None
         payload = entry.get("payload")
@@ -158,6 +180,15 @@ class ResultCache:
             except OSError:
                 pass  # recency refresh is best-effort
             return payload
+        return self._corrupt_miss(path)
+
+    def _corrupt_miss(self, path: Path) -> None:
+        """Count a corrupt entry, drop it from disk, and miss."""
+        _count_corrupt_entry()
+        try:
+            path.unlink()
+        except OSError:
+            pass  # a concurrent prune (or chaos) beat us to it
         return None
 
     def put(self, key: str, payload: dict) -> Path:
@@ -168,6 +199,7 @@ class ResultCache:
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
+        inject("cache.put", path=path)
         entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key,
                  "payload": payload}
         fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
@@ -216,6 +248,7 @@ class ResultCache:
         cap = self.max_bytes if max_bytes is None else max_bytes
         if cap is None:
             return 0
+        inject("cache.prune", root=str(self.root))
         listed = self.entries()
         total = sum(size for _, _, size in listed)
         removed = 0

@@ -367,7 +367,12 @@ class ExperimentEngine:
             if not record.ok:
                 logger.warning("engine: %s failed", name)
             if self.cache is not None and record.ok and key is not None:
-                self.cache.put(key, record.payload)
+                try:
+                    self.cache.put(key, record.payload)
+                except OSError:
+                    # An unwritable cache must not fail the run; the
+                    # next invocation simply recomputes.
+                    logger.warning("engine: cache write failed for %s", name)
             records[name] = record
 
         report = EngineReport(

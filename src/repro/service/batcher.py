@@ -16,12 +16,11 @@ immediately: latency beats occupancy for interactive traffic.
 
 from __future__ import annotations
 
-import asyncio
-import time
 from dataclasses import dataclass
 from typing import List
 
 from repro.service.scheduler import DeadlineScheduler, ScheduledEntry
+from repro.testkit.clock import SYSTEM_CLOCK
 
 
 @dataclass
@@ -52,11 +51,15 @@ class MicroBatcher:
             compatible companions (0 disables accumulation).
         interactive_cutoff: entries with ``priority <= cutoff`` skip the
             accumulation window entirely.
+        clock: time source driving the accumulation window (tests
+            inject a :class:`~repro.testkit.clock.FakeClock` so the
+            window elapses in virtual time).
     """
 
     def __init__(self, scheduler: DeadlineScheduler,
                  max_batch_size: int = 8, window_s: float = 0.005,
-                 interactive_cutoff: int = 0) -> None:
+                 interactive_cutoff: int = 0,
+                 clock=SYSTEM_CLOCK) -> None:
         """See class docstring."""
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -66,6 +69,7 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.window_s = window_s
         self.interactive_cutoff = interactive_cutoff
+        self.clock = clock
 
     async def next_batch(self) -> Batch:
         """Pop the most urgent entry and fill its batch; awaits if idle."""
@@ -77,13 +81,13 @@ class MicroBatcher:
                      and len(entries) < self.max_batch_size
                      and first.request.priority > self.interactive_cutoff)
         if hold_open:
-            deadline = time.monotonic() + self.window_s
+            deadline = self.clock.monotonic() + self.window_s
             poll = max(self.window_s / 4.0, 1e-4)
             while len(entries) < self.max_batch_size:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self.clock.monotonic()
                 if remaining <= 0:
                     break
-                await asyncio.sleep(min(poll, remaining))
+                await self.clock.sleep(min(poll, remaining))
                 entries.extend(self.scheduler.take_compatible(
                     first.request.shard_key,
                     self.max_batch_size - len(entries)))

@@ -45,6 +45,7 @@ SERVICE_COUNTERS = {
     "batch_retries": "batch executions retried after worker crashes",
     "batch_failures": "batches that exhausted their retries",
     "worker_restarts": "worker pools rebuilt after a crash",
+    "cache_put_failures": "result-cache writes that failed (non-fatal)",
 }
 
 

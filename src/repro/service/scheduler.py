@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.service.request import SimRequest
+from repro.testkit.clock import SYSTEM_CLOCK
 
 
 class AdmissionError(RuntimeError):
@@ -77,15 +78,19 @@ class DeadlineScheduler:
             :class:`AdmissionError`.
         retry_after_base_s: base of the suggested back-off; the hint
             scales linearly with queue depth so clients spread out.
+        clock: time source (tests inject a
+            :class:`~repro.testkit.clock.FakeClock`).
     """
 
     def __init__(self, max_depth: int = 128,
-                 retry_after_base_s: float = 0.05) -> None:
+                 retry_after_base_s: float = 0.05,
+                 clock=SYSTEM_CLOCK) -> None:
         """See class docstring."""
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         self.max_depth = max_depth
         self.retry_after_base_s = retry_after_base_s
+        self.clock = clock
         self._heap: List[Tuple[Tuple[int, float, int], ScheduledEntry]] = []
         self._seq = itertools.count()
         self._available: Optional[asyncio.Event] = None

@@ -29,7 +29,6 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Set
@@ -55,6 +54,8 @@ from repro.service.scheduler import (
     absolute_deadline,
 )
 from repro.service.workers import BatchExecutionError, ShardedWorkerTier
+from repro.testkit.chaos import inject
+from repro.testkit.clock import SYSTEM_CLOCK
 
 
 def service_cache_dir() -> Path:
@@ -148,28 +149,36 @@ class SimulationService:
         config: tunables (defaults are sensible for tests).
         cache: optional result cache consulted before scheduling and
             filled after successful simulations.
+        clock: time source threaded through the scheduler, batcher and
+            tier; tests inject a :class:`~repro.testkit.clock.FakeClock`
+            so windows/backoffs elapse in virtual time.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 clock=SYSTEM_CLOCK) -> None:
         """See class docstring."""
         self.config = config or ServiceConfig()
         self.cache = cache
+        self.clock = clock
         self.metrics = ServiceMetrics()
         self.scheduler = DeadlineScheduler(
             max_depth=self.config.max_queue_depth,
-            retry_after_base_s=self.config.retry_after_base_s)
+            retry_after_base_s=self.config.retry_after_base_s,
+            clock=clock)
         self.batcher = MicroBatcher(
             self.scheduler, max_batch_size=self.config.max_batch_size,
             window_s=self.config.batch_window_s,
-            interactive_cutoff=self.config.interactive_cutoff)
+            interactive_cutoff=self.config.interactive_cutoff,
+            clock=clock)
         self.tier = ShardedWorkerTier(
             n_shards=self.config.n_shards,
             workers_per_shard=self.config.workers_per_shard,
             use_processes=self.config.use_processes,
             max_retries=self.config.max_retries,
             retry_backoff_s=self.config.retry_backoff_s,
-            metrics=self.metrics)
+            metrics=self.metrics,
+            clock=clock)
         self._inflight: dict = {}
         self._batch_tasks: Set["asyncio.Task"] = set()
         self._dispatcher: Optional["asyncio.Task"] = None
@@ -216,7 +225,7 @@ class SimulationService:
         deadline); never raises for per-request problems — bad input,
         backpressure, timeouts and failures all come back as statuses.
         """
-        arrival = time.monotonic()
+        arrival = self.clock.monotonic()
         self.metrics.inc("requests_submitted")
         if self._closed:
             self.metrics.inc("requests_rejected")
@@ -238,7 +247,7 @@ class SimulationService:
             if payload is not None:
                 self.metrics.inc("cache_hits")
                 self.metrics.inc("requests_completed")
-                latency = time.monotonic() - arrival
+                latency = self.clock.monotonic() - arrival
                 self.metrics.observe_latency(latency)
                 return SimResponse(request=request, status=STATUS_OK,
                                    payload=payload, source="cache",
@@ -256,6 +265,7 @@ class SimulationService:
                                cache_key=cache_key,
                                due=absolute_deadline(request, now=arrival))
         try:
+            inject("server.admission", depth=self.scheduler.depth)
             self.scheduler.push(entry)
         except AdmissionError as exc:
             self.metrics.inc("requests_rejected")
@@ -277,11 +287,11 @@ class SimulationService:
             outcome = await asyncio.wait_for(asyncio.shield(future), timeout)
         except asyncio.TimeoutError:
             self.metrics.inc("requests_timed_out")
-            latency = time.monotonic() - arrival
+            latency = self.clock.monotonic() - arrival
             return SimResponse(
                 request=request, status=STATUS_TIMEOUT, source=source,
                 error=f"no result within {timeout:.3f}s", latency_s=latency)
-        latency = time.monotonic() - arrival
+        latency = self.clock.monotonic() - arrival
         self.metrics.observe_latency(latency)
         status = STATUS_OK if outcome.get("status") == "ok" else STATUS_FAILED
         self.metrics.inc("requests_completed" if status == STATUS_OK
@@ -349,7 +359,12 @@ class SimulationService:
             if (self.cache is not None and entry.cache_key is not None
                     and outcome.get("status") == "ok"
                     and outcome.get("payload") is not None):
-                self.cache.put(entry.cache_key, outcome["payload"])
+                try:
+                    self.cache.put(entry.cache_key, outcome["payload"])
+                except OSError:
+                    # A cache that cannot be written must not fail the
+                    # request — the computed payload is still correct.
+                    self.metrics.inc("cache_put_failures")
             if self._inflight.get(entry.key) is entry.future:
                 del self._inflight[entry.key]
             if not entry.future.done():
@@ -372,11 +387,11 @@ class SimulationService:
                     entry.future.set_result({
                         "status": "failed", "payload": None,
                         "error": "service stopped before execution"})
-        deadline = time.monotonic() + timeout_s
+        deadline = self.clock.monotonic() + timeout_s
         while (drain and (self.scheduler.depth or self._batch_tasks
                           or self._inflight)
-               and time.monotonic() < deadline):
-            await asyncio.sleep(0.005)
+               and self.clock.monotonic() < deadline):
+            await self.clock.sleep(0.005)
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -408,6 +423,11 @@ async def _handle_message(service: SimulationService, message: dict,
     if op == "submit":
         try:
             request = SimRequest.from_dict(message.get("request") or {})
+            # Validate at the protocol boundary: a type-corrupt field
+            # (say voltage_offset: null) passes from_dict but would
+            # make the response echo un-serializable, leaving the
+            # client without any reply at all.
+            request.validate()
         except InvalidRequestError as exc:
             out = {"op": "error", "error": str(exc)}
         else:
@@ -452,10 +472,26 @@ async def _handle_connection(service: SimulationService,
             if not line.strip():
                 continue
             try:
+                for kind in inject("server.frame", size=len(line)):
+                    if kind == "garble":
+                        # Invalid UTF-8 in byte 0: the frame parser
+                        # must answer "bad json", not die.
+                        line = b"\xff" + line[1:]
+            except ConnectionError:
+                break  # injected connection drop
+            try:
                 message = json.loads(line)
             except ValueError:
                 async with lock:
                     writer.write(b'{"op": "error", "error": "bad json"}\n')
+                    await writer.drain()
+                continue
+            if not isinstance(message, dict):
+                # json.loads happily returns scalars and arrays; only
+                # objects are protocol frames.
+                async with lock:
+                    writer.write(b'{"op": "error", '
+                                 b'"error": "frame must be a JSON object"}\n')
                     await writer.drain()
                 continue
             task = asyncio.get_running_loop().create_task(

@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.service.metrics import ServiceMetrics
+from repro.testkit.chaos import CRASH_EXIT_CODE, inject
+from repro.testkit.clock import SYSTEM_CLOCK
 
 #: Workload-name prefixes of the fault-injection hooks.
 CRASH_PREFIX = "__crash__:"
@@ -102,6 +104,7 @@ def execute_request(req: dict) -> dict:
     start = time.perf_counter()
     worker = multiprocessing.current_process().name
     try:
+        inject("workers.request", workload=req.get("workload"))
         payload: Optional[dict] = _simulate(req)
         status, error = "ok", None
     except BaseException:  # noqa: BLE001 - the traceback is the answer
@@ -176,6 +179,7 @@ def execute_batch(requests: List[dict]) -> List[dict]:
     death, of course, still can — that is what the tier-level retry
     handles).
     """
+    inject("workers.batch", size=len(requests))
     outcomes: List[Optional[dict]] = [None] * len(requests)
     groups: Dict[tuple, List[int]] = {}
     for i, req in enumerate(requests):
@@ -221,12 +225,15 @@ class ShardedWorkerTier:
         max_retries: batch re-executions allowed after pool breakage.
         retry_backoff_s: initial backoff; doubles per retry.
         metrics: optional registry for ``worker_restarts`` counts.
+        clock: time source for retry backoff (tests inject a
+            :class:`~repro.testkit.clock.FakeClock`).
     """
 
     def __init__(self, n_shards: int = 2, workers_per_shard: int = 1,
                  use_processes: bool = True, max_retries: int = 2,
                  retry_backoff_s: float = 0.05,
-                 metrics: Optional[ServiceMetrics] = None) -> None:
+                 metrics: Optional[ServiceMetrics] = None,
+                 clock=SYSTEM_CLOCK) -> None:
         """See class docstring."""
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -240,6 +247,7 @@ class ShardedWorkerTier:
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.metrics = metrics
+        self.clock = clock
         self._pools: Dict[int, Executor] = {}
 
     def _make_pool(self) -> Executor:
@@ -278,6 +286,14 @@ class ShardedWorkerTier:
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_retries + 1):
             pool = self._pool(index)
+            for kind in inject("workers.dispatch", shard=index,
+                               size=len(requests)):
+                if kind == "kill_worker" and self.use_processes:
+                    # Hard-kill one pool worker right before the batch
+                    # lands on it: the canonical mid-batch crash.  The
+                    # thread tier has no process to kill, so the fault
+                    # is a no-op there by design.
+                    pool.submit(os._exit, CRASH_EXIT_CODE)
             future: Future = pool.submit(execute_batch, requests)
             try:
                 outcomes = await asyncio.wait_for(
@@ -290,7 +306,7 @@ class ShardedWorkerTier:
                 last_error = exc
                 self._recycle(index)
                 if attempt < self.max_retries:
-                    await asyncio.sleep(
+                    await self.clock.sleep(
                         self.retry_backoff_s * (2 ** attempt))
         raise BatchExecutionError(
             f"batch on shard {index} ({shard_key}) failed after "

@@ -1,0 +1,57 @@
+"""repro.testkit — deterministic chaos harness + differential oracle.
+
+The chaos core (:mod:`repro.testkit.chaos`) and the injectable clocks
+(:mod:`repro.testkit.clock`) are imported eagerly: production modules
+depend on them (`inject` hooks, `clock` defaults) and they are
+dependency-free.  The oracle and soak runner import the full service
+stack, so they load lazily — ``repro.testkit.DifferentialOracle``
+works, but merely importing :mod:`repro.testkit` from a worker process
+stays cheap and cycle-free.
+"""
+
+from repro.testkit.chaos import (
+    ENV_PLAN,
+    ChaosController,
+    FaultPlan,
+    FaultSpec,
+    PlannedFault,
+    get_controller,
+    inject,
+    install_controller,
+)
+from repro.testkit.clock import SYSTEM_CLOCK, FakeClock, SystemClock
+
+__all__ = [
+    "ENV_PLAN",
+    "ChaosController",
+    "FaultPlan",
+    "FaultSpec",
+    "PlannedFault",
+    "get_controller",
+    "inject",
+    "install_controller",
+    "SYSTEM_CLOCK",
+    "FakeClock",
+    "SystemClock",
+    "DifferentialOracle",
+    "OracleReport",
+    "ChaosSoak",
+    "SoakConfig",
+]
+
+_LAZY = {
+    "DifferentialOracle": "repro.testkit.oracle",
+    "OracleReport": "repro.testkit.oracle",
+    "ChaosSoak": "repro.testkit.soak",
+    "SoakConfig": "repro.testkit.soak",
+}
+
+
+def __getattr__(name):
+    """Lazy-load the oracle/soak layer on first attribute access."""
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.testkit' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

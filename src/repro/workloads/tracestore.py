@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.isa.opcodes import Opcode
 from repro.obs.registry import get_registry
+from repro.testkit.chaos import inject
 from repro.workloads.trace import FaultableTrace
 
 try:  # advisory locking: POSIX only, and optional (worst case: a
@@ -61,6 +62,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 #: Environment variable carrying the store root to worker processes.
 ENV_VAR = "REPRO_TRACE_STORE"
+
+#: Owner-liveness marker file inside a store directory (hidden so the
+#: ``*.json`` manifest globs never see it).
+OWNER_MARKER = ".owner"
 
 #: Segment handles whose mappings could not be handed off to their
 #: surviving views (unexpected SharedMemory internals): held forever so
@@ -126,9 +131,23 @@ class SharedTraceStore:
 
     @classmethod
     def create(cls, tag: str = "traces") -> "SharedTraceStore":
-        """Create an owning store under a fresh temporary directory."""
+        """Create an owning store under a fresh temporary directory.
+
+        Also garbage-collects leftover stores whose owner process died
+        without running :meth:`cleanup` (see :func:`gc_stale_stores`),
+        so crashed runs cannot leak shm segments indefinitely.
+        """
+        gc_stale_stores()
         root = Path(tempfile.mkdtemp(prefix=f"repro-{tag}-"))
-        return cls(root, owner=True)
+        store = cls(root, owner=True)
+        # Liveness marker: lets the *next* run's gc_stale_stores tell a
+        # crashed owner's leftovers apart from a store still in use.
+        try:
+            (root / OWNER_MARKER).write_text(
+                json.dumps({"pid": os.getpid(), "tag": tag}))
+        except OSError:  # pragma: no cover - tmpdir raced away
+            pass
+        return store
 
     def activate(self) -> None:
         """Export this store to child processes via ``REPRO_TRACE_STORE``."""
@@ -149,6 +168,9 @@ class SharedTraceStore:
 
     def _meta_path(self, digest: str) -> Path:
         return self.root / f"{digest}.json"
+
+    def _pending_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.pending"
 
     @contextmanager
     def _lock(self) -> Iterator[None]:
@@ -177,8 +199,10 @@ class SharedTraceStore:
         registry = get_registry()
         digest = self._digest(key)
         try:
+            inject("tracestore.publish", key=key)
             with self._lock():
                 if not self._meta_path(digest).exists():
+                    _reap_pending(self._pending_path(digest))
                     self._write_segment(key, digest, trace)
                     registry.counter(
                         "trace_store_publish_total",
@@ -198,6 +222,13 @@ class SharedTraceStore:
         n = int(indices.size)
         total = indices.nbytes + gaps.nbytes + opcodes.nbytes
         shm_name = f"repro_{digest[:12]}_{os.getpid()}"
+        # Crash-recovery marker: names the segment *before* it exists,
+        # and survives a publisher dying anywhere between segment
+        # creation and manifest publish.  _reap_pending / cleanup /
+        # gc_stale_stores use it to unlink the orphan.
+        pending = self._pending_path(digest)
+        pending.write_text(json.dumps({"shm": shm_name,
+                                       "pid": os.getpid()}))
         shm = shared_memory.SharedMemory(name=shm_name, create=True,
                                          size=max(total, 1))
         # Ownership belongs to the store owner, not whichever worker
@@ -226,9 +257,17 @@ class SharedTraceStore:
             "opcode_table": [op.value for op in trace.opcode_table],
             "emul_cycles": emul,
         }
+        # The canonical mid-publish crash window: segment exists, the
+        # manifest does not.  A "crash" fault here is exactly the
+        # publisher death the .pending marker recovers from.
+        inject("tracestore.segment", shm=shm_name, digest=digest)
         tmp = self._meta_path(digest).with_suffix(".tmp")
         tmp.write_text(json.dumps(meta))
         os.replace(tmp, self._meta_path(digest))
+        try:
+            pending.unlink()
+        except OSError:  # pragma: no cover - marker raced away
+            pass
 
     def get(self, key: str) -> Optional[FaultableTrace]:
         """Attach the trace published under *key*, or None.
@@ -244,25 +283,37 @@ class SharedTraceStore:
         meta_path = self._meta_path(digest)
         registry = get_registry()
         try:
+            inject("tracestore.attach", path=meta_path)
             meta = json.loads(meta_path.read_text())
-        except (OSError, ValueError):
+            shm_name = str(meta["shm"])
+            n = int(meta["n_events"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, stale or corrupt manifest: a miss, never a crash.
             return None
         try:
+            inject("tracestore.shm", shm=shm_name)
             shm = self._segments.get(digest)
             if shm is None:
-                shm = shared_memory.SharedMemory(name=meta["shm"])
+                shm = shared_memory.SharedMemory(name=shm_name)
                 _unregister(shm.name)
                 self._segments[digest] = shm
         except OSError:
             registry.counter("trace_store_errors_total",
                              "shared trace store failures").inc()
             return None
-        n = int(meta["n_events"])
-        indices = np.frombuffer(shm.buf, dtype=np.int64, count=n)
-        gaps = np.frombuffer(shm.buf, dtype=np.int64, count=n,
-                             offset=indices.nbytes)
-        opcodes = np.frombuffer(shm.buf, dtype=np.uint8, count=n,
-                                offset=2 * indices.nbytes)
+        try:
+            indices = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+            gaps = np.frombuffer(shm.buf, dtype=np.int64, count=n,
+                                 offset=indices.nbytes)
+            opcodes = np.frombuffer(shm.buf, dtype=np.uint8, count=n,
+                                    offset=2 * indices.nbytes)
+        except ValueError:
+            # Manifest/segment mismatch (stale manifest naming a
+            # smaller segment): refuse the attach rather than read
+            # garbage.
+            registry.counter("trace_store_errors_total",
+                             "shared trace store failures").inc()
+            return None
         for arr in (indices, gaps, opcodes):
             arr.flags.writeable = False
         trace = FaultableTrace(
@@ -334,34 +385,134 @@ class SharedTraceStore:
         self.deactivate()
         if not self.owner:
             return
-        if self.root.is_dir():
-            for meta_path in self.root.glob("*.json"):
-                try:
-                    meta = json.loads(meta_path.read_text())
-                    shm = shared_memory.SharedMemory(name=meta["shm"])
-                    shm.close()
-                    shm.unlink()
-                except (OSError, ValueError):
-                    pass
-                try:
-                    meta_path.unlink()
-                except OSError:  # pragma: no cover
-                    pass
-            for leftover in (self.root / ".lock", ):
-                try:
-                    leftover.unlink()
-                except OSError:
-                    pass
-            try:
-                self.root.rmdir()
-            except OSError:  # pragma: no cover - non-empty/races
-                pass
+        _destroy_store_dir(self.root)
 
     def __enter__(self) -> "SharedTraceStore":
         return self
 
     def __exit__(self, *exc) -> None:
         self.cleanup()
+
+
+# -- crash recovery -----------------------------------------------------
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink the shm segment *name*; True when it existed."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError):
+        return False
+    try:
+        shm.unlink()
+    except OSError:  # pragma: no cover - concurrent unlink
+        pass
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover
+        pass
+    return True
+
+
+def _reap_pending(pending: Path) -> None:
+    """Recover from a publisher that died mid-publish.
+
+    A ``.pending`` marker without its manifest means the segment (if it
+    got as far as existing) is an orphan no manifest will ever name:
+    unlink both so the next publisher starts clean.
+    """
+    try:
+        info = json.loads(pending.read_text())
+        shm_name = str(info["shm"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return
+    _unlink_segment(shm_name)
+    try:
+        pending.unlink()
+    except OSError:  # pragma: no cover - raced with another reaper
+        pass
+
+
+def _destroy_store_dir(root: Path) -> None:
+    """Unlink every segment a store directory names, then remove it.
+
+    Shared by owner :meth:`SharedTraceStore.cleanup` and
+    :func:`gc_stale_stores`; tolerates every partial-state shape a
+    crash can leave (manifests, pending markers, both, neither).
+    """
+    if not root.is_dir():
+        return
+    for meta_path in root.glob("*.json"):
+        try:
+            meta = json.loads(meta_path.read_text())
+            _unlink_segment(str(meta["shm"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        try:
+            meta_path.unlink()
+        except OSError:  # pragma: no cover
+            pass
+    for pending in root.glob("*.pending"):
+        _reap_pending(pending)
+    for leftover in (root / ".lock", root / OWNER_MARKER):
+        try:
+            leftover.unlink()
+        except OSError:
+            pass
+    try:
+        root.rmdir()
+    except OSError:  # pragma: no cover - non-empty/races
+        pass
+
+
+def gc_stale_stores(tmp_root: Optional[Path] = None) -> int:
+    """Remove sibling store directories whose owner process is dead.
+
+    Scans *tmp_root* (default: the system temp directory) for
+    ``repro-*`` directories carrying an :data:`OWNER_MARKER` whose
+    recorded pid no longer exists, and destroys them — manifests,
+    pending markers and the shm segments they name.  Directories
+    without a marker, or with a live owner, are left alone.  Returns
+    the number of stores collected.
+    """
+    base = Path(tmp_root) if tmp_root is not None \
+        else Path(tempfile.gettempdir())
+    collected = 0
+    try:
+        candidates = list(base.glob("repro-*"))
+    except OSError:  # pragma: no cover - tmpdir unreadable
+        return 0
+    for root in candidates:
+        marker = root / OWNER_MARKER
+        if not marker.is_file():
+            continue
+        try:
+            pid = int(json.loads(marker.read_text())["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if _pid_alive(pid):
+            continue
+        _destroy_store_dir(root)
+        collected += 1
+    if collected:
+        get_registry().counter(
+            "trace_store_gc_total",
+            "stale trace stores collected at startup").inc(collected)
+    return collected
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with *pid* currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
 
 
 # -- process-wide attachment (workers) ---------------------------------

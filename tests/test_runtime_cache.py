@@ -119,3 +119,106 @@ class TestCacheCli:
     def test_rejects_negative_max_bytes(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--dir", str(tmp_path), "--prune", "--max-bytes", "-5"])
+
+
+class TestCorruptEntries:
+    """A rotten on-disk entry is a *counted* miss, never a crash.
+
+    Pins the corruption taxonomy of :meth:`ResultCache.get`: undecodable
+    bytes / non-dict entry / non-dict payload are counted in
+    ``cache_corrupt_entries_total`` and the file is dropped so the
+    recompute's put() starts clean; an absent entry or a schema-version
+    mismatch stays a plain, uncounted miss.
+    """
+
+    @pytest.fixture()
+    def registry(self):
+        from repro.obs.registry import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        yield fresh
+        set_registry(previous)
+
+    @staticmethod
+    def _corrupt_count(registry):
+        return registry.counter("cache_corrupt_entries_total").value()
+
+    def test_bit_flip_is_counted_miss_and_heals(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        path = cache.put("key", {"answer": 42})
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF  # flip the opening brace: undecodable JSON
+        path.write_bytes(bytes(raw))
+
+        assert cache.get("key") is None
+        assert self._corrupt_count(registry) == 1
+        assert not path.exists()  # dropped, not left to rot
+        # The recompute's put()/get() round-trips on the cleaned slot.
+        cache.put("key", {"answer": 42})
+        assert cache.get("key") == {"answer": 42}
+        assert self._corrupt_count(registry) == 1  # healed: no new count
+
+    def test_truncated_entry_is_counted_miss(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        path = cache.put("key", {"blob": "x" * 256})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert cache.get("key") is None
+        assert self._corrupt_count(registry) == 1
+        assert not path.exists()
+
+    def test_non_dict_entry_is_counted_miss(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("key")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        assert cache.get("key") is None
+        assert self._corrupt_count(registry) == 1
+
+    def test_non_dict_payload_is_counted_miss(self, tmp_path, registry):
+        import json
+
+        from repro.runtime.cache import CACHE_SCHEMA_VERSION
+
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("key")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"cache_schema": CACHE_SCHEMA_VERSION,
+                                    "key": "key", "payload": 5}))
+        assert cache.get("key") is None
+        assert self._corrupt_count(registry) == 1
+
+    def test_absent_entry_is_plain_miss(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        assert cache.get("never-written") is None
+        assert self._corrupt_count(registry) == 0
+
+    def test_schema_mismatch_is_plain_uncounted_miss(self, tmp_path,
+                                                     registry):
+        import json
+
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("key")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"cache_schema": -1, "key": "key",
+                                    "payload": {"a": 1}}))
+        assert cache.get("key") is None
+        assert self._corrupt_count(registry) == 0
+        assert path.exists()  # stale versions are not "corrupt"
+
+    def test_chaos_corrupt_injection_end_to_end(self, tmp_path, registry):
+        """The cache.entry chaos site exercises the same taxonomy."""
+        from repro.testkit.chaos import (ChaosController, FaultPlan,
+                                         FaultSpec)
+
+        cache = ResultCache(tmp_path)
+        cache.put("key", {"answer": 42})
+        plan = FaultPlan.generate(
+            0, [FaultSpec("cache.entry", "corrupt", 1.0, max_fires=1)], 10)
+        with ChaosController(plan):
+            assert cache.get("key") is None  # corrupted mid-read
+            assert cache.get("key") is None  # slot already dropped
+        assert self._corrupt_count(registry) == 1
+        cache.put("key", {"answer": 42})
+        assert cache.get("key") == {"answer": 42}

@@ -26,6 +26,7 @@ from repro.service import (
     SimResponse,
 )
 from repro.service.scheduler import absolute_deadline
+from repro.testkit.clock import FakeClock
 
 
 class _StubFuture:
@@ -195,14 +196,14 @@ class TestDeadlineScheduler:
     def test_pop_waits_for_push(self):
         async def scenario():
             sched = DeadlineScheduler(max_depth=4)
-
-            async def late_push():
-                await asyncio.sleep(0.01)
-                sched.push(_entry(SimRequest("C", "late")))
-
-            task = asyncio.get_running_loop().create_task(late_push())
-            entry = await asyncio.wait_for(sched.pop(), timeout=2.0)
-            await task
+            pop = asyncio.get_running_loop().create_task(sched.pop())
+            # Let pop() block on the empty queue, then wake it: no real
+            # sleeps, just explicit event-loop turns.
+            for _ in range(5):
+                await asyncio.sleep(0)
+            assert not pop.done()
+            sched.push(_entry(SimRequest("C", "late")))
+            entry = await asyncio.wait_for(pop, timeout=2.0)
             return entry.request.workload
 
         assert asyncio.run(scenario()) == "late"
@@ -259,33 +260,60 @@ class TestMicroBatcher:
         assert asyncio.run(scenario()) == (2, 2, 1)
 
     def test_window_accumulates_late_companions(self):
+        """Virtual-time port of the flakiest timing test: the batcher
+        holds a 5 s window open; the companion arrives while it waits;
+        the whole thing runs in microseconds of real time."""
         async def scenario():
+            clock = FakeClock(auto_advance=False)
             sched = DeadlineScheduler(max_depth=16)
-            batcher = MicroBatcher(sched, max_batch_size=4, window_s=0.05)
+            batcher = MicroBatcher(sched, max_batch_size=4, window_s=5.0,
+                                   clock=clock)
             sched.push(_entry(SimRequest("C", "early")))
-
-            async def late():
-                await asyncio.sleep(0.01)
-                sched.push(_entry(SimRequest("C", "late")))
-
-            task = asyncio.get_running_loop().create_task(late())
-            batch = await batcher.next_batch()
-            await task
+            task = asyncio.get_running_loop().create_task(
+                batcher.next_batch())
+            for _ in range(10):  # let the batcher enter its window
+                await asyncio.sleep(0)
+            assert clock.sleep_calls >= 1  # it is actually waiting
+            sched.push(_entry(SimRequest("C", "late")))
+            clock.advance(10.0)  # the window elapses instantly
+            batch = await asyncio.wait_for(task, timeout=2.0)
             return [e.request.workload for e in batch.entries]
 
         assert asyncio.run(scenario()) == ["early", "late"]
 
+    def test_window_closes_without_companions(self):
+        """A lonely entry dispatches once the window elapses — in
+        virtual time, so the test never actually waits."""
+        async def scenario():
+            clock = FakeClock()
+            sched = DeadlineScheduler(max_depth=16)
+            batcher = MicroBatcher(sched, max_batch_size=4, window_s=5.0,
+                                   clock=clock)
+            start = clock.monotonic()
+            sched.push(_entry(SimRequest("C", "solo")))
+            batch = await batcher.next_batch()
+            return batch.occupancy, clock.monotonic() - start, \
+                clock.sleep_calls
+
+        occupancy, elapsed, sleeps = asyncio.run(scenario())
+        assert occupancy == 1
+        assert elapsed >= 5.0  # the full window, virtually
+        assert sleeps >= 1
+
     def test_interactive_skips_window(self):
         async def scenario():
+            clock = FakeClock(auto_advance=False)
             sched = DeadlineScheduler(max_depth=16)
-            batcher = MicroBatcher(sched, max_batch_size=4, window_s=5.0)
+            batcher = MicroBatcher(sched, max_batch_size=4, window_s=5.0,
+                                   clock=clock)
             sched.push(_entry(SimRequest(
                 "C", "urgent", priority=PRIORITY_INTERACTIVE)))
-            # A 5 s window would blow the timeout if not bypassed.
+            # With the non-advancing clock a held window would hang
+            # forever; the interactive bypass must never sleep at all.
             batch = await asyncio.wait_for(batcher.next_batch(), timeout=1.0)
-            return batch.occupancy
+            return batch.occupancy, clock.sleep_calls
 
-        assert asyncio.run(scenario()) == 1
+        assert asyncio.run(scenario()) == (1, 0)
 
     def test_rejects_bad_config(self):
         sched = DeadlineScheduler(max_depth=4)
@@ -293,3 +321,46 @@ class TestMicroBatcher:
             MicroBatcher(sched, max_batch_size=0)
         with pytest.raises(ValueError):
             MicroBatcher(sched, window_s=-1.0)
+
+
+class TestFakeClock:
+    def test_monotonic_starts_at_start(self):
+        assert FakeClock(start=50.0).monotonic() == 50.0
+
+    def test_advance_moves_time_forward_only(self):
+        clock = FakeClock(start=0.0)
+        clock.advance(2.5)
+        assert clock.monotonic() == 2.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_auto_sleep_advances_and_counts(self):
+        async def scenario():
+            clock = FakeClock(start=0.0)
+            await clock.sleep(3.0)
+            await clock.sleep(1.0)
+            return clock.monotonic(), clock.sleep_calls
+
+        assert asyncio.run(scenario()) == (4.0, 2)
+
+    def test_negative_sleep_is_a_noop_in_time(self):
+        async def scenario():
+            clock = FakeClock(start=10.0)
+            await clock.sleep(-5.0)
+            return clock.monotonic()
+
+        assert asyncio.run(scenario()) == 10.0
+
+    def test_manual_sleep_waits_for_advance(self):
+        async def scenario():
+            clock = FakeClock(start=0.0, auto_advance=False)
+            sleeper = asyncio.get_running_loop().create_task(
+                clock.sleep(5.0))
+            for _ in range(5):
+                await asyncio.sleep(0)
+            assert not sleeper.done()  # held until the test steps time
+            clock.advance(5.0)
+            await asyncio.wait_for(sleeper, timeout=2.0)
+            return clock.monotonic()
+
+        assert asyncio.run(scenario()) == 5.0

@@ -1,0 +1,229 @@
+"""Tests for the deterministic chaos harness (repro.testkit.chaos).
+
+The harness's contract has three legs: the *plan* is a pure function
+of its seed (replay-exactness), the *controller* fires exactly the
+planned faults at the planned invocation indices (schedule fidelity),
+and the *hooks* are free when chaos is off (production safety).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+from repro.testkit import chaos
+from repro.testkit.chaos import (
+    ENV_PLAN,
+    ChaosController,
+    FaultPlan,
+    FaultSpec,
+    inject,
+    install_controller,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    """Every test starts and ends with chaos fully off."""
+    install_controller(None)
+    os.environ.pop(ENV_PLAN, None)
+    yield
+    install_controller(None)
+    os.environ.pop(ENV_PLAN, None)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        specs = [FaultSpec("s.a", "raise", 0.3),
+                 FaultSpec("s.b", "kill_worker", 0.1)]
+        one = FaultPlan.generate(11, specs, 500)
+        two = FaultPlan.generate(11, specs, 500)
+        assert one.to_json_dict() == two.to_json_dict()
+
+    def test_different_seed_different_plan(self):
+        specs = [FaultSpec("s.a", "raise", 0.3)]
+        assert (FaultPlan.generate(1, specs, 500).to_json_dict()
+                != FaultPlan.generate(2, specs, 500).to_json_dict())
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        plan = FaultPlan.generate(0, [FaultSpec("a", "x", 0.0),
+                                      FaultSpec("b", "y", 1.0)], 50)
+        assert not plan.at("a", 1) and "a" not in plan.sites
+        assert all(plan.at("b", i) for i in range(1, 51))
+
+    def test_rate_is_approximately_honoured(self):
+        plan = FaultPlan.generate(5, [FaultSpec("s", "x", 0.2)], 5000)
+        assert 800 <= len(plan.entries) <= 1200
+
+    def test_crash_kinds_skip_first_invocation(self):
+        plan = FaultPlan.generate(3, [FaultSpec("s", "crash", 1.0)], 20)
+        assert not plan.at("s", 1)
+        assert plan.at("s", 2)
+
+    def test_max_fires_caps_the_schedule(self):
+        plan = FaultPlan.generate(9, [FaultSpec("s", "x", 1.0,
+                                                max_fires=3)], 100)
+        assert len(plan.entries) == 3
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.generate(7, [FaultSpec("s.a", "sleep", 0.4,
+                                                param=0.25),
+                                      FaultSpec("s.b", "raise", 0.2,
+                                                exception="ValueError")], 80)
+        clone = FaultPlan.from_json_dict(
+            json.loads(json.dumps(plan.to_json_dict())))
+        assert clone.to_json_dict() == plan.to_json_dict()
+        for site in plan.sites:
+            for i in range(1, 81):
+                assert ([e.kind for e in clone.at(site, i)]
+                        == [e.kind for e in plan.at(site, i)])
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, [], 0)
+
+
+class TestController:
+    def test_site_interpreted_kinds_are_returned(self):
+        plan = FaultPlan.generate(0, [FaultSpec("x", "kill_worker", 1.0)], 5)
+        with ChaosController(plan) as controller:
+            assert inject("x") == ("kill_worker",)
+            assert controller.invocations() == {"x": 1}
+
+    def test_unplanned_invocations_fire_nothing(self):
+        plan = FaultPlan.generate(0, [FaultSpec("x", "k", 1.0,
+                                                max_fires=1)], 5)
+        with ChaosController(plan):
+            assert inject("x") == ("k",)
+            assert inject("x") == ()
+            assert inject("other") == ()
+
+    def test_raise_effect(self):
+        plan = FaultPlan.generate(0, [FaultSpec("x", "raise", 1.0,
+                                                exception="ValueError")], 3)
+        with ChaosController(plan):
+            with pytest.raises(ValueError):
+                inject("x")
+
+    def test_admission_error_factory(self):
+        from repro.service.scheduler import AdmissionError
+
+        plan = FaultPlan.generate(
+            0, [FaultSpec("x", "raise", 1.0, exception="AdmissionError")], 3)
+        with ChaosController(plan):
+            with pytest.raises(AdmissionError) as excinfo:
+                inject("x")
+        assert excinfo.value.retry_after_s > 0
+
+    def test_corrupt_effect_damages_file(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_text(json.dumps({"payload": {"v": 1}}))
+        original = victim.read_bytes()
+        plan = FaultPlan.generate(0, [FaultSpec("x", "corrupt", 1.0)], 3)
+        with ChaosController(plan):
+            inject("x", path=str(victim))
+        damaged = victim.read_bytes()
+        assert damaged != original
+        assert len(damaged) < len(original)  # truncated
+        with pytest.raises(ValueError):
+            json.loads(damaged)
+
+    def test_unlink_effect_removes_file(self, tmp_path):
+        victim = tmp_path / "gone.txt"
+        victim.write_text("x")
+        plan = FaultPlan.generate(0, [FaultSpec("x", "unlink", 1.0)], 3)
+        with ChaosController(plan):
+            inject("x", path=str(victim))
+        assert not victim.exists()
+
+    def test_fired_report_replays_exactly(self):
+        """Equal seeds + equal invocation sequences => equal reports."""
+        specs = [FaultSpec("a", "k1", 0.5), FaultSpec("b", "k2", 0.3)]
+        sequence = ["a", "a", "b", "a", "b", "b", "a", "b"] * 4
+
+        def drive():
+            controller = ChaosController(FaultPlan.generate(21, specs, 100))
+            with controller:
+                for site in sequence:
+                    inject(site)
+                return controller.report()
+
+        first, second = drive(), drive()
+        assert first == second
+        assert first["injected"]["total"] > 0
+        assert "pid" not in json.dumps(first["injected"]["fired"])
+
+    def test_report_counts_by_site(self):
+        plan = FaultPlan.generate(0, [FaultSpec("x", "k", 1.0)], 10)
+        with ChaosController(plan) as controller:
+            inject("x")
+            inject("x")
+            report = controller.report()
+        assert report["injected"]["by_site"] == {"x": 2}
+        assert report["schedule"] == plan.to_json_dict()
+
+    def test_metrics_counter_increments(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            plan = FaultPlan.generate(0, [FaultSpec("x", "k", 1.0)], 5)
+            with ChaosController(plan):
+                inject("x")
+                inject("x")
+            counter = get_registry().counter("chaos_injections_total",
+                                             label_names=("site",))
+            assert counter.value(site="x") == 2
+        finally:
+            set_registry(previous)
+
+
+class TestActivationAndEnv:
+    def test_inject_is_noop_without_controller(self):
+        assert inject("anything", path="/nonexistent") == ()
+
+    def test_activate_exports_plan_and_cleanup_retracts(self):
+        plan = FaultPlan.generate(4, [FaultSpec("x", "k", 0.5)], 20)
+        controller = ChaosController(plan).activate()
+        try:
+            plan_path = os.environ[ENV_PLAN]
+            assert FaultPlan.from_json_dict(
+                json.loads(open(plan_path).read())).to_json_dict() \
+                == plan.to_json_dict()
+        finally:
+            controller.cleanup()
+        assert ENV_PLAN not in os.environ
+        assert not os.path.exists(plan_path)
+
+    def test_worker_side_lazy_load_from_env(self):
+        """A process seeing only REPRO_CHAOS_PLAN reconstructs the
+        controller and logs its firings to the shared JSONL file."""
+        plan = FaultPlan.generate(0, [FaultSpec("w", "k", 1.0)], 5)
+        owner = ChaosController(plan).activate()
+        try:
+            # Simulate a fresh worker process: no in-process controller,
+            # no previously loaded plan.
+            install_controller(None)
+            chaos._LOADED_PLAN = None
+            assert inject("w") == ("k",)
+            fired = owner.fired()
+            assert [e["site"] for e in fired] == ["w"]
+        finally:
+            owner.cleanup()
+
+    def test_pool_workers_inherit_chaos(self, tmp_path):
+        """Real subprocess check: a spawned worker fires worker-side
+        faults and appends them to the shared log."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        plan = FaultPlan.generate(0, [FaultSpec("workers.request", "boom",
+                                                1.0)], 10)
+        owner = ChaosController(plan).activate()
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                kinds = pool.submit(inject, "workers.request").result(30)
+            assert kinds == ("boom",)
+            assert any(e["site"] == "workers.request"
+                       and e["pid"] != os.getpid()
+                       for e in owner.fired())
+        finally:
+            owner.cleanup()
