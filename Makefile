@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke coverage clean-cache
+.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke campaign-smoke coverage clean-cache
 
 verify: test
 
@@ -48,10 +48,23 @@ reproduce:
 chaos-smoke:
 	$(PY) -m repro chaos --seed 42 --duration 30
 
+# CI-sized fault-injection campaign: 16 runs of the canned MSR bit-flip
+# faultload on two workers, then validate that the HTML report parses
+# (see docs/campaigns.md).  Deterministic: --seed 42 replays the exact
+# same faultloads and report bytes.
+campaign-smoke:
+	$(PY) -m repro campaign run --spec msr_bitflip_nginx --seed 42 \
+		--samples 4 --jobs 2 --out campaign-smoke.out
+	$(PY) -c "from html.parser import HTMLParser; \
+		html = open('campaign-smoke.out/index.html').read(); \
+		p = HTMLParser(); p.feed(html); p.close(); \
+		print('campaign HTML ok (%d bytes)' % len(html))"
+	@rm -rf campaign-smoke.out
+
 # Tier-1 suite with line coverage (requires pytest-cov: pip install
 # -e '.[dev]').  CI enforces the floor; ratchet it upward, never down.
 coverage:
-	$(PY) -m pytest -x -q --cov=repro --cov-report=term --cov-fail-under=70
+	$(PY) -m pytest -x -q --cov=repro --cov-report=term --cov-fail-under=75
 
 # Run a small experiment with execution tracing on and schema-check the
 # resulting Chrome trace (see docs/observability.md).

@@ -1,0 +1,87 @@
+"""Statistical outcome classification of campaign runs.
+
+Every run is compared against its own unfaulted golden baseline
+(computed from identical derived random streams, see
+:mod:`repro.campaigns.run`) and sorted into the standard SBFI outcome
+taxonomy:
+
+``crashed``
+    The faulted machine raised or wedged (DVFS table fails validation,
+    deadline register reads zero, worker process died).
+``detected``
+    The :class:`~repro.security.invariants.SecurityMonitor` flagged
+    executions the baseline did not — the fault surfaced through SUIT's
+    invariant, regardless of whether results were also corrupted.
+``sdc``
+    Silent data corruption: the result digest differs from the baseline
+    and *no* new invariant violation fired.  The outcome SUIT exists to
+    prevent.
+``degraded``
+    Results are bit-identical but performance or energy shifted (extra
+    traps, longer conservative dwell, different curve).  Explicitly not
+    SDC: slower-but-correct is a quality loss, not a correctness loss.
+``masked``
+    The injection had no observable effect at all.
+
+Precedence is strict: crashed > detected > sdc > degraded > masked.
+A run that both corrupts data *and* trips the monitor counts as
+detected — the system saw it, so it is not silent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+#: The outcome classes, most to least severe (also the report order).
+OUTCOMES: Tuple[str, ...] = ("crashed", "detected", "sdc", "degraded",
+                             "masked")
+
+#: Relative tolerance below which duration/energy shifts count as noise.
+#: Both legs of a run share every random stream, so any genuine effect
+#: is orders of magnitude above float roundoff.
+_REL_TOL = 1e-9
+
+
+def _differs(a: float, b: float) -> bool:
+    scale = max(abs(a), abs(b), 1e-30)
+    return abs(a - b) / scale > _REL_TOL
+
+
+def classify_pair(baseline: Dict, faulted: Dict) -> str:
+    """Classify one (baseline, faulted) summary pair.
+
+    Both arguments are run summaries as produced by
+    :mod:`repro.campaigns.run` (``digest``, ``duration_cycles``,
+    ``energy``, ``n_traps``, ``n_timer_returns``, ``violations``).
+    """
+    if int(faulted["violations"]) > int(baseline["violations"]):
+        return "detected"
+    if faulted["digest"] != baseline["digest"]:
+        return "sdc"
+    if (int(faulted["n_traps"]) != int(baseline["n_traps"])
+            or int(faulted["n_timer_returns"]) != int(baseline["n_timer_returns"])
+            or _differs(float(faulted["duration_cycles"]),
+                        float(baseline["duration_cycles"]))
+            or _differs(float(faulted["energy"]), float(baseline["energy"]))):
+        return "degraded"
+    return "masked"
+
+
+def classify_run(outcome: Dict) -> str:
+    """Classify one full run outcome dict from
+    :func:`repro.campaigns.run.execute_run` (or the runner's crash
+    isolation wrapper)."""
+    if outcome.get("status") != "ok" or outcome.get("faulted") is None:
+        return "crashed"
+    return classify_pair(outcome["baseline"], outcome["faulted"])
+
+
+def tally(labels: Iterable[str]) -> Dict[str, int]:
+    """Outcome counts over *labels*, with every class present (zeroes
+    included) so report schemas stay stable."""
+    counts = {name: 0 for name in OUTCOMES}
+    for label in labels:
+        if label not in counts:
+            raise ValueError(f"unknown outcome label {label!r}")
+        counts[label] += 1
+    return counts

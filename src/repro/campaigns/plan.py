@@ -1,0 +1,198 @@
+"""Deterministic expansion of a faultload into per-run injection plans.
+
+Mirrors :meth:`repro.testkit.chaos.FaultPlan.generate`: every run of
+the sample matrix gets a private PRNG seeded by
+``sha256(domain, seed, campaign, offset_index, sample_index)``, so the
+expanded plan is a pure function of the spec — identical across
+processes, platforms and resume boundaries, and statistically
+decorrelated between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaigns.spec import MSR_TARGET_WIDTHS, FaultloadSpec
+
+#: Domain-separation tag; bump when the expansion scheme changes so
+#: checkpoints and goldens keyed on run seeds invalidate cleanly.
+_PLAN_DOMAIN = "repro.campaigns.plan.v1"
+
+def trapped_mask_order() -> Tuple[str, ...]:
+    """Stable bit order of the SUIT disable mask: the trapped opcodes,
+    sorted by name (bit 0 = first name)."""
+    from repro.isa.faultable import TRAPPED_OPCODES
+
+    return tuple(sorted(op.name for op in TRAPPED_OPCODES))
+
+
+def faultable_order() -> Tuple[str, ...]:
+    """Stable name order of the full faultable set (``vmin`` targets)."""
+    from repro.isa.faultable import FAULTABLE_OPCODES
+
+    return tuple(sorted(op.name for op in FAULTABLE_OPCODES))
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One concrete fault to apply to the modeled machine.
+
+    Attributes:
+        target: scope-specific target name — an MSR name (``msr``), a
+            faultable opcode name (``vmin``), ``anchor:<i>`` (``dvfs``)
+            or ``background`` (``injector``).
+        model: fault model applied to the target.
+        bit: bit position for the bit models (None for analog faults).
+        amount: drift in volts (``vmin``/``dvfs``) or the background
+            flip probability (``injector``).
+    """
+
+    target: str
+    model: str
+    bit: Optional[int] = None
+    amount: float = 0.0
+
+    def describe(self) -> str:
+        """Human-readable form for the report drill-down."""
+        if self.model in ("bit_flip", "stuck_at_0", "stuck_at_1"):
+            if self.target == "background":
+                return f"background flips @ p={self.amount:g}/op"
+            return f"{self.target} bit {self.bit} {self.model}"
+        return f"{self.target} drift {self.amount * 1e3:+.1f} mV"
+
+    def to_json_dict(self) -> dict:
+        """JSON form (exact inverse of :meth:`from_json_dict`)."""
+        return {"target": self.target, "model": self.model,
+                "bit": self.bit, "amount": self.amount}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "Injection":
+        return cls(target=payload["target"], model=payload["model"],
+                   bit=payload.get("bit"),
+                   amount=float(payload.get("amount", 0.0)))
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """One run of the sample matrix.
+
+    Attributes:
+        index: global run index (0..n_runs-1, offset-major).
+        offset_v: efficient-curve offset of this run (undervolt depth).
+        seed: derived 32-bit run seed (chip sampling, op mix, operands,
+            injector randomness all derive private streams from it).
+        injections: the faults this run applies.
+    """
+
+    index: int
+    offset_v: float
+    seed: int
+    injections: Tuple[Injection, ...]
+
+    def to_json_dict(self) -> dict:
+        """JSON form (exact inverse of :meth:`from_json_dict`)."""
+        return {"index": self.index, "offset_v": self.offset_v,
+                "seed": self.seed,
+                "injections": [i.to_json_dict() for i in self.injections]}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RunPlan":
+        return cls(index=int(payload["index"]),
+                   offset_v=float(payload["offset_v"]),
+                   seed=int(payload["seed"]),
+                   injections=tuple(Injection.from_json_dict(i)
+                                    for i in payload["injections"]))
+
+
+def _run_digest(spec: FaultloadSpec, offset_index: int,
+                sample_index: int) -> bytes:
+    material = (f"{_PLAN_DOMAIN}:{spec.seed}:{spec.name}:"
+                f"{offset_index}:{sample_index}")
+    return hashlib.sha256(material.encode("utf-8")).digest()
+
+
+def run_seed(spec: FaultloadSpec, offset_index: int,
+             sample_index: int) -> int:
+    """The derived 32-bit seed of one run (numpy-compatible)."""
+    return int.from_bytes(_run_digest(spec, offset_index, sample_index)[:4],
+                          "big")
+
+
+def _run_rng(spec: FaultloadSpec, offset_index: int,
+             sample_index: int) -> random.Random:
+    """The private PRNG steering one run's injection choices (a
+    different slice of the digest than the run seed, so injection
+    choices and simulation randomness never share a stream)."""
+    digest = _run_digest(spec, offset_index, sample_index)
+    return random.Random(int.from_bytes(digest[8:16], "big"))
+
+
+def _dvfs_anchor_count(spec: FaultloadSpec) -> int:
+    from repro.hardware.models import ALL_CPU_FACTORIES
+
+    cpu = ALL_CPU_FACTORIES[spec.cpu]()
+    return len(cpu.conservative_curve.points)
+
+
+def _draw_injections(spec: FaultloadSpec,
+                     rng: random.Random,
+                     msr_targets: Tuple[str, ...],
+                     vmin_targets: Tuple[str, ...],
+                     n_anchors: int) -> Tuple[Injection, ...]:
+    injections: List[Injection] = []
+    for _ in range(spec.multiplicity):
+        if spec.scope == "msr":
+            target = msr_targets[rng.randrange(len(msr_targets))]
+            bit = rng.randrange(MSR_TARGET_WIDTHS[target])
+            injections.append(Injection(target=target,
+                                        model=spec.fault_model, bit=bit))
+        elif spec.scope == "vmin":
+            target = vmin_targets[rng.randrange(len(vmin_targets))]
+            amount = rng.gauss(spec.drift_mean_v, spec.drift_sigma_v)
+            injections.append(Injection(target=target, model="drift",
+                                        amount=amount))
+        elif spec.scope == "dvfs":
+            anchor = rng.randrange(n_anchors)
+            amount = rng.gauss(-spec.drift_mean_v, spec.drift_sigma_v)
+            injections.append(Injection(target=f"anchor:{anchor}",
+                                        model="drift", amount=amount))
+        else:  # injector
+            injections.append(Injection(target="background",
+                                        model="bit_flip",
+                                        amount=spec.flip_rate))
+    return tuple(injections)
+
+
+def expand(spec: FaultloadSpec) -> List[RunPlan]:
+    """Expand *spec* into its full, deterministic sample matrix.
+
+    Offset-major: runs ``[j * samples + i]`` share ``offsets_v[j]``.
+    A pure function of the spec (``expand(spec) == expand(spec)``,
+    byte-for-byte after serialization).
+    """
+    msr_targets = tuple(spec.targets) if (spec.scope == "msr" and spec.targets) \
+        else tuple(sorted(MSR_TARGET_WIDTHS))
+    vmin_targets = tuple(spec.targets) if (spec.scope == "vmin" and spec.targets) \
+        else faultable_order()
+    if spec.scope == "vmin":
+        unknown = set(vmin_targets) - set(faultable_order())
+        if unknown:
+            raise ValueError(
+                f"unknown faultable opcode target(s): {sorted(unknown)}")
+    n_anchors = _dvfs_anchor_count(spec) if spec.scope == "dvfs" else 0
+
+    plans: List[RunPlan] = []
+    for j, offset in enumerate(spec.offsets_v):
+        for i in range(spec.samples):
+            rng = _run_rng(spec, j, i)
+            plans.append(RunPlan(
+                index=j * spec.samples + i,
+                offset_v=float(offset),
+                seed=run_seed(spec, j, i),
+                injections=_draw_injections(spec, rng, msr_targets,
+                                            vmin_targets, n_anchors),
+            ))
+    return plans

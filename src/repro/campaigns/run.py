@@ -1,0 +1,382 @@
+"""Execute one campaign run against the modeled machine.
+
+A run builds the machine the way SUIT deploys it — a sampled chip
+(:mod:`repro.faults.model`), the SUIT configuration MSRs
+(:mod:`repro.hardware.msr`), the conservative/efficient DVFS curves
+(:mod:`repro.power.dvfs`) — applies the plan's injections, and then
+drives a phase-structured instruction stream through the
+:class:`~repro.faults.injector.FaultInjector` while the
+:class:`~repro.security.invariants.SecurityMonitor` audits every
+execution.
+
+The crucial asymmetry: the **monitor** checks executions against the
+*calibrated* (nominal) chip and curve — what the deployed system
+believes about its silicon — while the **injector** faults according to
+the *physical* (perturbed) chip at the *delivered* voltage.  MSR faults
+leave belief and truth aligned, so the monitor catches them
+(*detected*); Vmin drift and regulator miscalibration open a gap
+between belief and truth, which is exactly where silent data
+corruption (*SDC*) lives.
+
+Every run computes its own unfaulted golden baseline from the same
+derived random streams, so (baseline, faulted) pairs are aligned
+sample-for-sample and the classification
+(:mod:`repro.campaigns.classify`) is a pure function of the plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaigns.plan import Injection, RunPlan, trapped_mask_order
+from repro.campaigns.spec import FaultloadSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.model import CpuInstanceFaults, FaultModel
+from repro.hardware.msr import Msr, MsrFile
+from repro.isa.opcodes import Opcode
+from repro.power.dvfs import CurveKind, DVFSCurve
+from repro.security.invariants import ExecutionRecord, SecurityMonitor
+
+#: Extra cycles charged for one curve switch (trap + p-state change),
+#: the perf proxy of the #DO round trip.
+SWITCH_CYCLES = 40_000
+
+
+class MachineHangError(RuntimeError):
+    """The injected configuration wedges the machine (e.g. a zero
+    deadline: the domain can never return to the efficient curve and
+    the watchdog gives up)."""
+
+
+def _derive_rng(seed: int, purpose: str) -> np.random.Generator:
+    """A private numpy Generator for one purpose of one run."""
+    material = f"repro.campaigns.run.v1:{seed}:{purpose}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _derive_seed(seed: int, purpose: str) -> int:
+    material = f"repro.campaigns.run.v1:{seed}:{purpose}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+# -- machine construction ------------------------------------------------
+
+@dataclass
+class _Machine:
+    """Everything one run needs, after injections were applied."""
+
+    frequency: float
+    believed_cons_v: float      # voltage the software reads/believes
+    believed_eff_v: float
+    delivered_cons_v: float     # voltage the rail actually carries
+    delivered_eff_v: float
+    conservative_ratio: float   # Cf frequency / nominal (perf proxy)
+    efficient_enabled: bool     # curve-select MSR bit
+    disabled: FrozenSet[Opcode]
+    deadline_ticks: int
+    believed_chip: CpuInstanceFaults
+    physical_chip: CpuInstanceFaults
+    bg_flip_rate: float
+    notes: Tuple[str, ...]
+
+
+def _intended_msrs(deadline_ticks: int) -> Dict[int, int]:
+    """The MSR values SUIT programs at boot: efficient curve selected,
+    the full trapped set disabled, the deadline armed."""
+    order = trapped_mask_order()
+    mask = (1 << len(order)) - 1
+    return {
+        int(Msr.SUIT_CURVE_SELECT): 1,
+        int(Msr.SUIT_DISABLE_MASK): mask,
+        int(Msr.SUIT_DEADLINE): deadline_ticks,
+    }
+
+
+_MSR_BY_NAME = {
+    "SUIT_CURVE_SELECT": int(Msr.SUIT_CURVE_SELECT),
+    "SUIT_DISABLE_MASK": int(Msr.SUIT_DISABLE_MASK),
+    "SUIT_DEADLINE": int(Msr.SUIT_DEADLINE),
+}
+
+
+def _apply_msr_fault(msrs: MsrFile, injection: Injection) -> None:
+    address = _MSR_BY_NAME[injection.target]
+    value = msrs.read(address)
+    bit = int(injection.bit or 0)
+    if injection.model == "bit_flip":
+        value ^= 1 << bit
+    elif injection.model == "stuck_at_0":
+        value &= ~(1 << bit)
+    elif injection.model == "stuck_at_1":
+        value |= 1 << bit
+    else:  # pragma: no cover - spec validation forbids this
+        raise ValueError(f"bad MSR fault model {injection.model!r}")
+    msrs.write(address, value)
+
+
+def _drift_margins(chip: CpuInstanceFaults,
+                   drifts: Dict[Opcode, float]) -> CpuInstanceFaults:
+    """The chip after aging/heating drift: positive amounts move Vmin
+    *toward* the curve (margin shrinks — the dangerous direction)."""
+    margins = {op: values + drifts.get(op, 0.0)
+               for op, values in chip.margins.items()}
+    return CpuInstanceFaults(
+        curve=chip.curve, margins=margins,
+        frequency_slope_v_per_hz=chip.frequency_slope_v_per_hz,
+        exhibits_variation=chip.exhibits_variation)
+
+
+def _perturb_curve(curve: DVFSCurve, anchor: int, amount: float) -> DVFSCurve:
+    """The regulator's miscalibrated curve: one anchor's delivered
+    voltage shifted by *amount*.  Raises ValueError when the result is
+    no longer monotone — the p-state table fails validation and the
+    machine refuses to boot (a *crashed* outcome)."""
+    points = curve.points
+    if not 0 <= anchor < len(points):
+        raise ValueError(f"no curve anchor {anchor}")
+    f, v = points[anchor]
+    points[anchor] = (f, v + amount)
+    return DVFSCurve(points, kind=CurveKind.CONSERVATIVE,
+                     name=curve.name + "+drift")
+
+
+def intended_deadline_ticks(spec: FaultloadSpec) -> int:
+    """The tick count SUIT intends to program (fault-free value)."""
+    from repro.hardware.models import ALL_CPU_FACTORIES
+
+    cpu = ALL_CPU_FACTORIES[spec.cpu]()
+    return max(1, int(round(spec.deadline_us * 1e-6 * cpu.nominal_frequency)))
+
+
+def _build_machine(spec: FaultloadSpec, plan: RunPlan,
+                   faulted: bool) -> _Machine:
+    """Construct the (possibly faulted) machine of one run."""
+    from repro.hardware.models import ALL_CPU_FACTORIES
+
+    cpu = ALL_CPU_FACTORIES[spec.cpu]()
+    nominal_curve = cpu.conservative_curve
+    frequency = cpu.nominal_frequency
+    notes: List[str] = []
+
+    # The silicon: sampled per run (process variation), SUIT-hardened
+    # IMUL.  The believed chip is the calibration-time truth.
+    chip_rng = _derive_rng(plan.seed, "chip")
+    believed = FaultModel().sample_chip(
+        nominal_curve, n_cores=4, rng=chip_rng,
+        exhibits=True).with_hardened_imul()
+    physical = believed
+    physical_curve = nominal_curve
+    bg_flip_rate = 0.0
+
+    # Program the SUIT MSRs with the intended configuration.
+    msrs = MsrFile()
+    for address, value in _intended_msrs(intended_deadline_ticks(spec)).items():
+        msrs.write(address, value)
+
+    if faulted:
+        for injection in plan.injections:
+            if injection.target in _MSR_BY_NAME:
+                _apply_msr_fault(msrs, injection)
+            elif injection.model == "drift" and injection.target.startswith("anchor:"):
+                anchor = int(injection.target.split(":", 1)[1])
+                physical_curve = _perturb_curve(physical_curve, anchor,
+                                                injection.amount)
+            elif injection.model == "drift":
+                op = Opcode[injection.target]
+                physical = _drift_margins(physical, {op: injection.amount})
+            elif injection.target == "background":
+                bg_flip_rate = min(1.0, bg_flip_rate + injection.amount)
+            else:  # pragma: no cover - expansion never emits this
+                raise ValueError(f"unhandled injection {injection!r}")
+            notes.append(injection.describe())
+
+    # Decode the effective configuration back out of the register file —
+    # corrupted bits included.
+    order = trapped_mask_order()
+    mask = msrs.read(int(Msr.SUIT_DISABLE_MASK))
+    disabled = frozenset(Opcode[name] for bit, name in enumerate(order)
+                         if mask >> bit & 1)
+    efficient_enabled = bool(msrs.read(int(Msr.SUIT_CURVE_SELECT)) & 1)
+    ticks = msrs.read(int(Msr.SUIT_DEADLINE))
+    if ticks == 0:
+        raise MachineHangError(
+            "SUIT_DEADLINE reads 0 ticks: the deadline timer re-fires "
+            "before the p-state transition completes; watchdog reset")
+
+    believed_cons_v = nominal_curve.voltage_at(frequency)
+    delivered_cons_v = physical_curve.voltage_at(frequency)
+    # Cf point: switching keeps the (efficient) voltage and drops the
+    # clock onto the conservative curve; the frequency ratio scales the
+    # conservative dwell's execution time.
+    f_cf = nominal_curve.frequency_at(believed_cons_v + plan.offset_v)
+    conservative_ratio = max(1e-3, min(1.0, f_cf / frequency))
+
+    return _Machine(
+        frequency=frequency,
+        believed_cons_v=believed_cons_v,
+        believed_eff_v=believed_cons_v + plan.offset_v,
+        delivered_cons_v=delivered_cons_v,
+        delivered_eff_v=delivered_cons_v + plan.offset_v,
+        conservative_ratio=conservative_ratio,
+        efficient_enabled=efficient_enabled,
+        disabled=disabled,
+        deadline_ticks=int(ticks),
+        believed_chip=believed,
+        physical_chip=physical,
+        bg_flip_rate=bg_flip_rate,
+        notes=tuple(notes),
+    )
+
+
+# -- the instruction-level workload --------------------------------------
+
+def build_stream(spec: FaultloadSpec,
+                 rng: np.random.Generator) -> Tuple[List[Opcode], np.ndarray]:
+    """The run's faultable-event stream: opcodes plus the cycle gap in
+    front of each event.
+
+    Mirrors the workload profile's phase structure: *dense episodes* of
+    trapped-opcode events ``dense_gap/ipc`` cycles apart — SUIT parks
+    the domain on the conservative curve here — separated by *sparse
+    stretches* of isolated (hardened-IMUL) events whose gaps are of
+    deadline magnitude, so the deadline timer genuinely expires and the
+    stream exercises the efficient curve.  Machine-independent: both
+    legs of a run share one stream.
+    """
+    from repro.workloads import resolve_profile
+
+    profile = resolve_profile(spec.workload)
+    mix = profile.normalized_mix()
+    trapped_ops = sorted(mix, key=lambda op: op.name)
+    weights = np.asarray([mix[op] for op in trapped_ops])
+    weights = weights / weights.sum()
+    dense_gap = max(1.0, profile.dense_gap / profile.ipc)
+    sparse_gap_mean = intended_deadline_ticks(spec) / 2.0
+
+    ops: List[Opcode] = []
+    gaps: List[float] = []
+    dense = True
+    while len(ops) < spec.n_ops:
+        if dense:
+            length = int(rng.integers(20, 61))
+            picks = rng.choice(len(trapped_ops), size=length, p=weights)
+            for pick in picks:
+                ops.append(trapped_ops[int(pick)])
+                gaps.append(dense_gap)
+        else:
+            length = int(rng.integers(4, 13))
+            for _ in range(length):
+                ops.append(Opcode.IMUL)
+                gaps.append(float(rng.exponential(sparse_gap_mean)))
+        dense = not dense
+    del ops[spec.n_ops:], gaps[spec.n_ops:]
+    return ops, np.asarray(gaps)
+
+
+def _execute_machine(machine: _Machine, ops: Sequence[Opcode],
+                     gaps: np.ndarray, operands: np.ndarray,
+                     injector_seed: int, bg_seed: int) -> dict:
+    """Drive the event stream through the machine; return the summary.
+
+    Deterministic given its arguments: the injector and background
+    streams are freshly seeded, the monitor and the DVFS state machine
+    hold no randomness.
+    """
+    monitor = SecurityMonitor(machine.believed_chip, hardened_imul=False)
+    injector = FaultInjector(machine.physical_chip, seed=injector_seed)
+    bg_rng = np.random.default_rng(bg_seed)
+    digest = hashlib.sha256()
+
+    core = 0
+    f = machine.frequency
+    on_efficient = machine.efficient_enabled
+    dwell_cycles = 0.0          # deadline budget left while conservative
+    n_traps = 0
+    n_timer_returns = 0
+    duration_cycles = 0.0
+    energy = 0.0
+
+    for op, gap, operand in zip(ops, gaps, operands):
+        # Time advances by the gap in front of this event; the deadline
+        # timer runs it down while the domain sits on the conservative
+        # curve (slowed by the Cf frequency ratio).
+        gap_cycles = float(gap) if on_efficient \
+            else float(gap) / machine.conservative_ratio
+        duration_cycles += gap_cycles
+        if not on_efficient and machine.efficient_enabled:
+            dwell_cycles -= float(gap)
+            if dwell_cycles <= 0.0:
+                on_efficient = True
+                n_timer_returns += 1
+
+        if machine.efficient_enabled and op in machine.disabled:
+            if on_efficient:
+                on_efficient = False
+                n_traps += 1
+                duration_cycles += SWITCH_CYCLES
+            dwell_cycles = float(machine.deadline_ticks)  # (re-)arm
+
+        v_believed = (machine.believed_eff_v if on_efficient
+                      else machine.believed_cons_v)
+        v_delivered = (machine.delivered_eff_v if on_efficient
+                       else machine.delivered_cons_v)
+        monitor.observe(ExecutionRecord(op, core, f, v_believed))
+        result = injector.execute(op, int(operand), core=core, frequency=f,
+                                  voltage=v_delivered, result_bits=64)
+        if machine.bg_flip_rate > 0.0 and bg_rng.random() < machine.bg_flip_rate:
+            result ^= 1 << int(bg_rng.integers(0, 64))
+        digest.update((int(result) & (1 << 64) - 1).to_bytes(8, "little"))
+        energy += (v_delivered ** 2) * gap_cycles  # E ~ V^2 * cycles
+
+    return {
+        "digest": digest.hexdigest(),
+        "duration_cycles": round(duration_cycles, 6),
+        "energy": round(energy, 9),
+        "n_traps": n_traps,
+        "n_timer_returns": n_timer_returns,
+        "n_fault_events": injector.fault_count,
+        "violations": len(monitor.report.violations),
+        "observed": monitor.report.observed,
+    }
+
+
+def execute_run(spec: FaultloadSpec, plan: RunPlan) -> dict:
+    """Execute one run: golden baseline plus faulted replay.
+
+    Returns a plain-JSON outcome dict and **never raises**: a fault
+    that wedges or crashes the modeled machine is returned as
+    ``status == "crashed"`` with the traceback, mirroring the
+    experiment engine's crash isolation.
+    """
+    ops_rng = _derive_rng(plan.seed, "ops")
+    operand_rng = _derive_rng(plan.seed, "operands")
+    injector_seed = _derive_seed(plan.seed, "injector")
+    bg_seed = _derive_seed(plan.seed, "background")
+
+    outcome: dict = {"index": plan.index, "offset_v": plan.offset_v,
+                     "seed": plan.seed, "status": "ok", "error": None,
+                     "baseline": None, "faulted": None, "notes": []}
+    try:
+        ops, gaps = build_stream(spec, ops_rng)
+        operands = operand_rng.integers(0, 1 << 62, size=spec.n_ops,
+                                        dtype=np.int64)
+        golden_machine = _build_machine(spec, plan, faulted=False)
+        outcome["baseline"] = _execute_machine(
+            golden_machine, ops, gaps, operands, injector_seed, bg_seed)
+        faulted_machine = _build_machine(spec, plan, faulted=True)
+        outcome["notes"] = list(faulted_machine.notes)
+        outcome["faulted"] = _execute_machine(
+            faulted_machine, ops, gaps, operands, injector_seed, bg_seed)
+    except BaseException as exc:  # noqa: BLE001 - crash isolation
+        outcome["status"] = "crashed"
+        outcome["error"] = "".join(traceback.format_exception_only(
+            type(exc), exc)).strip()
+        outcome["traceback"] = traceback.format_exc()
+    return outcome

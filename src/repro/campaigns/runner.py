@@ -1,0 +1,265 @@
+"""Campaign execution: the sample matrix, crash-isolated and resumable.
+
+:class:`CampaignRunner` mirrors the experiment engine's execution
+semantics (:mod:`repro.runtime.engine`): a never-raising worker
+function, optional process-pool fan-out, and results keyed by a
+deterministic plan so order of completion never matters.  On top it
+adds a ``campaign.ckpt.json`` checkpoint — atomically rewritten after
+every completed run — so a campaign killed at any point resumes with
+``run(resume=True)`` and produces the byte-identical final report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.campaigns.classify import OUTCOMES, classify_run, tally
+from repro.campaigns.plan import RunPlan, expand
+from repro.campaigns.run import execute_run
+from repro.campaigns.spec import FaultloadSpec
+from repro.obs import get_registry
+
+#: Schema tags; bump on layout changes so stale artifacts fail loudly.
+CKPT_SCHEMA = "repro.campaign-checkpoint.v1"
+REPORT_SCHEMA = "repro.campaign-report.v1"
+
+CKPT_NAME = "campaign.ckpt.json"
+REPORT_NAME = "campaign_report.json"
+HTML_NAME = "index.html"
+
+
+def _runs_counter():
+    return get_registry().counter(
+        "campaign_runs_total",
+        "Campaign runs executed, by classified outcome.",
+        label_names=("outcome",))
+
+
+def _worker_execute(spec_json: str, plan_json: str) -> dict:
+    """Process-pool entry point: rebuild the dataclasses from JSON (so
+    the task payload is picklable and version-stable) and execute.
+    Never raises — :func:`execute_run` already folds failures into a
+    ``crashed`` outcome dict."""
+    spec = FaultloadSpec.from_json_dict(json.loads(spec_json))
+    plan = RunPlan.from_json_dict(json.loads(plan_json))
+    return execute_run(spec, plan)
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write *payload* via tmp-file + rename, so a kill mid-write never
+    leaves a truncated checkpoint behind."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class CheckpointMismatchError(RuntimeError):
+    """``resume`` found a checkpoint written by a different faultload."""
+
+
+def load_checkpoint_spec(out_dir: Path) -> FaultloadSpec:
+    """The faultload recorded in *out_dir*'s checkpoint — lets
+    ``campaign resume --out DIR`` continue without re-passing the spec."""
+    path = Path(out_dir) / CKPT_NAME
+    if not path.exists():
+        raise FileNotFoundError(f"no campaign checkpoint at {path}")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != CKPT_SCHEMA:
+        raise CheckpointMismatchError(
+            f"unknown checkpoint schema {payload.get('schema')!r} in {path}")
+    return FaultloadSpec.from_json_dict(payload["spec"])
+
+
+class CampaignRunner:
+    """Executes one faultload's sample matrix.
+
+    Args:
+        spec: the campaign faultload.
+        out_dir: artifact directory (checkpoint, report, HTML).  None
+            runs fully in memory (no checkpoint, no resume).
+        jobs: worker processes; 1 executes inline in this process.
+    """
+
+    def __init__(self, spec: FaultloadSpec, out_dir: Optional[Path] = None,
+                 jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.spec = spec
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.jobs = jobs
+        self.plans: List[RunPlan] = expand(spec)
+        self.results: Dict[int, dict] = {}
+
+    # -- checkpointing ---------------------------------------------------
+
+    @property
+    def ckpt_path(self) -> Optional[Path]:
+        return self.out_dir / CKPT_NAME if self.out_dir else None
+
+    def _load_checkpoint(self) -> None:
+        path = self.ckpt_path
+        if path is None or not path.exists():
+            return
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != CKPT_SCHEMA:
+            raise CheckpointMismatchError(
+                f"unknown checkpoint schema {payload.get('schema')!r} "
+                f"in {path}")
+        if payload.get("spec_digest") != self.spec.digest():
+            raise CheckpointMismatchError(
+                f"checkpoint in {path} was written by a different "
+                f"faultload (digest {payload.get('spec_digest')!r} != "
+                f"{self.spec.digest()!r}); delete it or rerun with the "
+                "original spec")
+        self.results = {int(k): v
+                        for k, v in payload.get("completed", {}).items()}
+
+    def _save_checkpoint(self) -> None:
+        path = self.ckpt_path
+        if path is None:
+            return
+        _atomic_write_json(path, {
+            "schema": CKPT_SCHEMA,
+            "spec_digest": self.spec.digest(),
+            "spec": self.spec.to_json_dict(),
+            "completed": {str(k): v for k, v in sorted(self.results.items())},
+        })
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, resume: bool = False, stop_after: Optional[int] = None) -> dict:
+        """Execute every (remaining) run; return the report dict.
+
+        Args:
+            resume: load ``campaign.ckpt.json`` first and skip completed
+                runs.  Refuses a checkpoint from a different spec.
+            stop_after: stop once this many *new* runs completed (used
+                by tests to simulate an interrupted campaign); the
+                checkpoint stays on disk for a later resume.
+        """
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            self._load_checkpoint()
+        pending = [p for p in self.plans if p.index not in self.results]
+        if stop_after is not None:
+            pending = pending[:max(0, stop_after)]
+
+        counter = _runs_counter()
+        spec_json = self.spec.canonical_json()
+        if self.jobs == 1 or len(pending) <= 1:
+            for plan in pending:
+                self._record(plan, execute_run(self.spec, plan), counter)
+        else:
+            self._run_pool(pending, spec_json, counter)
+
+        return self.build_report()
+
+    def _record(self, plan: RunPlan, outcome: dict, counter) -> None:
+        outcome["outcome"] = classify_run(outcome)
+        outcome["injections"] = [i.to_json_dict() for i in plan.injections]
+        counter.inc(outcome=outcome["outcome"])
+        self.results[plan.index] = outcome
+        self._save_checkpoint()
+
+    def _run_pool(self, pending: List[RunPlan], spec_json: str,
+                  counter) -> None:
+        by_index = {p.index: p for p in pending}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(_worker_execute, spec_json,
+                            json.dumps(plan.to_json_dict())): plan.index
+                for plan in pending}
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BaseException as exc:  # worker process died
+                        outcome = {"index": index,
+                                   "offset_v": by_index[index].offset_v,
+                                   "seed": by_index[index].seed,
+                                   "status": "crashed",
+                                   "error": f"worker died: {exc!r}",
+                                   "baseline": None, "faulted": None,
+                                   "notes": []}
+                    self._record(by_index[index], outcome, counter)
+
+    # -- reporting -------------------------------------------------------
+
+    def build_report(self) -> dict:
+        """The deterministic campaign report (no timestamps, no paths:
+        a pure function of spec + completed results)."""
+        missing = [p.index for p in self.plans if p.index not in self.results]
+        runs = []
+        for plan in self.plans:
+            outcome = self.results.get(plan.index)
+            if outcome is None:
+                continue
+            runs.append({
+                "index": plan.index,
+                "offset_mv": round(plan.offset_v * 1e3, 3),
+                "seed": plan.seed,
+                "outcome": outcome["outcome"],
+                "injections": [i.describe() for i in plan.injections],
+                "error": outcome.get("error"),
+            })
+
+        by_offset = []
+        for offset in self.spec.offsets_v:
+            labels = [r["outcome"] for r in runs
+                      if r["offset_mv"] == round(offset * 1e3, 3)]
+            counts = tally(labels)
+            n = max(1, len(labels))
+            by_offset.append({
+                "offset_mv": round(offset * 1e3, 3),
+                "n": len(labels),
+                "counts": counts,
+                "sdc_rate": round(counts["sdc"] / n, 6),
+                "detected_rate": round(counts["detected"] / n, 6),
+                "crashed_rate": round(counts["crashed"] / n, 6),
+            })
+
+        by_target: Dict[str, Dict[str, int]] = {}
+        for plan in self.plans:
+            outcome = self.results.get(plan.index)
+            if outcome is None:
+                continue
+            for injection in plan.injections:
+                row = by_target.setdefault(
+                    injection.target, {name: 0 for name in OUTCOMES})
+                row[outcome["outcome"]] += 1
+
+        return {
+            "schema": REPORT_SCHEMA,
+            "campaign": self.spec.name,
+            "spec": self.spec.to_json_dict(),
+            "spec_digest": self.spec.digest(),
+            "n_runs": self.spec.n_runs,
+            "n_completed": len(runs),
+            "incomplete": sorted(missing),
+            "outcomes": tally(r["outcome"] for r in runs),
+            "by_offset": by_offset,
+            "by_target": {k: by_target[k] for k in sorted(by_target)},
+            "runs": runs,
+        }
+
+    def write_outputs(self, html: bool = True) -> dict:
+        """Write ``campaign_report.json`` (and the HTML dashboard) into
+        the artifact directory; returns the report dict."""
+        if self.out_dir is None:
+            raise ValueError("CampaignRunner needs an out_dir to write outputs")
+        report = self.build_report()
+        _atomic_write_json(self.out_dir / REPORT_NAME, report)
+        if html:
+            from repro.campaigns.report import ReportBuilder
+
+            (self.out_dir / HTML_NAME).write_text(
+                ReportBuilder(report).render(), encoding="utf-8")
+        return report

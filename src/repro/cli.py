@@ -15,6 +15,9 @@ Subcommands:
 * ``metrics``   — fetch a running service's metrics (Prometheus text).
 * ``chaos``     — seeded fault-injection soak with the differential
   oracle; any wrong answer fails the run (exit code 1).
+* ``campaign``  — structured fault-injection campaigns against the
+  modeled machine (run / resume / report / list), with outcome
+  classification and a static HTML dashboard.
 
 Examples:
     python -m repro simulate --cpu C --workload 557.xz --strategy fV
@@ -27,6 +30,8 @@ Examples:
     python -m repro serve --port 8642 --shards 2 --workers-per-shard 2
     python -m repro metrics --port 8642
     python -m repro chaos --seed 7 --duration 30 --kill-rate 0.1
+    python -m repro campaign run --spec msr_bitflip_nginx --seed 7 --out out/
+    python -m repro campaign resume --out out/
 """
 
 from __future__ import annotations
@@ -371,6 +376,76 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run / resume / report a structured fault-injection campaign."""
+    import json
+    from pathlib import Path
+
+    from repro.campaigns import (CANNED_CAMPAIGNS, CampaignRunner,
+                                 CheckpointMismatchError, HTML_NAME,
+                                 REPORT_NAME, ReportBuilder,
+                                 load_checkpoint_spec, resolve_spec)
+
+    if args.campaign_cmd == "list":
+        for name, spec in sorted(CANNED_CAMPAIGNS.items()):
+            print(f"{name:<22} scope={spec.scope:<8} "
+                  f"model={spec.fault_model:<10} runs={spec.n_runs}")
+        return 0
+
+    if args.campaign_cmd == "report":
+        out = Path(args.out)
+        report_path = out / REPORT_NAME
+        if not report_path.exists():
+            raise SystemExit(f"no {REPORT_NAME} in {out}; run the campaign "
+                             "first (campaign run --out ...)")
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        html_path = out / HTML_NAME
+        html_path.write_text(ReportBuilder(report).render(), encoding="utf-8")
+        print(f"wrote {html_path}")
+        return 0
+
+    # run / resume
+    try:
+        if args.campaign_cmd == "resume" and args.spec is None:
+            spec = load_checkpoint_spec(Path(args.out))
+        else:
+            spec = resolve_spec(args.spec)
+    except (ValueError, FileNotFoundError, CheckpointMismatchError) as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "samples", None) is not None:
+        overrides["samples"] = args.samples
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    out_dir = Path(args.out) if args.out else None
+    runner = CampaignRunner(spec, out_dir=out_dir, jobs=args.jobs)
+    try:
+        report = runner.run(resume=args.campaign_cmd == "resume",
+                            stop_after=args.max_runs)
+    except CheckpointMismatchError as exc:
+        raise SystemExit(str(exc))
+    if out_dir is not None:
+        report = runner.write_outputs(html=not args.no_html)
+
+    print(f"campaign   : {report['campaign']}  "
+          f"({report['n_completed']}/{report['n_runs']} runs)")
+    print(f"outcomes   : {json.dumps(report['outcomes'])}")
+    for row in report["by_offset"]:
+        print(f"  {row['offset_mv']:>8.1f} mV  n={row['n']:<3} "
+              f"sdc={row['sdc_rate']:.3f} detected={row['detected_rate']:.3f} "
+              f"crashed={row['crashed_rate']:.3f}")
+    if out_dir is not None:
+        print(f"artifacts  : {out_dir / REPORT_NAME}"
+              + ("" if args.no_html else f", {out_dir / HTML_NAME}"))
+    if report["incomplete"]:
+        print(f"incomplete : {len(report['incomplete'])} runs remain "
+              "(campaign resume --out ... continues)")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Render the regenerated figures as terminal plots."""
     from repro.experiments.figures import render, render_all
@@ -578,6 +653,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="embed every planned fault in the report "
                         "instead of the summary")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("campaign",
+                       help="structured fault-injection campaigns")
+    camp_sub = p.add_subparsers(dest="campaign_cmd", required=True)
+    cr = camp_sub.add_parser(
+        "run", help="execute a campaign's full sample matrix")
+    cr.add_argument("--spec", required=True,
+                    help="canned campaign name (see `campaign list`) or a "
+                         "JSON/TOML spec file path")
+    cr.add_argument("--seed", type=int, default=None,
+                    help="override the spec's master seed")
+    cr.add_argument("--samples", type=_positive_int, default=None,
+                    help="override runs per undervolt grid point")
+    cr.add_argument("--out", default=None,
+                    help="artifact directory (checkpoint, JSON report, "
+                         "HTML dashboard); omit to run in memory")
+    cr.add_argument("--jobs", type=_positive_int, default=1,
+                    help="parallel worker processes")
+    cr.add_argument("--max-runs", type=_positive_int, default=None,
+                    help="stop after N runs (checkpoint stays resumable)")
+    cr.add_argument("--no-html", action="store_true",
+                    help="skip the HTML dashboard")
+    cr.set_defaults(func=cmd_campaign)
+    cs = camp_sub.add_parser(
+        "resume", help="continue an interrupted campaign from its checkpoint")
+    cs.add_argument("--out", required=True,
+                    help="artifact directory holding campaign.ckpt.json")
+    cs.add_argument("--spec", default=None,
+                    help="spec name/path (default: the checkpoint's spec)")
+    cs.add_argument("--seed", type=int, default=None,
+                    help="override the spec's master seed")
+    cs.add_argument("--samples", type=_positive_int, default=None,
+                    help="override runs per undervolt grid point")
+    cs.add_argument("--jobs", type=_positive_int, default=1,
+                    help="parallel worker processes")
+    cs.add_argument("--max-runs", type=_positive_int, default=None,
+                    help="stop after N further runs")
+    cs.add_argument("--no-html", action="store_true",
+                    help="skip the HTML dashboard")
+    cs.set_defaults(func=cmd_campaign)
+    cp = camp_sub.add_parser(
+        "report", help="re-render the HTML dashboard from a written "
+                       "campaign_report.json")
+    cp.add_argument("--out", required=True,
+                    help="artifact directory holding campaign_report.json")
+    cp.set_defaults(func=cmd_campaign)
+    cl = camp_sub.add_parser("list", help="list the canned campaigns")
+    cl.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("metrics",
                        help="fetch a running service's metrics")

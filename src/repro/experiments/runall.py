@@ -72,6 +72,8 @@ EXPERIMENT_MODULES = (
     "ext_model_check",
     "ext_tiers",
     "ext_percore",
+    "ext_campaign_msr",
+    "ext_campaign_vmin",
 )
 
 

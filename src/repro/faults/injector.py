@@ -44,15 +44,24 @@ class FaultInjector:
     Args:
         chip: the sampled chip (fault thresholds).
         rng: randomness source for fault occurrence and bit positions.
+            When omitted, a private ``np.random.default_rng(seed)`` is
+            created — pass ``seed`` (e.g. from the engine's
+            ``derive_seed``) to make the injection sequence reproducible
+            instead of sharing an ambient random stream.
         max_flips: maximum number of simultaneously flipped bits.
+        seed: seed for the private generator (mutually exclusive with
+            *rng*).
     """
 
-    def __init__(self, chip: CpuInstanceFaults, rng: np.random.Generator,
-                 max_flips: int = 2) -> None:
+    def __init__(self, chip: CpuInstanceFaults,
+                 rng: Optional[np.random.Generator] = None,
+                 max_flips: int = 2, *, seed: Optional[int] = None) -> None:
         if max_flips < 1:
             raise ValueError("max_flips must be at least 1")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
         self._chip = chip
-        self._rng = rng
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._max_flips = max_flips
         self.events: List[FaultEvent] = []
 

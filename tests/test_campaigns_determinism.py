@@ -1,0 +1,120 @@
+"""Property suite: campaigns are pure functions of (spec, seed).
+
+The ISSUE's contract: same ``FaultloadSpec`` + seed ⇒ byte-identical
+expanded injection plans and byte-identical ``campaign_report.json``
+(the report schema carries no timestamps at all); different seeds ⇒
+different plans; checkpoint-resume ⇒ the identical final report an
+uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import CampaignRunner, FaultloadSpec, expand
+from repro.campaigns.spec import SCOPE_FAULT_MODELS, TARGET_SCOPES
+
+OFFSET_GRID = (-0.050, -0.097, -0.140, -0.180, -0.220)
+
+
+@st.composite
+def faultload_specs(draw) -> FaultloadSpec:
+    scope = draw(st.sampled_from(TARGET_SCOPES))
+    model = draw(st.sampled_from(SCOPE_FAULT_MODELS[scope]))
+    offsets = tuple(sorted(draw(
+        st.sets(st.sampled_from(OFFSET_GRID), min_size=1, max_size=3)),
+        reverse=True))
+    return FaultloadSpec(
+        name=draw(st.sampled_from(("alpha", "beta"))),
+        scope=scope,
+        fault_model=model,
+        multiplicity=draw(st.integers(1, 3)),
+        samples=draw(st.integers(1, 4)),
+        seed=draw(st.integers(0, 2**31 - 1)),
+        offsets_v=offsets,
+        n_ops=40,
+    )
+
+
+def plans_json(spec: FaultloadSpec) -> str:
+    return json.dumps([p.to_json_dict() for p in expand(spec)],
+                      sort_keys=True)
+
+
+class TestPlanDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(faultload_specs())
+    def test_same_spec_expands_byte_identically(self, spec):
+        assert plans_json(spec) == plans_json(spec)
+
+    @settings(max_examples=60, deadline=None)
+    @given(faultload_specs(), st.integers(1, 1000))
+    def test_different_seeds_give_different_plans(self, spec, bump):
+        reseeded = spec.with_overrides(seed=(spec.seed + bump) % 2**31)
+        assert plans_json(spec) != plans_json(reseeded)
+
+    @settings(max_examples=30, deadline=None)
+    @given(faultload_specs())
+    def test_plans_round_trip_through_json(self, spec):
+        from repro.campaigns.plan import RunPlan
+
+        for plan in expand(spec):
+            assert RunPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    @settings(max_examples=30, deadline=None)
+    @given(faultload_specs())
+    def test_spec_digest_tracks_spec_identity(self, spec):
+        assert spec.digest() == \
+            FaultloadSpec.from_json_dict(spec.to_json_dict()).digest()
+        assert spec.digest() != spec.with_overrides(seed=spec.seed + 1,
+                                                    ).digest()
+
+
+class TestReportDeterminism:
+    """Full-execution determinism on small campaigns (every scope)."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(faultload_specs())
+    def test_double_run_reports_are_byte_identical(self, spec):
+        small = spec.with_overrides(samples=1, n_ops=30,
+                                    offsets_v=spec.offsets_v[:1])
+        first = json.dumps(CampaignRunner(small).run(), sort_keys=True)
+        second = json.dumps(CampaignRunner(small).run(), sort_keys=True)
+        assert first == second
+
+    def test_interrupted_and_resumed_equals_uninterrupted(self, tmp_path):
+        spec = FaultloadSpec(name="resume", scope="msr",
+                             fault_model="bit_flip", samples=3, seed=11,
+                             offsets_v=(-0.080, -0.140), n_ops=50)
+        straight = CampaignRunner(spec, out_dir=tmp_path / "a")
+        straight.run()
+        straight.write_outputs(html=False)
+
+        # Interrupt after 2 runs (the checkpoint survives any kill
+        # because it is rewritten atomically), then resume.
+        broken = CampaignRunner(spec, out_dir=tmp_path / "b")
+        broken.run(stop_after=2)
+        assert len(broken.results) == 2
+        resumed = CampaignRunner(spec, out_dir=tmp_path / "b")
+        resumed.run(resume=True)
+        resumed.write_outputs(html=False)
+
+        a = (tmp_path / "a" / "campaign_report.json").read_bytes()
+        b = (tmp_path / "b" / "campaign_report.json").read_bytes()
+        assert a == b
+
+    def test_pool_and_serial_reports_are_byte_identical(self, tmp_path):
+        spec = FaultloadSpec(name="pool", scope="vmin", fault_model="drift",
+                             samples=2, seed=5, offsets_v=(-0.140,),
+                             n_ops=40)
+        serial = CampaignRunner(spec, out_dir=tmp_path / "s")
+        serial.run()
+        serial.write_outputs(html=False)
+        pooled = CampaignRunner(spec, out_dir=tmp_path / "p", jobs=2)
+        pooled.run()
+        pooled.write_outputs(html=False)
+        assert (tmp_path / "s" / "campaign_report.json").read_bytes() == \
+            (tmp_path / "p" / "campaign_report.json").read_bytes()

@@ -137,3 +137,69 @@ class TestMutationCatching:
         violation = result.violations[0]
         assert violation.trace  # a concrete event sequence reproduces it
         assert violation.trace[-1] == "timer_fire"
+
+
+class TestBoundedExploration:
+    """The planted-violation coverage the campaign work leans on: a bug
+    anywhere in the transition relation must surface within the default
+    exploration bound, and the bound itself must stay effective."""
+
+    def _plant_timerless_cv(self, monkeypatch):
+        # BUG: the regulator completion applies CV but drops the armed
+        # deadline, so the domain can sit conservative forever.
+        import repro.security.model_check as mc
+
+        original = mc.step
+
+        def buggy(state, event):
+            out = original(state, event)
+            if (event == "voltage_done" and out is not None
+                    and out.curve == "CV"):
+                return mc.AbstractState(curve="CV", disabled=False,
+                                        timer_armed=False, pending=None)
+            return out
+
+        monkeypatch.setattr(mc, "step", buggy)
+        return mc
+
+    def test_planted_violation_found_within_default_bound(self, monkeypatch):
+        mc = self._plant_timerless_cv(monkeypatch)
+        result = mc.explore()
+        assert not result.holds
+        assert any(v.invariant == "conservative-without-deadline"
+                   for v in result.violations)
+        # The witness fits well inside the depth-12 default bound.
+        witness = min((v.trace for v in result.violations
+                       if v.invariant == "conservative-without-deadline"),
+                      key=len)
+        assert 0 < len(witness) <= 12
+        # Replaying the witness from the initial state reproduces it.
+        state = mc.INITIAL_STATE
+        for event in witness:
+            state = mc.step(state, event)
+        assert "conservative-without-deadline" in mc.check_state(state)
+
+    def test_shallow_bound_misses_deep_violation(self, monkeypatch):
+        # The violating state is >= 2 events from boot (trap, then the
+        # completion); a depth-1 exploration must not find it — the
+        # bound is real, not decorative.
+        mc = self._plant_timerless_cv(monkeypatch)
+        shallow = mc.explore(max_depth=1)
+        assert not any(v.invariant == "conservative-without-deadline"
+                       for v in shallow.violations)
+
+    def test_exploration_is_bounded_by_the_abstract_space(self):
+        result = explore(max_depth=1000)
+        # 3 curves x 2 disabled x 2 armed x 3 pending = 36 states max;
+        # the healthy machine reaches only its 4 legal ones.
+        assert result.states_explored <= 36
+        assert result.states_explored == 4
+
+    def test_explore_from_arbitrary_initial_state(self):
+        # A mid-flight state (conservative, timer running) still
+        # verifies and still drains back to the efficient steady state.
+        mid = AbstractState(curve="CV", disabled=False,
+                            timer_armed=True, pending=None)
+        result = explore(initial=mid, max_depth=12)
+        assert result.holds
+        assert result.non_returning == []
