@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke campaign-smoke coverage clean-cache
+.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke campaign-smoke fleet-smoke coverage clean-cache
 
 verify: test
 
@@ -60,6 +60,15 @@ campaign-smoke:
 		p = HTMLParser(); p.feed(html); p.close(); \
 		print('campaign HTML ok (%d bytes)' % len(html))"
 	@rm -rf campaign-smoke.out
+
+# Chaos-over-fleet smoke: a 3-node in-process fleet behind the
+# gateway, a 200-request burst sequence (8 bursts x 25 canonical
+# requests), one node killed while its requests are in flight.  The
+# differential oracle referees: the gateway must reroute with zero
+# wrong answers — and, since simulations are pure, zero degraded ones
+# (see docs/fleet.md).  Deterministic via --seed; runs in seconds.
+fleet-smoke:
+	$(PY) -m repro fleet soak --seed 42 --nodes 3 --requests 25 --bursts 8
 
 # Tier-1 suite with line coverage (requires pytest-cov: pip install
 # -e '.[dev]').  CI enforces the floor; ratchet it upward, never down.

@@ -1,0 +1,181 @@
+"""The breaking-point benchmark: one harness, CLI and pytest callers.
+
+:func:`run_fleet_bench` builds an in-process fleet (real worker-pool
+parallelism when ``use_processes=True``), ramps open-loop load through
+the gateway until the SLO breaks (:mod:`repro.fleet.loadgen`), and —
+for the scaling claim — repeats the identical ramp against a
+single-node fleet through the same gateway path, so the comparison
+varies exactly one thing: node count.  The optional autoscaler runs
+live during the fleet ramp; its scaling events land in the report.
+
+The payload this returns *is* the ``BENCH_fleet.json`` record:
+
+* ``fleet`` / ``single_node`` — the full breaking-point curves
+  (per-step RPS, exact latency percentiles, SLO verdicts).
+* ``comparison`` — max sustainable RPS of both targets and their
+  ratio; the acceptance bar is ratio > 1 (the fleet must out-serve
+  one node on the same mix).
+* ``autoscaler`` — bounds and the scaling events the ramp triggered.
+
+Callers: ``python -m repro fleet bench`` (writes the JSON) and
+``benchmarks/test_fleet_bench.py`` (asserts the bar; smoke-sized
+under ``REPRO_BENCH_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.fleet.autoscale import Autoscaler, AutoscalerConfig
+from repro.fleet.gateway import FleetGateway, GatewayConfig
+from repro.fleet.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    run_breaking_point,
+    warm_population,
+    warm_traces,
+)
+from repro.fleet.node import NodeConfig, NodeSupervisor
+
+
+@dataclass
+class FleetBenchConfig:
+    """Knobs of one benchmark run (fleet ramp + single-node baseline).
+
+    Attributes:
+        n_nodes: fleet size the scaled ramp starts with.
+        use_processes: per-node worker pools as processes — required
+            for a fair scaling claim (thread nodes share the GIL).
+        n_shards / workers_per_shard: per-node worker-tier topology
+            (identical for fleet nodes and the baseline node).
+        autoscale: run the autoscaler control loop during the fleet
+            ramp (the baseline never autoscales).
+        max_nodes: autoscaler growth ceiling (min is ``n_nodes``).
+        baseline: also measure the single-node target; False skips it
+            (the comparison section then reports only the fleet).
+        load: the shared ramp/SLO knobs — both targets get the exact
+            same offered-load schedule and request mix.
+    """
+
+    n_nodes: int = 3
+    use_processes: bool = True
+    n_shards: int = 1
+    workers_per_shard: int = 2
+    autoscale: bool = True
+    max_nodes: int = 5
+    baseline: bool = True
+    load: LoadGenConfig = field(default_factory=LoadGenConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.max_nodes < self.n_nodes:
+            raise ValueError("max_nodes must be >= n_nodes")
+
+
+async def _measure_target(config: FleetBenchConfig, n_nodes: int,
+                          autoscale: bool) -> Tuple[LoadReport, dict]:
+    """One full breaking-point ramp against an *n_nodes* fleet."""
+    supervisor = NodeSupervisor(NodeConfig(
+        in_process=True,
+        use_processes=config.use_processes,
+        n_shards=config.n_shards,
+        workers_per_shard=config.workers_per_shard,
+    ))
+    gateway = FleetGateway(GatewayConfig(health_interval_s=0.25))
+    scaler: Optional[Autoscaler] = None
+    try:
+        for _ in range(n_nodes):
+            handle = await supervisor.spawn()
+            gateway.add_node(handle.name, handle.host, handle.port)
+        await gateway.start()
+        # Warm every distinct (cpu, workload, seed) of the ramp's mix
+        # *before* the autoscaler watches: the warmup flood is not
+        # load, and scaling on it would seed the ramp with a cold node
+        # whose first trace syntheses masquerade as serving latency.
+        load = config.load
+        if load.warmup:
+            await warm_traces(gateway.submit, load)
+            load = replace(load, warmup=False)
+        if autoscale:
+            # Scale on queue depth, not the nodes' p95: the node-side
+            # latency histogram is cumulative since service start, so
+            # the (slow, cold) warm-up pass would read as a permanent
+            # SLO breach.  Queue depth is instantaneous.  Scale-up
+            # nodes are warmed before they join the ring.
+            scaler = Autoscaler(
+                gateway, supervisor,
+                AutoscalerConfig(
+                    min_nodes=n_nodes, max_nodes=config.max_nodes,
+                    interval_s=0.25, cooldown_s=2.0,
+                    scale_up_p95_s=1e9),
+                warmers=warm_population(load))
+            await scaler.start()
+        report = await run_breaking_point(
+            gateway.submit, load,
+            events=scaler.events if scaler is not None else None)
+        status = await gateway.status()
+        return report, status
+    finally:
+        if scaler is not None:
+            await scaler.stop()
+        await gateway.close()
+        await supervisor.stop_all(drain=True)
+
+
+def _ratio(fleet: Optional[float],
+           single: Optional[float]) -> Optional[float]:
+    if fleet is None or single is None or single <= 0:
+        return None
+    return round(fleet / single, 2)
+
+
+async def run_fleet_bench(config: Optional[FleetBenchConfig] = None) -> dict:
+    """Run the full benchmark; returns the ``BENCH_fleet.json`` payload."""
+    config = config or FleetBenchConfig()
+    fleet_report, fleet_status = await _measure_target(
+        config, config.n_nodes, autoscale=config.autoscale)
+    single_report: Optional[LoadReport] = None
+    if config.baseline:
+        single_report, _ = await _measure_target(config, 1, autoscale=False)
+
+    def r2(value: Optional[float]) -> Optional[float]:
+        return None if value is None else round(value, 2)
+
+    fleet_rps = r2(fleet_report.max_sustainable_rps)
+    single_rps = (None if single_report is None
+                  else r2(single_report.max_sustainable_rps))
+    final_nodes: List[dict] = fleet_status.get("nodes", [])
+    return {
+        "benchmark": "fleet_breaking_point",
+        "config": {
+            "n_nodes": config.n_nodes,
+            "use_processes": config.use_processes,
+            "n_shards": config.n_shards,
+            "workers_per_shard": config.workers_per_shard,
+            "autoscale": config.autoscale,
+            "max_nodes": config.max_nodes,
+        },
+        "fleet": fleet_report.to_json_dict(),
+        "single_node": (None if single_report is None
+                        else single_report.to_json_dict()),
+        "comparison": {
+            "fleet_max_sustainable_rps": fleet_rps,
+            "single_node_max_sustainable_rps": single_rps,
+            "throughput_ratio": _ratio(fleet_rps, single_rps),
+        },
+        "autoscaler": {
+            "enabled": config.autoscale,
+            "min_nodes": config.n_nodes,
+            "max_nodes": config.max_nodes,
+            "events": fleet_report.scaling_events,
+            "final_fleet_size": len(final_nodes),
+        },
+    }
+
+
+def run_fleet_bench_sync(config: Optional[FleetBenchConfig] = None) -> dict:
+    """Synchronous convenience wrapper over :func:`run_fleet_bench`."""
+    return asyncio.run(run_fleet_bench(config))

@@ -1,0 +1,248 @@
+"""Chaos-over-fleet: kill a live node mid-load, demand right answers.
+
+:class:`FleetSoak` is the fleet's acceptance experiment, the
+fleet-shaped sibling of :class:`repro.testkit.soak.ChaosSoak`.  It
+builds a real in-process fleet (N
+:class:`~repro.service.server.SimulationService` nodes behind one
+:class:`~repro.fleet.gateway.FleetGateway`), computes the
+differential oracle's chaos-free scalar reference, then drives
+canonical bursts through the gateway while:
+
+* a deterministic :class:`~repro.testkit.chaos.FaultPlan` fires on the
+  gateway's own sites (``fleet.route``, ``fleet.forward``,
+  ``fleet.health``), and
+* one live node is **killed mid-burst** — TCP server gone, service
+  stopped without a drain, connections reset under in-flight requests.
+
+The verdict is the oracle's: explicit failures (the gateway saying
+"all fleet candidates failed") are *degraded* and tolerated; an ``ok``
+answer whose payload differs from the scalar reference is *silent
+corruption* and fails the soak.  A healthy gateway should in fact
+degrade nothing — the killed node's in-flight requests surface as
+connection errors, the reroute path resends them on a sibling node
+(simulations are pure, so the resend is safe), and the burst completes
+with zero wrong **and** zero lost answers.  ``require_all_ok`` makes
+the stricter claim part of the verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fleet.gateway import FleetGateway, GatewayConfig
+from repro.fleet.node import NodeConfig, NodeSupervisor
+from repro.testkit.chaos import ChaosController, FaultPlan, FaultSpec
+from repro.testkit.oracle import ChannelReport, DifferentialOracle
+
+
+@dataclass
+class FleetSoakConfig:
+    """Knobs of one fleet soak run.
+
+    Attributes:
+        seed: master seed — fixes the canonical request set and the
+            fault schedule.
+        n_nodes: fleet size at the start of the run.
+        n_requests: canonical request-set size per burst.
+        bursts: how many bursts to drive through the gateway.
+        kill_node: kill one live node mid-burst (the scenario's
+            centrepiece; False leaves the fleet intact).
+        kill_burst: zero-based burst index the kill lands in.
+        kill_delay_s: head start the victim burst gets before the node
+            dies, so the kill meets genuinely in-flight requests.
+        forward_fault_rate: P(injected ConnectionResetError) per
+            ``fleet.forward`` — reroutes beyond the ones the kill
+            itself causes.
+        health_fault_rate: P(injected OSError) per ``fleet.health``
+            probe.
+        horizon: invocation-index horizon of the fault plan.
+        require_all_ok: fold "every answer was ok" into the verdict —
+            the gateway must absorb the kill with zero degraded
+            answers, not merely zero wrong ones.
+        max_forward_attempts: gateway reroute budget.
+        use_processes: node worker pools as processes (real
+            parallelism) vs threads (fast tests).
+    """
+
+    seed: int = 0
+    n_nodes: int = 3
+    n_requests: int = 8
+    bursts: int = 4
+    kill_node: bool = True
+    kill_burst: int = 1
+    kill_delay_s: float = 0.01
+    forward_fault_rate: float = 0.0
+    health_fault_rate: float = 0.0
+    horizon: int = 10_000
+    require_all_ok: bool = True
+    max_forward_attempts: int = 3
+    use_processes: bool = False
+
+    def fault_specs(self) -> List[FaultSpec]:
+        """The armed gateway-site faults (zero rates drop out)."""
+        armed = [
+            FaultSpec("fleet.forward", "raise", self.forward_fault_rate,
+                      exception="ConnectionResetError"),
+            FaultSpec("fleet.health", "raise", self.health_fault_rate,
+                      exception="OSError"),
+        ]
+        return [spec for spec in armed if spec.rate > 0]
+
+    def build_plan(self) -> Optional[FaultPlan]:
+        """The deterministic fault plan, or None when nothing is armed."""
+        specs = self.fault_specs()
+        if not specs:
+            return None
+        return FaultPlan.generate(self.seed, specs, self.horizon)
+
+
+@dataclass
+class FleetSoakResult:
+    """Everything one fleet soak produced."""
+
+    config: FleetSoakConfig
+    bursts: int = 0
+    wall_time_s: float = 0.0
+    killed_node: Optional[str] = None
+    channels: List[ChannelReport] = field(default_factory=list)
+    reroutes: Dict[str, int] = field(default_factory=dict)
+    health_transitions: Dict[str, int] = field(default_factory=dict)
+    chaos_report: dict = field(default_factory=dict)
+    fleet_status: dict = field(default_factory=dict)
+
+    @property
+    def wrong_answers(self) -> int:
+        """Silent corruptions across every burst (must be zero)."""
+        return sum(c.wrong for c in self.channels)
+
+    @property
+    def degraded_answers(self) -> int:
+        """Explicit failures across every burst."""
+        return sum(c.degraded for c in self.channels)
+
+    @property
+    def passed(self) -> bool:
+        """The soak verdict (see :class:`FleetSoakConfig`)."""
+        if self.bursts < 1 or self.wrong_answers:
+            return False
+        if self.config.require_all_ok and self.degraded_answers:
+            return False
+        return True
+
+    def to_json_dict(self) -> dict:
+        """The JSON report of the run."""
+        return {
+            "passed": self.passed,
+            "seed": self.config.seed,
+            "bursts": self.bursts,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "killed_node": self.killed_node,
+            "summary": {
+                "checked": sum(c.checked for c in self.channels),
+                "ok": sum(c.ok for c in self.channels),
+                "degraded": self.degraded_answers,
+                "wrong_answers": self.wrong_answers,
+                "reroutes": self.reroutes,
+                "health_transitions": self.health_transitions,
+            },
+            "channels": [c.to_json_dict() for c in self.channels],
+            "chaos": self.chaos_report,
+            "fleet_status": self.fleet_status,
+        }
+
+
+def _label_totals(series: Dict[tuple, int]) -> Dict[str, int]:
+    """Collapse a one-label counter's series to ``{label_value: n}``."""
+    return {labels[0] if labels else "": value
+            for labels, value in series.items()}
+
+
+class FleetSoak:
+    """Runs one fleet soak (see module docstring).
+
+    Args:
+        config: the soak's knobs.
+    """
+
+    def __init__(self, config: Optional[FleetSoakConfig] = None) -> None:
+        """See class docstring."""
+        self.config = config or FleetSoakConfig()
+        if self.config.n_nodes < 2 and self.config.kill_node:
+            raise ValueError("killing a node needs n_nodes >= 2")
+
+    async def run(self) -> FleetSoakResult:
+        """Execute the soak; always tears chaos and the fleet down."""
+        cfg = self.config
+        oracle = DifferentialOracle(DifferentialOracle.canonical_requests(
+            n=cfg.n_requests, seed=cfg.seed))
+        # The yardstick first, before any fault can fire.
+        oracle.reference()
+
+        result = FleetSoakResult(config=cfg)
+        plan = cfg.build_plan()
+        controller = ChaosController(plan) if plan is not None else None
+        supervisor = NodeSupervisor(NodeConfig(
+            in_process=True, use_processes=cfg.use_processes))
+        gateway = FleetGateway(GatewayConfig(
+            max_forward_attempts=cfg.max_forward_attempts,
+            forward_timeout_s=30.0,
+            health_interval_s=0.05))
+        started = time.monotonic()
+        if controller is not None:
+            # In-process fleet: no child processes to export the plan to.
+            controller.activate(export=False)
+        try:
+            for _ in range(cfg.n_nodes):
+                handle = await supervisor.spawn()
+                gateway.add_node(handle.name, handle.host, handle.port)
+            await gateway.start()
+            for burst in range(cfg.bursts):
+                if cfg.kill_node and burst == cfg.kill_burst:
+                    result.channels.append(
+                        await self._burst_with_kill(oracle, gateway,
+                                                    supervisor, result))
+                else:
+                    result.channels.append(
+                        await oracle.check_service(gateway))
+                result.bursts += 1
+            result.reroutes = _label_totals(gateway._m_reroutes.series())
+            result.health_transitions = _label_totals(
+                gateway._m_health.series())
+            result.fleet_status = await gateway.status()
+        finally:
+            await gateway.close()
+            await supervisor.stop_all(drain=True)
+            if controller is not None:
+                result.chaos_report = controller.report()
+                controller.cleanup()
+        result.wall_time_s = time.monotonic() - started
+        return result
+
+    async def _burst_with_kill(self, oracle: DifferentialOracle,
+                               gateway: FleetGateway,
+                               supervisor: NodeSupervisor,
+                               result: FleetSoakResult) -> ChannelReport:
+        """One burst with a node killed while its requests are in flight."""
+        burst = asyncio.get_running_loop().create_task(
+            oracle.check_service(gateway))
+        await asyncio.sleep(self.config.kill_delay_s)
+        victim = self._pick_victim(gateway, supervisor)
+        if victim is not None:
+            await supervisor.kill(victim)
+            result.killed_node = victim
+        return await burst
+
+    def _pick_victim(self, gateway: FleetGateway,
+                     supervisor: NodeSupervisor) -> Optional[str]:
+        """A currently-routable node with in-flight work if any has it
+        (killing an idle node would not test the reroute path)."""
+        healthy = set(gateway.healthy_nodes)
+        live = [h.name for h in supervisor.nodes if h.name in healthy]
+        if not live:
+            return None
+        loaded = [name for name in live
+                  if gateway._nodes[name].inflight > 0]
+        return (loaded or live)[0]

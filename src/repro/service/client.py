@@ -12,6 +12,16 @@ requests can be in flight on a single connection.
     snapshot = await client.metrics()
     await client.close()
 
+**Reconnect hardening**: a connection that dies mid-exchange (peer
+reset, EOF, a fleet node crashing under load) is transparently
+re-opened **once** and the affected message resent — for idempotent
+verbs only.  Every current verb qualifies: simulations are pure
+functions of the canonical request (resending one can at worst hit
+the node's cache or in-flight dedup), and metrics/trace/ping/health
+are reads.  A resend that fails again, or a verb marked
+non-idempotent, surfaces the original ``ConnectionError`` to the
+caller — the fleet gateway turns that into a reroute.
+
 For scripts that don't want an event loop,
 :func:`request_simulations` wraps connect/submit-all/close in one
 synchronous call.
@@ -31,16 +41,24 @@ class ServiceClient:
     """One pipelined connection to a running simulation service.
 
     Build instances with :meth:`connect`; the constructor only wires
-    already-opened streams.
+    already-opened streams (and without the *host*/*port* used to open
+    them, the reconnect path stays disabled).
     """
 
     def __init__(self, reader: "asyncio.StreamReader",
-                 writer: "asyncio.StreamWriter") -> None:
+                 writer: "asyncio.StreamWriter",
+                 host: Optional[str] = None,
+                 port: Optional[int] = None) -> None:
         """Wrap an open (reader, writer) stream pair."""
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
         self._ids = itertools.count(1)
         self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._generation = 0
+        self._reconnect_lock = asyncio.Lock()
+        self._closed = False
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop())
 
@@ -49,13 +67,16 @@ class ServiceClient:
                       port: int = 8642) -> "ServiceClient":
         """Open a connection to the service at *host*:*port*."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port)
 
     async def _read_loop(self) -> None:
         """Route incoming lines to their waiting request futures."""
         try:
             while True:
-                line = await self._reader.readline()
+                try:
+                    line = await self._reader.readline()
+                except (ConnectionError, OSError):
+                    break  # reset mid-read: same as EOF for the waiters
                 if not line:
                     break
                 try:
@@ -72,19 +93,83 @@ class ServiceClient:
                         ConnectionError("service connection closed"))
             self._pending.clear()
 
-    async def _roundtrip(self, message: dict) -> dict:
+    async def _roundtrip_once(self, message: dict) -> dict:
         """Send one message and await its id-matched reply."""
+        if self._reader_task.done():
+            # The peer closed on us with a clean EOF: the transport
+            # raises nothing on write, so without this check the
+            # message would go into the void and wait forever.
+            raise ConnectionError("service connection closed")
         msg_id = next(self._ids)
         message["id"] = msg_id
         future: "asyncio.Future[dict]" = \
             asyncio.get_running_loop().create_future()
         self._pending[msg_id] = future
-        self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
-        await self._writer.drain()
+        try:
+            self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._pending.pop(msg_id, None)
+            raise
         return await future
 
+    async def _roundtrip(self, message: dict,
+                         idempotent: bool = True) -> dict:
+        """One exchange, with a single transparent reconnect+resend.
+
+        The resend happens only for *idempotent* messages on clients
+        that know their endpoint (built via :meth:`connect`); anything
+        else propagates the original connection error.
+        """
+        generation = self._generation
+        try:
+            return await self._roundtrip_once(dict(message))
+        except (ConnectionError, OSError):
+            if not idempotent or self._host is None or self._closed:
+                raise
+            await self._reconnect(generation)
+            return await self._roundtrip_once(dict(message))
+
+    async def _reconnect(self, seen_generation: int) -> None:
+        """Replace the dead connection; serialized and deduplicated.
+
+        Concurrent in-flight messages all fail together when a
+        connection dies — the first one through the lock reconnects,
+        the rest observe the bumped generation and just resend on the
+        new streams.  The generation bumps only on success, so a
+        failed reconnect (node really gone) lets the next waiter try
+        again — and fail fast with the real connection error.
+        """
+        assert self._host is not None and self._port is not None
+        async with self._reconnect_lock:
+            if self._generation != seen_generation or self._closed:
+                return  # already reconnected (or shut down) behind us
+            # Tear the old connection fully down first: the old read
+            # loop must fail its pending futures and stop before the
+            # new loop starts, or the two would race on _pending.
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port)
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop())
+            self._generation += 1
+
     async def submit(self, request: Union[SimRequest, dict]) -> SimResponse:
-        """Submit one request and await its response."""
+        """Submit one request and await its response.
+
+        Idempotent by construction — a simulation is a pure function
+        of its canonical request — so it rides the reconnect path.
+        """
         if isinstance(request, dict):
             request = SimRequest.from_dict(request)
         reply = await self._roundtrip(
@@ -124,8 +209,30 @@ class ServiceClient:
         """Liveness probe; returns the pong message (with version)."""
         return await self._roundtrip({"op": "ping"})
 
+    async def health(self) -> dict:
+        """The service's health verb: admission state, queue depth,
+        in-flight count — the cheap signals supervisors and
+        autoscalers poll."""
+        return await self._roundtrip({"op": "health"})
+
+    async def drain(self) -> dict:
+        """Ask the service to drain: stop admitting, finish accepted
+        work, shut the worker tier down.  Returns when the drain
+        completed.  **Not idempotent-retried**: a resent drain against
+        a restarted node would stop the replacement too.
+        """
+        return await self._roundtrip({"op": "drain"}, idempotent=False)
+
+    async def fleet_status(self) -> dict:
+        """The fleet control-plane view (gateway connections only)."""
+        reply = await self._roundtrip({"op": "status"})
+        if reply.get("op") == "error":
+            raise ValueError(reply.get("error", "not a fleet gateway"))
+        return reply.get("fleet", {})
+
     async def close(self) -> None:
         """Close the connection and stop the reader task."""
+        self._closed = True
         try:
             self._writer.close()
             try:

@@ -220,6 +220,12 @@ class SimulationService:
         """True once shutdown began; submissions are rejected."""
         return self._closed
 
+    @property
+    def inflight(self) -> int:
+        """Requests admitted but not yet answered (dedup groups count
+        once — one simulation answers every waiter)."""
+        return len(self._inflight)
+
     async def submit(self, request: SimRequest) -> SimResponse:
         """Answer one request (however long that takes, bounded by its
         deadline); never raises for per-request problems — bad input,
@@ -444,6 +450,20 @@ async def _handle_message(service: SimulationService, message: dict,
         tracer = get_tracer()
         out = {"op": "trace", "enabled": tracer.enabled,
                "events": [event.to_chrome() for event in tracer.events()]}
+    elif op == "health":
+        # The cheap control-plane signals: what a fleet supervisor or
+        # autoscaler polls without paying for a full metrics snapshot.
+        out = {"op": "health",
+               "status": "draining" if service.closed else "ok",
+               "queue_depth": service.scheduler.depth,
+               "inflight": service.inflight,
+               "version": REPRO_VERSION}
+    elif op == "drain":
+        # Stop admitting, finish accepted work, tear the tier down;
+        # the reply is the drain-complete acknowledgement a supervisor
+        # waits for before terminating the process.
+        await service.stop(drain=True)
+        out = {"op": "drain", "status": "stopped"}
     elif op == "ping":
         out = {"op": "pong", "version": REPRO_VERSION}
     else:
@@ -509,14 +529,29 @@ async def _handle_connection(service: SimulationService,
 
 async def start_tcp_server(service: SimulationService,
                            host: str = "127.0.0.1",
-                           port: int = 0) -> "asyncio.AbstractServer":
+                           port: int = 0,
+                           connections: Optional[Set] = None
+                           ) -> "asyncio.AbstractServer":
     """Expose *service* over JSON-lines TCP; returns the asyncio server.
 
     ``port=0`` binds an ephemeral port — read it back from
-    ``server.sockets[0].getsockname()[1]``.
+    ``server.sockets[0].getsockname()[1]``.  When *connections* is
+    given, every live connection's writer is tracked in it — the fleet
+    supervisor aborts those transports to make an in-process node kill
+    reset its peers exactly like a process death would.
     """
     async def handler(reader: "asyncio.StreamReader",
                       writer: "asyncio.StreamWriter") -> None:
-        await _handle_connection(service, reader, writer)
+        if connections is not None:
+            connections.add(writer)
+        try:
+            await _handle_connection(service, reader, writer)
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels live connection handlers;
+            # dying quietly beats a traceback per connection.
+            pass
+        finally:
+            if connections is not None:
+                connections.discard(writer)
 
     return await asyncio.start_server(handler, host=host, port=port)

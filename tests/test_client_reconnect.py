@@ -1,0 +1,170 @@
+"""Reconnect hardening of :class:`repro.service.client.ServiceClient`.
+
+A connection that dies mid-exchange must be transparently re-opened
+once and the message resent — for idempotent verbs, on clients that
+know their endpoint — and everything else must surface the original
+connection error.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    SimRequest,
+    SimulationService,
+    start_tcp_server,
+)
+
+THREAD_CONFIG = dict(use_processes=False, n_shards=1, workers_per_shard=1,
+                     batch_window_s=0.002, default_timeout_s=30.0)
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+class _Server:
+    """One service + TCP server whose connections tests can reset."""
+
+    def __init__(self):
+        self.connections = set()
+
+    async def __aenter__(self):
+        self.service = SimulationService(ServiceConfig(**THREAD_CONFIG))
+        await self.service.start()
+        self.server = await start_tcp_server(
+            self.service, port=0, connections=self.connections)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self.server.close()
+        await self.server.wait_closed()
+        await self.service.stop(drain=False, timeout_s=2.0)
+
+    def reset_connections(self):
+        """Abort every established connection — a peer-side reset."""
+        for writer in list(self.connections):
+            if writer.transport is not None:
+                writer.transport.abort()
+        self.connections.clear()
+
+
+class TestReconnect:
+    def test_submit_survives_connection_reset(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                try:
+                    first = await client.submit(SimRequest("A", "557.xz"))
+                    srv.reset_connections()
+                    await asyncio.sleep(0.02)  # let the reset land
+                    second = await client.submit(SimRequest("A", "557.xz"))
+                    return first, second, client._generation
+                finally:
+                    await client.close()
+
+        first, second, generation = run(scenario())
+        assert first.ok and second.ok
+        assert second.payload == first.payload  # same pure simulation
+        assert generation == 1  # exactly one reconnect happened
+
+    def test_concurrent_requests_share_one_reconnect(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                try:
+                    await client.ping()
+                    srv.reset_connections()
+                    await asyncio.sleep(0.02)
+                    responses = await asyncio.gather(*(
+                        client.submit(SimRequest("A", "557.xz", seed=i))
+                        for i in range(6)))
+                    return responses, client._generation
+                finally:
+                    await client.close()
+
+        responses, generation = run(scenario())
+        assert all(r.ok for r in responses)
+        assert generation == 1  # deduplicated: one reconnect for all six
+
+    def test_reads_ride_the_reconnect_path_too(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                try:
+                    srv.reset_connections()
+                    await asyncio.sleep(0.02)
+                    pong = await client.ping()
+                    health = await client.health()
+                    return pong, health
+                finally:
+                    await client.close()
+
+        pong, health = run(scenario())
+        assert pong["op"] == "pong"
+        assert health["status"] == "ok"
+
+    def test_non_idempotent_drain_is_not_resent(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                try:
+                    await client.ping()
+                    srv.reset_connections()
+                    await asyncio.sleep(0.02)
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.drain()
+                    return client._generation
+                finally:
+                    await client.close()
+
+        assert run(scenario()) == 0  # no reconnect was attempted
+
+    def test_endpointless_client_cannot_reconnect(self):
+        async def scenario():
+            async with _Server() as srv:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", srv.port)
+                client = ServiceClient(reader, writer)  # no host/port
+                try:
+                    srv.reset_connections()
+                    await asyncio.sleep(0.02)
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.ping()
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_reconnect_fails_fast_when_node_is_really_gone(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                await client.ping()
+                srv.reset_connections()
+            # Server context exited: the listener and service are gone,
+            # so the transparent reconnect must fail with the real
+            # connection error instead of retrying forever.
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.ping()
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_closed_client_does_not_reconnect(self):
+        async def scenario():
+            async with _Server() as srv:
+                client = await ServiceClient.connect("127.0.0.1", srv.port)
+                await client.ping()
+                await client.close()
+                with pytest.raises((ConnectionError, OSError, RuntimeError)):
+                    await client.ping()
+
+        run(scenario())

@@ -1,0 +1,275 @@
+"""The autoscaler control loop: hysteresis, cooldown, bounds, victim
+selection — every decision pinned step by step on a fake clock.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fleet import (
+    Autoscaler,
+    AutoscalerConfig,
+    FleetGateway,
+    GatewayConfig,
+    NodeConfig,
+    NodeSupervisor,
+)
+from repro.service.request import SimRequest
+from repro.testkit.clock import FakeClock
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+HOT = {"queue_depth": 50.0, "inflight": 10.0, "draining": False,
+       "p95_latency_s": 5.0}
+IDLE = {"queue_depth": 0.0, "inflight": 0.0, "draining": False,
+        "p95_latency_s": 0.01}
+
+
+class _Rig:
+    """Fleet + autoscaler with canned signals and a fake clock."""
+
+    def __init__(self, n=1, **cfg):
+        self.n = n
+        self.cfg = AutoscalerConfig(**cfg)
+
+    async def __aenter__(self):
+        self.supervisor = NodeSupervisor(NodeConfig(in_process=True))
+        self.gateway = FleetGateway(GatewayConfig())
+        for _ in range(self.n):
+            handle = await self.supervisor.spawn()
+            self.gateway.add_node(handle.name, handle.host, handle.port)
+        self.clock = FakeClock()
+        self.scaler = Autoscaler(self.gateway, self.supervisor,
+                                 self.cfg, clock=self.clock)
+        self.signals = dict(IDLE)
+        gateway = self.gateway
+
+        async def canned():
+            return {name: dict(self.signals)
+                    for name in gateway.node_names}
+
+        self.gateway.node_signals = canned
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.gateway.close()
+        await self.supervisor.stop_all(drain=False)
+
+    @property
+    def size(self):
+        return len(self.gateway.node_names)
+
+
+class TestBounds:
+    def test_below_min_scales_up_structurally(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=2, max_nodes=4) as rig:
+                event = await rig.scaler.step()
+                return event, rig.size
+
+        event, size = run(scenario())
+        assert event.action == "scale_up"
+        assert event.reason == "below min_nodes"
+        assert size == 2
+
+    def test_below_min_ignores_cooldown(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=3, max_nodes=4,
+                            cooldown_s=1e9) as rig:
+                first = await rig.scaler.step()
+                second = await rig.scaler.step()
+                return first, second, rig.size
+
+        first, second, size = run(scenario())
+        assert first.action == second.action == "scale_up"
+        assert size == 3
+
+    def test_max_nodes_is_a_hard_ceiling(self):
+        async def scenario():
+            async with _Rig(n=2, min_nodes=1, max_nodes=2,
+                            up_breaches=1, cooldown_s=0.0) as rig:
+                rig.signals = dict(HOT)
+                events = [await rig.scaler.step() for _ in range(4)]
+                return events, rig.size
+
+        events, size = run(scenario())
+        assert all(e is None for e in events)
+        assert size == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Autoscaler(None, None, AutoscalerConfig(min_nodes=0))
+        with pytest.raises(ValueError):
+            Autoscaler(None, None, AutoscalerConfig(min_nodes=3,
+                                                    max_nodes=2))
+
+
+class TestHysteresis:
+    def test_one_hot_sample_does_not_scale(self):
+        async def scenario():
+            async with _Rig(n=1, up_breaches=2, cooldown_s=0.0) as rig:
+                rig.signals = dict(HOT)
+                first = await rig.scaler.step()
+                second = await rig.scaler.step()
+                return first, second, rig.size
+
+        first, second, size = run(scenario())
+        assert first is None          # streak 1 < up_breaches
+        assert second.action == "scale_up"
+        assert size == 2
+
+    def test_streak_resets_on_calm_sample(self):
+        async def scenario():
+            async with _Rig(n=1, up_breaches=2, cooldown_s=0.0) as rig:
+                rig.signals = dict(HOT)
+                await rig.scaler.step()     # streak 1
+                rig.signals = dict(IDLE)
+                rig.signals["inflight"] = 2.0   # calm but not idle
+                await rig.scaler.step()     # streak resets
+                rig.signals = dict(HOT)
+                event = await rig.scaler.step()  # streak 1 again
+                return event, rig.size
+
+        event, size = run(scenario())
+        assert event is None
+        assert size == 1
+
+    def test_scale_down_needs_a_long_idle_streak(self):
+        async def scenario():
+            async with _Rig(n=3, min_nodes=1, down_breaches=4,
+                            cooldown_s=0.0) as rig:
+                rig.signals = dict(IDLE)
+                events = [await rig.scaler.step() for _ in range(4)]
+                return events, rig.size
+
+        events, size = run(scenario())
+        assert all(e is None for e in events[:3])
+        assert events[3].action == "scale_down"
+        assert size == 2
+
+    def test_scale_down_stops_at_min(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=1, down_breaches=1,
+                            cooldown_s=0.0) as rig:
+                rig.signals = dict(IDLE)
+                events = [await rig.scaler.step() for _ in range(3)]
+                return events, rig.size
+
+        events, size = run(scenario())
+        assert all(e is None for e in events)
+        assert size == 1
+
+
+class TestCooldown:
+    def test_cooldown_holds_after_an_action(self):
+        async def scenario():
+            async with _Rig(n=1, up_breaches=1, cooldown_s=10.0,
+                            max_nodes=8) as rig:
+                rig.signals = dict(HOT)
+                first = await rig.scaler.step()
+                held = await rig.scaler.step()
+                rig.clock.advance(11.0)
+                after = await rig.scaler.step()
+                return first, held, after, rig.size
+
+        first, held, after, size = run(scenario())
+        assert first.action == "scale_up"
+        assert held is None
+        assert after.action == "scale_up"
+        assert size == 3
+
+
+class TestScaleDownMechanics:
+    def test_victim_is_youngest_and_leaves_ring_before_drain(self):
+        async def scenario():
+            async with _Rig(n=3, min_nodes=1, down_breaches=1,
+                            cooldown_s=0.0) as rig:
+                rig.signals = dict(IDLE)
+                names_before = list(rig.gateway.node_names)
+                event = await rig.scaler.step()
+                victim_handle = rig.supervisor.get(event.node)
+                return (event, names_before, rig.gateway.node_names,
+                        victim_handle.state)
+
+        event, before, after, state = run(scenario())
+        assert event.action == "scale_down"
+        assert event.node == sorted(before)[-1]  # LIFO: youngest goes
+        assert event.node not in after
+        assert state == "stopped"  # drained politely
+
+    def test_events_and_counter_recorded(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=2) as rig:
+                await rig.scaler.step()
+                counter = rig.gateway.registry.counter(
+                    "fleet_scale_events_total", "autoscaler actions, by kind",
+                    label_names=("action",))
+                return rig.scaler.events, counter.value(action="scale_up")
+
+        events, count = run(scenario())
+        assert len(events) == 1
+        assert count == 1
+        payload = events[0].to_json_dict()
+        assert payload["action"] == "scale_up"
+        assert payload["fleet_size"] == 2
+
+    def test_scale_up_node_is_warmed_before_joining(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=2) as rig:
+                warmers = [SimRequest("A", "557.xz",
+                                      voltage_offset=-0.070)]
+                scaler = Autoscaler(rig.gateway, rig.supervisor,
+                                    AutoscalerConfig(min_nodes=2),
+                                    clock=rig.clock, warmers=warmers)
+                event = await scaler.step()
+                handle = rig.supervisor.get(event.node)
+                counters = handle.service.metrics.snapshot()["counters"]
+                return event, counters
+
+        event, counters = run(scenario())
+        assert event.action == "scale_up"
+        # The new node served the warm-up population before add_node
+        # made it routable — its counters prove the requests landed.
+        assert counters["requests_completed"] == 1
+
+    def test_draining_nodes_are_ignored_in_signals(self):
+        async def scenario():
+            async with _Rig(n=2, up_breaches=1, cooldown_s=0.0,
+                            max_nodes=4) as rig:
+                gateway = rig.gateway
+
+                async def mixed():
+                    names = gateway.node_names
+                    return {names[0]: dict(HOT, draining=True),
+                            names[1]: dict(IDLE)}
+
+                gateway.node_signals = mixed
+                event = await rig.scaler.step()
+                return event, rig.size
+
+        event, size = run(scenario())
+        assert event is None  # the draining node's heat does not count
+        assert size == 2
+
+    def test_error_entries_are_skipped(self):
+        async def scenario():
+            async with _Rig(n=2, up_breaches=1, cooldown_s=0.0,
+                            max_nodes=4) as rig:
+                gateway = rig.gateway
+
+                async def broken():
+                    names = gateway.node_names
+                    return {names[0]: {"error": "ConnectionError(...)"},
+                            names[1]: dict(HOT)}
+
+                gateway.node_signals = broken
+                event = await rig.scaler.step()
+                return event, rig.size
+
+        event, size = run(scenario())
+        assert event.action == "scale_up"  # the live node's signal rules
+        assert size == 3

@@ -1,0 +1,239 @@
+"""The load harness: open/closed loops, SLO verdicts, the breaking
+point, and the report shape — driven against a fast stub service so
+the tests pin harness logic, not simulator speed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.fleet.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    default_mix,
+    run_breaking_point,
+    run_closed_loop,
+    run_step,
+    stall_mix,
+    step_population,
+    warm_population,
+    write_bench,
+)
+from repro.service.request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    SimResponse,
+)
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+def _stub(delay_s=0.0, status=STATUS_OK):
+    """An async submit stub with a fixed latency and status."""
+    async def submit(request):
+        if delay_s:
+            await asyncio.sleep(delay_s)
+        return SimResponse(request=request, status=status,
+                           payload={"echo": request.seed})
+    return submit
+
+
+class TestDefaultMix:
+    def test_deterministic(self):
+        assert [r.to_dict() for r in default_mix(16, seed=3)] == \
+            [r.to_dict() for r in default_mix(16, seed=3)]
+
+    def test_all_requests_validate(self):
+        for request in default_mix(64, seed=9):
+            request.validate()
+
+    def test_fresh_fraction_controls_repeats(self):
+        all_fresh = default_mix(16, seed=1, fresh_fraction=1.0)
+        assert len({r.canonical_key() for r in all_fresh}) == 16
+        none_fresh = default_mix(16, seed=1, fresh_fraction=0.0)
+        repeated = default_mix(16, seed=2, fresh_fraction=0.0)
+        # Without fresh requests the population ignores the seed.
+        assert [r.to_dict() for r in none_fresh] == \
+            [r.to_dict() for r in repeated]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            default_mix(0)
+
+
+class TestStallMix:
+    def test_deterministic_and_valid(self):
+        assert [r.to_dict() for r in stall_mix(32, seed=3)] == \
+            [r.to_dict() for r in stall_mix(32, seed=3)]
+        for request in stall_mix(32, seed=3):
+            request.validate()
+            assert request.workload.startswith("__sleep__:")
+
+    def test_every_request_is_a_distinct_identity(self):
+        # No dedup, no cache hits: each answer must really occupy a
+        # worker slot, within a step and across steps.
+        a = stall_mix(64, seed=1)
+        b = stall_mix(64, seed=2)
+        assert len({r.canonical_key() for r in a + b}) == 128
+
+    def test_lanes_spread_routing_keys(self):
+        keys = {(r.cpu, r.workload) for r in stall_mix(96, lanes=48)}
+        assert len(keys) == 48
+        few = {(r.cpu, r.workload) for r in stall_mix(96, lanes=4)}
+        assert len(few) == 4
+
+    def test_durations_stay_near_stall_s(self):
+        for request in stall_mix(96, stall_s=0.05):
+            duration = float(request.workload.split(":", 1)[1])
+            assert 0.05 <= duration <= 0.05 * 1.05
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            stall_mix(0)
+        with pytest.raises(ValueError):
+            stall_mix(4, stall_s=0.0)
+        with pytest.raises(ValueError):
+            stall_mix(4, lanes=0)
+
+    def test_step_population_dispatches_on_mode(self):
+        sim = step_population(LoadGenConfig(), 8, seed=1)
+        assert not any(r.workload.startswith("__sleep__:") for r in sim)
+        stalls = step_population(LoadGenConfig(stall_s=0.01), 8, seed=1)
+        assert all(r.workload.startswith("__sleep__:") for r in stalls)
+
+    def test_stall_mode_needs_no_warmup(self):
+        assert warm_population(LoadGenConfig(stall_s=0.01)) == []
+        assert warm_population(LoadGenConfig()) != []
+
+    def test_report_records_the_mix(self):
+        report = LoadReport(config=LoadGenConfig(stall_s=0.02))
+        ramp = report.to_json_dict()["ramp"]
+        assert ramp["mix"] == "stall" and ramp["stall_s"] == 0.02
+        assert LoadReport(
+            config=LoadGenConfig()).to_json_dict()["ramp"]["mix"] == "sim"
+
+
+class TestRunStep:
+    def test_counts_and_percentiles(self):
+        step = run(run_step(_stub(delay_s=0.002),
+                            default_mix(20), target_rps=500))
+        assert step.offered == 20 and step.ok == 20
+        assert step.failed == step.rejected == 0
+        assert step.p50_s is not None and step.p50_s >= 0.002
+        assert step.p50_s <= step.p95_s <= step.p99_s
+        assert step.achieved_rps > 0
+
+    def test_open_loop_paces_arrivals(self):
+        async def scenario():
+            stamps = []
+            loop = asyncio.get_running_loop()
+
+            async def submit(request):
+                stamps.append(loop.time())
+                return SimResponse(request=request, status=STATUS_OK)
+
+            await run_step(submit, default_mix(10), target_rps=100)
+            return stamps
+
+        stamps = run(scenario())
+        # 10 arrivals at 100 rps span ~90ms regardless of completions.
+        assert stamps[-1] - stamps[0] >= 0.05
+
+    def test_statuses_bucketed(self):
+        step = run(run_step(_stub(status=STATUS_REJECTED),
+                            default_mix(5), target_rps=1000))
+        assert step.rejected == 5 and step.ok == 0
+        assert step.error_rate == 1.0
+        step = run(run_step(_stub(status=STATUS_FAILED),
+                            default_mix(5), target_rps=1000))
+        assert step.failed == 5
+
+    def test_rejects_nonpositive_rps(self):
+        with pytest.raises(ValueError):
+            run(run_step(_stub(), default_mix(2), target_rps=0))
+
+
+class TestClosedLoop:
+    def test_backpressure_throughput(self):
+        step = run(run_closed_loop(_stub(delay_s=0.005),
+                                   default_mix(20), clients=4))
+        assert step.ok == 20
+        # 4 clients x 5ms service time ~= 800 rps ceiling; well under
+        # that but far over the single-client 200 rps.
+        assert step.achieved_rps > 250
+
+
+class TestBreakingPoint:
+    def test_ramp_stops_at_slo_violation(self):
+        async def scenario():
+            load = {"n": 0}
+
+            async def submit(request):
+                load["n"] += 1
+                # Latency grows with cumulative load: the third step's
+                # p95 blows the SLO.
+                await asyncio.sleep(0.0002 * load["n"])
+                return SimResponse(request=request, status=STATUS_OK)
+
+            return await run_breaking_point(submit, LoadGenConfig(
+                start_rps=200, step_rps=200, max_steps=6,
+                requests_per_step=20, slo_p95_s=0.012, warmup=False))
+
+        report = run(scenario())
+        assert report.breaking_point_rps is not None
+        assert not report.steps[-1].slo_ok
+        assert report.steps[-1].violations
+        assert all(s.slo_ok for s in report.steps[:-1])
+        assert report.max_sustainable_rps is not None
+
+    def test_never_breaking_runs_all_steps(self):
+        report = run(run_breaking_point(_stub(), LoadGenConfig(
+            start_rps=500, step_rps=500, max_steps=3,
+            requests_per_step=10, slo_p95_s=5.0, warmup=False)))
+        assert len(report.steps) == 3
+        assert report.breaking_point_rps is None
+
+    def test_error_rate_slo(self):
+        report = run(run_breaking_point(
+            _stub(status=STATUS_REJECTED), LoadGenConfig(
+                start_rps=500, step_rps=500, max_steps=3,
+                requests_per_step=10, slo_p95_s=5.0,
+                slo_error_rate=0.5, warmup=False)))
+        assert len(report.steps) == 1  # first step already violates
+        assert "error rate" in report.steps[0].violations[0]
+
+    def test_scaling_events_embedded(self):
+        class _Event:
+            def to_json_dict(self):
+                return {"action": "scale_up"}
+
+        report = run(run_breaking_point(_stub(), LoadGenConfig(
+            max_steps=1, requests_per_step=5, warmup=False),
+            events=[_Event()]))
+        assert report.scaling_events == [{"action": "scale_up"}]
+
+    def test_closed_loop_phase_included(self):
+        report = run(run_breaking_point(_stub(), LoadGenConfig(
+            max_steps=1, requests_per_step=5, closed_requests=8,
+            warmup=False)))
+        assert report.closed_loop is not None
+        assert report.closed_loop.ok == 8
+
+
+class TestReportShape:
+    def test_json_roundtrip_and_write(self, tmp_path):
+        report = run(run_breaking_point(_stub(), LoadGenConfig(
+            max_steps=2, requests_per_step=5, warmup=False)))
+        payload = report.to_json_dict()
+        assert {"slo", "ramp", "steps", "breaking_point_rps",
+                "max_sustainable_rps",
+                "scaling_events"} <= set(payload)
+        path = tmp_path / "BENCH_fleet.json"
+        write_bench(path, {"fleet": payload})
+        parsed = json.loads(path.read_text())
+        assert parsed["fleet"]["steps"][0]["offered"] == 5

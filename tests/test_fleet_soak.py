@@ -1,0 +1,69 @@
+"""Chaos-over-fleet acceptance: a node killed mid-burst, the gateway
+rerouting, and the differential oracle finding zero wrong answers.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fleet.soak import FleetSoak, FleetSoakConfig
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+class TestFleetSoak:
+    def test_node_kill_mid_burst_zero_wrong_answers(self):
+        result = run(FleetSoak(FleetSoakConfig(
+            seed=0, n_nodes=3, n_requests=8, bursts=3)).run())
+        assert result.passed, result.to_json_dict()["summary"]
+        assert result.killed_node is not None
+        assert result.wrong_answers == 0
+        # The strict claim: the kill degraded nothing — every accepted
+        # request was answered correctly via reroute.
+        assert result.degraded_answers == 0
+        assert sum(result.reroutes.values()) >= 1
+
+    def test_report_shape(self):
+        result = run(FleetSoak(FleetSoakConfig(
+            seed=1, n_nodes=2, n_requests=4, bursts=2)).run())
+        payload = result.to_json_dict()
+        assert {"passed", "seed", "bursts", "killed_node", "summary",
+                "channels", "fleet_status"} <= set(payload)
+        assert payload["summary"]["checked"] == 2 * 4
+        assert payload["bursts"] == 2
+
+    def test_injected_forward_faults_are_absorbed(self):
+        # A sustained fault storm may exhaust every candidate for a
+        # few requests — explicit degradation, which the oracle
+        # tolerates; silent corruption it never does.
+        result = run(FleetSoak(FleetSoakConfig(
+            seed=3, n_nodes=3, n_requests=6, bursts=3,
+            kill_node=False, forward_fault_rate=0.2,
+            require_all_ok=False)).run())
+        assert result.passed, result.to_json_dict()["summary"]
+        injected = result.chaos_report["injected"]["total"]
+        assert injected >= 1
+        assert result.reroutes.get("connection", 0) >= 1
+        assert result.wrong_answers == 0
+        checked = sum(c.checked for c in result.channels)
+        assert sum(c.ok for c in result.channels) >= checked // 2
+
+    def test_no_kill_leaves_fleet_intact(self):
+        result = run(FleetSoak(FleetSoakConfig(
+            seed=2, n_nodes=2, n_requests=4, bursts=2,
+            kill_node=False)).run())
+        assert result.passed
+        assert result.killed_node is None
+        assert len(result.fleet_status["healthy"]) == 2
+
+    def test_kill_needs_a_sibling(self):
+        with pytest.raises(ValueError):
+            FleetSoak(FleetSoakConfig(n_nodes=1, kill_node=True))
+
+    def test_schedule_is_a_pure_function_of_seed(self):
+        a = FleetSoakConfig(seed=11, forward_fault_rate=0.3).build_plan()
+        b = FleetSoakConfig(seed=11, forward_fault_rate=0.3).build_plan()
+        assert a.to_json_dict() == b.to_json_dict()
