@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke campaign-smoke fleet-smoke coverage clean-cache
+.PHONY: verify test test-all bench bench-smoke lint goldens goldens-check reproduce trace-smoke chaos-smoke campaign-smoke fleet-smoke obs-smoke coverage clean-cache
 
 verify: test
 
@@ -69,6 +69,16 @@ campaign-smoke:
 # (see docs/fleet.md).  Deterministic via --seed; runs in seconds.
 fleet-smoke:
 	$(PY) -m repro fleet soak --seed 42 --nodes 3 --requests 25 --bursts 8
+
+# Observability smoke: a 2-node fleet drives 50 requests while the
+# scraper samples windowed metrics; asserts a stitched multi-process
+# trace (gateway -> node -> worker, time-aligned, no orphan spans), a
+# windowed p95 diverging from the cumulative one, a burn-rate alert
+# firing then resolving, and an html.parser-valid dashboard (see
+# docs/observability.md).  Exit 1 on any failed check.
+obs-smoke:
+	$(PY) -m repro obs smoke --out obs-smoke.out
+	@rm -rf obs-smoke.out
 
 # Tier-1 suite with line coverage (requires pytest-cov: pip install
 # -e '.[dev]').  CI enforces the floor; ratchet it upward, never down.

@@ -644,6 +644,109 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if verdict.holds else 1
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Observability verbs: top / dashboard / smoke."""
+    import asyncio
+    import json
+    from pathlib import Path
+
+    if args.obs_cmd == "smoke":
+        from repro.obs.smoke import ObsSmokeConfig, run_obs_smoke
+
+        report = run_obs_smoke(ObsSmokeConfig(
+            out_dir=Path(args.out), n_nodes=args.nodes,
+            n_slow=args.slow, n_fast=args.fast))
+        print(json.dumps(report["checks"], indent=2, sort_keys=True))
+        print(f"windowed p95 {report['windowed_p95_s']}s vs cumulative "
+              f"{report['cumulative_p95_s']}s; "
+              f"{report['n_stitched_traces']} stitched trace(s) across "
+              f"{report['n_process_lanes']} process lanes")
+        print(f"artefacts in {args.out}/ (report.json, fleet_trace.json, "
+              "dashboard.html)")
+        if not report["passed"]:
+            failed = [k for k, ok in report["checks"].items() if not ok]
+            print(f"OBS SMOKE FAILED: {', '.join(failed)}", flush=True)
+            return 1
+        return 0
+
+    # top / dashboard: poll a running service or gateway over TCP.
+    from repro.obs.dashboard import render_obs_dashboard, render_top
+    from repro.obs.smoke import aggregate_snapshots
+    from repro.obs.timeseries import MetricsScraper
+    from repro.service.client import ServiceClient
+
+    scrapers: dict = {}
+
+    def ingest(answer: dict) -> None:
+        """One poll into the per-target scrapers.
+
+        A gateway answers ``{"gateway": ..., "nodes": {...}}`` (one
+        scraper per node plus an aggregated ``fleet`` one); a plain
+        node answers a flat registry snapshot.
+        """
+        def scraper(name: str) -> MetricsScraper:
+            return scrapers.setdefault(
+                name, MetricsScraper(interval_s=args.interval))
+        if "nodes" in answer and "gateway" in answer:
+            node_snaps = []
+            for name, snap in sorted((answer.get("nodes") or {}).items()):
+                if isinstance(snap, dict) and "error" not in snap:
+                    node_snaps.append(snap)
+                    scraper(name).ingest(snap)
+            scraper("fleet").ingest(aggregate_snapshots(node_snaps))
+        else:
+            scraper("service").ingest(answer)
+
+    async def _poll(frames: int) -> None:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            for frame in range(frames):
+                if frame:
+                    await asyncio.sleep(args.interval)
+                ingest(await client.metrics())
+                if args.obs_cmd == "top" and frame:
+                    print(render_top(scrapers, window_s=args.window))
+                    print()
+        finally:
+            await client.close()
+
+    try:
+        if args.obs_cmd == "top":
+            asyncio.run(_poll(args.frames + 1))
+            return 0
+        # dashboard: scrape, fetch the trace summary, write the HTML.
+        asyncio.run(_poll(max(2, args.scrapes)))
+
+        async def _trace() -> dict:
+            client = await ServiceClient.connect(args.host, args.port)
+            try:
+                return await client.trace()
+            finally:
+                await client.close()
+
+        trace = asyncio.run(_trace())
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach target at {args.host}:{args.port}: {exc}")
+    merged = trace.get("merged")
+    trace_summary = None
+    if isinstance(merged, dict):
+        from repro.obs.context import trace_ids_in
+
+        events = merged.get("traceEvents") or []
+        trace_summary = {
+            "n_processes": (merged.get("otherData") or {}).get(
+                "n_processes", 0),
+            "n_stitched_traces": len(trace_ids_in(events)),
+            "path": None}
+    page = render_obs_dashboard(scrapers, flight=trace.get("flight"),
+                                trace_summary=trace_summary,
+                                window_s=args.window)
+    Path(args.out).write_text(page, encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -962,6 +1065,46 @@ def build_parser() -> argparse.ArgumentParser:
     fk.add_argument("--processes", action="store_true",
                     help="process worker pools in the nodes")
     fk.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("obs",
+                       help="observability: live top, HTML dashboard, smoke")
+    obs_sub = p.add_subparsers(dest="obs_cmd", required=True)
+    ot = obs_sub.add_parser(
+        "top", help="poll a service or gateway and print windowed stats")
+    ot.add_argument("--host", default="127.0.0.1")
+    ot.add_argument("--port", type=int, default=8642)
+    ot.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between polls")
+    ot.add_argument("--frames", type=_positive_int, default=5,
+                    help="frames to print before exiting")
+    ot.add_argument("--window", type=float, default=60.0,
+                    help="window behind rates and percentiles (s)")
+    ot.set_defaults(func=cmd_obs)
+    od = obs_sub.add_parser(
+        "dashboard", help="scrape a target and write the HTML dashboard")
+    od.add_argument("--host", default="127.0.0.1")
+    od.add_argument("--port", type=int, default=8642)
+    od.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between scrapes")
+    od.add_argument("--scrapes", type=_positive_int, default=3,
+                    help="scrapes before rendering (>= 2 for windows)")
+    od.add_argument("--window", type=float, default=60.0,
+                    help="window behind rates and percentiles (s)")
+    od.add_argument("--out", default="dashboard.html",
+                    help="output HTML path")
+    od.set_defaults(func=cmd_obs)
+    os_ = obs_sub.add_parser(
+        "smoke", help="end-to-end observability smoke over a 2-node "
+                      "fleet (exit 1 on failure)")
+    os_.add_argument("--out", default="obs-smoke",
+                     help="artefact directory (report, trace, dashboard)")
+    os_.add_argument("--nodes", type=_positive_int, default=2,
+                     help="fleet size")
+    os_.add_argument("--slow", type=_positive_int, default=12,
+                     help="slow (SLO-burning) requests")
+    os_.add_argument("--fast", type=_positive_int, default=19,
+                     help="fast requests per healthy burst (x2 bursts)")
+    os_.set_defaults(func=cmd_obs)
     return parser
 
 

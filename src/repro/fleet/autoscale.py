@@ -142,7 +142,16 @@ class Autoscaler:
     # -- decisions ------------------------------------------------------
 
     def _collect(self, raw: dict) -> _Signals:
-        """Distil one fan-out scrape into the decision signals."""
+        """Distil one fan-out scrape into the decision signals.
+
+        Latency prefers the gateway's ``windowed_p95_latency_s`` when
+        that key is reported: the windowed p95 forgets a cold node's
+        warm-up as soon as the warm-up leaves the window, where the
+        cumulative ``p95_latency_s`` remembers it forever (and held the
+        fleet permanently "hot").  A present-but-``None`` windowed
+        value means the last window saw no traffic — no latency signal
+        at all, rather than a stale cumulative one.
+        """
         signals = _Signals()
         depths: List[float] = []
         for entry in raw.values():
@@ -153,7 +162,10 @@ class Autoscaler:
             signals.n_reporting += 1
             depths.append(float(entry.get("queue_depth", 0.0)))
             signals.total_inflight += float(entry.get("inflight", 0.0))
-            p95 = entry.get("p95_latency_s")
+            if "windowed_p95_latency_s" in entry:
+                p95 = entry.get("windowed_p95_latency_s")
+            else:
+                p95 = entry.get("p95_latency_s")
             if p95 is not None and (signals.worst_p95_s is None
                                     or p95 > signals.worst_p95_s):
                 signals.worst_p95_s = float(p95)

@@ -36,12 +36,16 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Set
 
 from repro import __version__ as REPRO_VERSION
+from repro.obs.context import TraceContext, merge_process_traces
 from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import MetricsRegistry, latency_bounds
+from repro.obs.slo import FlightRecorder
+from repro.obs.timeseries import histogram_delta, percentile_of
+from repro.obs.tracer import get_tracer
 from repro.service.client import ServiceClient
 from repro.service.request import (
     STATUS_FAILED,
@@ -130,6 +134,12 @@ class FleetGateway:
         self._nodes: Dict[str, _NodeState] = {}
         self._health_task: Optional["asyncio.Task"] = None
         self._closed = False
+        #: Fleet-level exemplars (slowest / failed requests' trace ids).
+        self.flight = FlightRecorder()
+        #: Last ``latency_s`` histogram snapshot per node — the delta
+        #: base that turns each node's cumulative histogram into the
+        #: windowed p95 the autoscaler scales on.
+        self._last_node_hist: Dict[str, dict] = {}
         # The fleet metric families, pre-registered so an idle
         # gateway's scrape still shows every series dashboards use.
         reg = self.registry
@@ -176,6 +186,7 @@ class FleetGateway:
         """Remove a member: out of the ring, connections closed."""
         state = self._nodes.pop(name, None)
         self.ring.remove(name)
+        self._last_node_hist.pop(name, None)
         if state is not None:
             for client in state.clients:
                 await _close_quietly(client)
@@ -313,9 +324,42 @@ class FleetGateway:
 
     async def submit(self, request: SimRequest) -> SimResponse:
         """Answer one request through the fleet; never raises for
-        per-request problems (statuses, like the service itself)."""
+        per-request problems (statuses, like the service itself).
+
+        With tracing on, the gateway is where a request's ``trace_id``
+        is minted (unless the client already sent one): the forwarded
+        frame carries ``trace_id`` plus the gateway span's id as
+        ``parent_span``, so every node/worker span downstream — across
+        retries and reroutes — stitches under one ``gateway.submit``
+        root span.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._submit_inner(request, ctx=None)
+        ctx = TraceContext.from_request(request.trace_id,
+                                        request.parent_span)
+        request = replace(request, trace_id=ctx.trace_id,
+                          parent_span=ctx.span_id)
+        start_s = tracer.now_s()
+        started = self.clock.monotonic()
+        response = await self._submit_inner(request, ctx=ctx)
+        tracer.complete(
+            "gateway.submit", "fleet", ts_s=start_s,
+            dur_s=tracer.now_s() - start_s,
+            args=ctx.args(proc="gateway", status=response.status,
+                          source=response.source))
+        self.flight.record(ctx.trace_id,
+                           self.clock.monotonic() - started,
+                           response.status, source=response.source)
+        return response
+
+    async def _submit_inner(self, request: SimRequest,
+                            ctx: Optional[TraceContext]) -> SimResponse:
+        """The untraced forward path (see :meth:`submit`)."""
         from repro.fleet.ring import route_key
 
+        tracer = get_tracer()
+        trace_id = ctx.trace_id if ctx else None
         self._m_requests.inc(verb="submit")
         try:
             request.validate()
@@ -331,7 +375,7 @@ class FleetGateway:
             inject("fleet.route", key=key)
             candidates = self._candidates(key)
         except Exception as exc:  # injected routing fault
-            self._m_reroutes.inc(reason="route_fault")
+            self._m_reroutes.inc(reason="route_fault", exemplar=trace_id)
             return SimResponse(request=request, status=STATUS_FAILED,
                                error=f"routing failed: {exc}",
                                source=SOURCE_GATEWAY)
@@ -361,12 +405,15 @@ class FleetGateway:
                     self._m_inflight.set(state.inflight, node=name)
             except asyncio.TimeoutError:
                 last_error = f"node {name} timed out after {timeout:.3f}s"
-                self._m_reroutes.inc(reason="timeout")
+                self._m_reroutes.inc(reason="timeout", exemplar=trace_id)
+                self._note_reroute(ctx, tracer, node=name, reason="timeout")
                 self._note_forward_failure(state)
                 continue
             except (ConnectionError, OSError) as exc:
                 last_error = f"node {name} unreachable: {exc!r}"
-                self._m_reroutes.inc(reason="connection")
+                self._m_reroutes.inc(reason="connection", exemplar=trace_id)
+                self._note_reroute(ctx, tracer, node=name,
+                                   reason="connection")
                 await self._drop_connections(state)
                 self._note_forward_failure(state)
                 continue
@@ -385,6 +432,16 @@ class FleetGateway:
             error="all fleet candidates failed: "
                   + (last_error or "none attempted"),
             source=SOURCE_GATEWAY)
+
+    @staticmethod
+    def _note_reroute(ctx: Optional[TraceContext], tracer,
+                      node: str, reason: str) -> None:
+        """Record a reroute instant inside the request's trace, so the
+        merged view shows *why* a span tree hopped nodes."""
+        if ctx is not None and tracer.enabled:
+            tracer.instant("fleet.reroute", "fleet",
+                           args=ctx.args(proc="gateway", node=node,
+                                         reason=reason))
 
     def _candidates(self, key: str) -> List[str]:
         """Forward order for *key*: ring preference, then (only when
@@ -425,18 +482,56 @@ class FleetGateway:
         return render_prometheus(self.registry)
 
     async def trace(self) -> dict:
-        """Fan-out of every node's tracer events, keyed by node."""
+        """Fan-out of every node's tracer events, plus the merged view.
+
+        Each process's tracer stamps wall timestamps as seconds since
+        *its own* creation, so the per-node answers are mutually
+        misaligned by process start skew.  The ``merged`` trace rebases
+        every answer (and the gateway's own buffer) onto the gateway
+        tracer's wall-clock origin via
+        :func:`~repro.obs.context.merge_process_traces`, yielding one
+        time-aligned Chrome trace with a lane per gateway/node/worker.
+        """
         self._m_requests.inc(verb="trace")
         nodes = await self._fan_out(lambda c: c.trace())
-        return {"nodes": nodes}
+        tracer = get_tracer()
+        own = tracer.to_chrome_trace()
+        processes = [{"name": "gateway",
+                      "origin_unix_s": tracer.origin_unix_s,
+                      "tracer_id": tracer.tracer_id,
+                      "events": own["traceEvents"]}]
+        for name in sorted(nodes):
+            answer = nodes[name]
+            events = answer.get("events")
+            if not isinstance(events, list):
+                continue  # unreachable node or tracing off
+            processes.append({
+                "name": str(answer.get("proc") or name),
+                "origin_unix_s": float(answer.get("origin_unix_s")
+                                       or tracer.origin_unix_s),
+                "tracer_id": answer.get("tracer_id"),
+                "events": events,
+            })
+        merged = merge_process_traces(
+            processes, base_origin_unix_s=tracer.origin_unix_s)
+        return {"nodes": nodes, "merged": merged,
+                "origin_unix_s": tracer.origin_unix_s,
+                "flight": self.flight.to_json_dict()}
 
     async def node_signals(self) -> Dict[str, dict]:
         """The autoscaler's inputs, scraped per node.
 
         Distils each node's ``health`` verb and :mod:`repro.obs`
-        metrics snapshot into ``{queue_depth, inflight,
-        p95_latency_s, draining}``; unreachable nodes come back as
-        ``{"error": ...}`` entries the control loop skips.
+        metrics snapshot into ``{queue_depth, inflight, p95_latency_s,
+        windowed_p95_latency_s, draining}``; unreachable nodes come
+        back as ``{"error": ...}`` entries the control loop skips.
+
+        ``p95_latency_s`` reads the node's *cumulative* histogram and
+        never forgets a cold warm-up; ``windowed_p95_latency_s`` is the
+        p95 of only the observations since the previous scrape (delta
+        against the remembered snapshot), and is ``None`` when that
+        window saw no traffic or no previous scrape exists — the
+        signal the autoscaler prefers.
         """
         async def scrape(client: ServiceClient) -> dict:
             health = await client.health()
@@ -447,9 +542,20 @@ class FleetGateway:
                 "inflight": float(health.get("inflight", 0)),
                 "draining": health.get("status") != "ok",
                 "p95_latency_s": hist.get("p95"),
+                "_latency_hist": hist,
             }
 
-        return await self._fan_out(scrape)
+        signals = await self._fan_out(scrape)
+        for name, entry in signals.items():
+            hist = entry.pop("_latency_hist", None)
+            if not isinstance(hist, dict):
+                continue
+            prev = self._last_node_hist.get(name)
+            self._last_node_hist[name] = hist
+            entry["windowed_p95_latency_s"] = (
+                percentile_of(histogram_delta(hist, prev), 0.95)
+                if prev is not None else None)
+        return signals
 
     async def status(self) -> dict:
         """The fleet control-plane view (``status`` verb, CLI)."""

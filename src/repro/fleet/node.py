@@ -164,6 +164,10 @@ class NodeSupervisor:
     async def _spawn_in_process(self, name: str) -> NodeHandle:
         """An event-loop-resident node: service + ephemeral TCP server."""
         service = SimulationService(self.config.service_config())
+        # In-process nodes share the supervisor's global tracer; the
+        # node name as the span lane label is what keeps each node a
+        # distinct Chrome process in the merged fleet trace.
+        service.proc_name = name
         await service.start()
         connections: set = set()
         server = await start_tcp_server(service, host=self.config.host,

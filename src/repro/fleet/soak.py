@@ -109,6 +109,9 @@ class FleetSoakResult:
     killed_node: Optional[str] = None
     channels: List[ChannelReport] = field(default_factory=list)
     reroutes: Dict[str, int] = field(default_factory=dict)
+    #: Latest trace id attached to each reroute reason (tracing on);
+    #: the link from "a reroute happened" to the affected span tree.
+    reroute_exemplars: Dict[str, str] = field(default_factory=dict)
     health_transitions: Dict[str, int] = field(default_factory=dict)
     chaos_report: dict = field(default_factory=dict)
     fleet_status: dict = field(default_factory=dict)
@@ -146,6 +149,7 @@ class FleetSoakResult:
                 "degraded": self.degraded_answers,
                 "wrong_answers": self.wrong_answers,
                 "reroutes": self.reroutes,
+                "reroute_exemplars": self.reroute_exemplars,
                 "health_transitions": self.health_transitions,
             },
             "channels": [c.to_json_dict() for c in self.channels],
@@ -209,6 +213,10 @@ class FleetSoak:
                         await oracle.check_service(gateway))
                 result.bursts += 1
             result.reroutes = _label_totals(gateway._m_reroutes.series())
+            result.reroute_exemplars = {
+                labels[0] if labels else "": trace_id
+                for labels, trace_id in gateway._m_reroutes.exemplars().items()
+                if trace_id}
             result.health_transitions = _label_totals(
                 gateway._m_health.series())
             result.fleet_status = await gateway.status()

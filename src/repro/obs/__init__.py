@@ -18,18 +18,46 @@ reproduction (see ``docs/observability.md``):
   hierarchy with an optional JSON formatter.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    assert_span_containment,
+    merge_process_traces,
+    new_span_id,
+    new_trace_id,
+    orphan_spans,
+    span_index,
+    span_tree,
+    trace_ids_in,
+)
+from repro.obs.dashboard import render_obs_dashboard, render_top
 from repro.obs.logsetup import JsonLogFormatter, logging_setup
 from repro.obs.profiling import profiled
 from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.registry import (
+    OVERFLOW_COUNTER,
+    OVERFLOW_LABEL_VALUE,
     Counter,
     Gauge,
     Histogram,
     HistogramFamily,
+    HistogramSnapshot,
     MetricsRegistry,
     get_registry,
     latency_bounds,
     set_registry,
+)
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    BurnRatePolicy,
+    FlightRecorder,
+    SLOMonitor,
+)
+from repro.obs.timeseries import (
+    MetricsScraper,
+    Sample,
+    histogram_delta,
+    percentile_of,
 )
 from repro.obs.tracer import (
     TRACK_SIM,
@@ -45,27 +73,50 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Alert",
+    "BurnRatePolicy",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramFamily",
+    "HistogramSnapshot",
     "JsonLogFormatter",
     "MetricsRegistry",
+    "MetricsScraper",
     "NullTracer",
+    "OVERFLOW_COUNTER",
+    "OVERFLOW_LABEL_VALUE",
+    "SLO",
+    "SLOMonitor",
+    "Sample",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "TRACK_SIM",
     "TRACK_WALL",
+    "assert_span_containment",
     "disable_tracing",
     "enable_tracing",
     "get_registry",
     "get_tracer",
+    "histogram_delta",
     "latency_bounds",
     "logging_setup",
+    "merge_process_traces",
+    "new_span_id",
+    "new_trace_id",
+    "orphan_spans",
     "parse_prometheus",
+    "percentile_of",
     "profiled",
+    "render_obs_dashboard",
     "render_prometheus",
+    "render_top",
     "set_registry",
     "set_tracer",
+    "span_index",
+    "span_tree",
+    "trace_ids_in",
     "validate_chrome_trace",
 ]

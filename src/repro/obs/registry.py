@@ -30,12 +30,20 @@ from __future__ import annotations
 
 import re
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 #: Label-value tuple of an unlabelled metric's single series.
 _NO_LABELS: Tuple[str, ...] = ()
+
+#: Label value every series beyond a family's cardinality bound
+#: collapses onto (see :class:`MetricsRegistry`).
+OVERFLOW_LABEL_VALUE = "__overflow__"
+
+#: Name of the registry counter that records collapsed writes.
+OVERFLOW_COUNTER = "metrics_label_overflow_total"
 
 
 def latency_bounds(lo: float = 1e-4, hi: float = 120.0) -> List[float]:
@@ -44,6 +52,22 @@ def latency_bounds(lo: float = 1e-4, hi: float = 120.0) -> List[float]:
     while bounds[-1] < hi:
         bounds.append(bounds[-1] * 2.0)
     return bounds
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable point-in-time copy of one :class:`Histogram`.
+
+    Taken with :meth:`Histogram.snapshot`; two snapshots of the same
+    histogram subtract into a *windowed* histogram via
+    :meth:`Histogram.window` — the observations recorded between them.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    n: int
+    total: float
+    max_seen: float
 
 
 class Histogram:
@@ -103,6 +127,44 @@ class Histogram:
         """Arithmetic mean of the observations; None when empty."""
         return self.total / self.n if self.n else None
 
+    def snapshot(self) -> HistogramSnapshot:
+        """An immutable copy of the current state (see
+        :class:`HistogramSnapshot`)."""
+        with self._lock:
+            return HistogramSnapshot(
+                bounds=tuple(self.bounds), counts=tuple(self.counts),
+                n=self.n, total=self.total, max_seen=self.max_seen)
+
+    def window(self, since: Optional[HistogramSnapshot] = None
+               ) -> "Histogram":
+        """A histogram of only the observations recorded after *since*.
+
+        This is what fixes the cumulative-histogram problem: a cold
+        warm-up's slow requests dominate ``percentile()`` forever, but
+        a scrape-to-scrape window forgets them as soon as they age out.
+        ``since=None`` (or a stale snapshot from before a reset, which
+        would produce negative deltas) returns a copy of the full
+        cumulative state.  The window's ``max_seen`` is conservatively
+        the cumulative maximum — the overflow bucket may over-report,
+        never under-report.
+        """
+        current = self.snapshot()
+        delta = Histogram(current.bounds)
+        if (since is not None and since.bounds == current.bounds
+                and since.n <= current.n
+                and all(s <= c for s, c in zip(since.counts,
+                                               current.counts))):
+            delta.counts = [c - s for c, s in zip(current.counts,
+                                                  since.counts)]
+            delta.n = current.n - since.n
+            delta.total = current.total - since.total
+        else:
+            delta.counts = list(current.counts)
+            delta.n = current.n
+            delta.total = current.total
+        delta.max_seen = current.max_seen if delta.n else 0.0
+        return delta
+
     def to_json_dict(self) -> dict:
         """JSON form: counts per bucket plus the headline percentiles."""
         return {
@@ -135,6 +197,10 @@ class _Metric:
         self.help = help_text
         self.label_names: Tuple[str, ...] = tuple(label_names)
         self._lock = threading.Lock()
+        #: Cardinality bound and overflow callback, installed by the
+        #: owning :class:`MetricsRegistry` (a bare metric is unbounded).
+        self.max_series: Optional[int] = None
+        self._on_overflow: Optional[Callable[[str], None]] = None
 
     def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
         """Label values in declaration order; rejects unknown/missing keys."""
@@ -143,6 +209,22 @@ class _Metric:
                 f"metric {self.name!r} takes labels {self.label_names}, "
                 f"got {tuple(sorted(labels))}")
         return tuple(str(labels[name]) for name in self.label_names)
+
+    def _bounded_key(self, labels: Dict[str, str],
+                     existing: Dict) -> Tuple[str, ...]:
+        """The write-path key: like :meth:`_key`, but once *existing*
+        holds ``max_series`` distinct series, any **new** series
+        collapses onto the :data:`OVERFLOW_LABEL_VALUE` sentinel (and
+        the overflow callback fires) so per-request label values can
+        never grow the registry without bound.  Established series are
+        unaffected — only the long tail is collapsed."""
+        key = self._key(labels)
+        if (not self.label_names or self.max_series is None
+                or key in existing or len(existing) < self.max_series):
+            return key
+        if self._on_overflow is not None:
+            self._on_overflow(self.name)
+        return tuple(OVERFLOW_LABEL_VALUE for _ in self.label_names)
 
 
 class Counter(_Metric):
@@ -155,16 +237,26 @@ class Counter(_Metric):
         """See :class:`_Metric`."""
         super().__init__(name, help_text, label_names)
         self._values: Dict[Tuple[str, ...], int] = {}
+        self._exemplars: Dict[Tuple[str, ...], str] = {}
         if not self.label_names:
             self._values[_NO_LABELS] = 0
 
-    def inc(self, delta: int = 1, **labels: str) -> None:
-        """Increment the series selected by *labels* by *delta* (>= 0)."""
+    def inc(self, delta: int = 1, exemplar: Optional[str] = None,
+            **labels: str) -> None:
+        """Increment the series selected by *labels* by *delta* (>= 0).
+
+        *exemplar* optionally attaches a sample identity (a trace id)
+        to the series — the most recent one wins, readable back via
+        :meth:`exemplars` so an alert or a report can link a counted
+        event to its full span tree.
+        """
         if delta < 0:
             raise ValueError("counters only go up")
-        key = self._key(labels)
+        key = self._bounded_key(labels, self._values)
         with self._lock:
             self._values[key] = self._values.get(key, 0) + int(delta)
+            if exemplar is not None:
+                self._exemplars[key] = str(exemplar)
 
     def value(self, **labels: str) -> int:
         """Current value of the selected series (0 when never touched)."""
@@ -175,6 +267,12 @@ class Counter(_Metric):
         """Snapshot of every label series."""
         with self._lock:
             return dict(self._values)
+
+    def exemplars(self) -> Dict[Tuple[str, ...], str]:
+        """Snapshot of the latest exemplar per series (only series that
+        ever received one appear)."""
+        with self._lock:
+            return dict(self._exemplars)
 
 
 class Gauge(_Metric):
@@ -190,13 +288,13 @@ class Gauge(_Metric):
 
     def set(self, value: float, **labels: str) -> None:
         """Set the selected series to *value*."""
-        key = self._key(labels)
+        key = self._bounded_key(labels, self._values)
         with self._lock:
             self._values[key] = float(value)
 
     def inc(self, delta: float = 1.0, **labels: str) -> None:
         """Add *delta* (may be negative) to the selected series."""
-        key = self._key(labels)
+        key = self._bounded_key(labels, self._values)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + float(delta)
 
@@ -232,7 +330,7 @@ class HistogramFamily(_Metric):
 
     def child(self, **labels: str) -> Histogram:
         """The (lazily created) histogram of the selected series."""
-        key = self._key(labels)
+        key = self._bounded_key(labels, self._children)
         with self._lock:
             hist = self._children.get(key)
             if hist is None:
@@ -265,12 +363,36 @@ def _series_name(name: str, label_names: Sequence[str],
 
 
 class MetricsRegistry:
-    """A named collection of metrics with get-or-create semantics."""
+    """A named collection of metrics with get-or-create semantics.
 
-    def __init__(self) -> None:
-        """Create an empty registry."""
+    Args:
+        max_series_per_metric: cardinality bound per metric family.
+            Once a labelled family holds this many distinct series,
+            further **new** label combinations collapse onto one
+            ``__overflow__`` series and
+            ``metrics_label_overflow_total{metric=...}`` counts every
+            collapsed write — so a per-request label (a raw trace id,
+            a client address) can degrade a family's resolution but
+            never OOM the registry.
+    """
+
+    def __init__(self, max_series_per_metric: int = 256) -> None:
+        """See class docstring."""
+        if max_series_per_metric < 1:
+            raise ValueError("max_series_per_metric must be >= 1")
         self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
+        self.max_series_per_metric = max_series_per_metric
+        self._overflow = Counter(
+            OVERFLOW_COUNTER,
+            "series writes collapsed by the cardinality bound, by metric",
+            label_names=("metric",))
+        self._overflow.max_series = max_series_per_metric
+        self._metrics[OVERFLOW_COUNTER] = self._overflow
+
+    def _note_overflow(self, metric_name: str) -> None:
+        """Count one collapsed write against *metric_name*."""
+        self._overflow.inc(metric=metric_name)
 
     def _get_or_create(self, cls, name: str, help_text: str,
                        label_names: Sequence[str], **kwargs) -> _Metric:
@@ -287,6 +409,8 @@ class MetricsRegistry:
                         f"{metric.label_names}, not {tuple(label_names)}")
                 return metric
             metric = cls(name, help_text, label_names=label_names, **kwargs)
+            metric.max_series = self.max_series_per_metric
+            metric._on_overflow = self._note_overflow
             self._metrics[name] = metric
             return metric
 
@@ -318,26 +442,38 @@ class MetricsRegistry:
             return [self._metrics[name] for name in sorted(self._metrics)]
 
     def clear(self) -> None:
-        """Drop every metric (tests)."""
+        """Drop every metric (tests); the overflow counter is rebuilt."""
         with self._lock:
             self._metrics.clear()
+            self._overflow = Counter(
+                OVERFLOW_COUNTER,
+                "series writes collapsed by the cardinality bound, by metric",
+                label_names=("metric",))
+            self._overflow.max_series = self.max_series_per_metric
+            self._metrics[OVERFLOW_COUNTER] = self._overflow
 
     def snapshot(self) -> dict:
         """The whole registry as a JSON-ready dict (stable key order).
 
         Shape: ``{"counters": {series: int}, "gauges": {series: float},
-        "histograms": {series: histogram-json}}`` where an unlabelled
-        metric's series key is its bare name and a labelled one renders
-        as ``name{label="value",...}``.
+        "histograms": {series: histogram-json}, "exemplars":
+        {series: trace_id}}`` where an unlabelled metric's series key
+        is its bare name and a labelled one renders as
+        ``name{label="value",...}``.  ``exemplars`` only lists counter
+        series that ever received one.
         """
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
         histograms: Dict[str, dict] = {}
+        exemplars: Dict[str, str] = {}
         for metric in self.collect():
             if isinstance(metric, Counter):
                 for values, count in sorted(metric.series().items()):
                     counters[_series_name(metric.name, metric.label_names,
                                           values)] = count
+                for values, exemplar in sorted(metric.exemplars().items()):
+                    exemplars[_series_name(metric.name, metric.label_names,
+                                           values)] = exemplar
             elif isinstance(metric, Gauge):
                 for values, val in sorted(metric.series().items()):
                     gauges[_series_name(metric.name, metric.label_names,
@@ -347,7 +483,7 @@ class MetricsRegistry:
                     histograms[_series_name(metric.name, metric.label_names,
                                             values)] = hist.to_json_dict()
         return {"counters": counters, "gauges": gauges,
-                "histograms": histograms}
+                "histograms": histograms, "exemplars": exemplars}
 
 
 #: The process-wide default registry the built-in instrumentation uses.

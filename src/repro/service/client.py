@@ -198,12 +198,20 @@ class ServiceClient:
     async def trace(self) -> dict:
         """Fetch the service-side tracer's recorded events.
 
-        Returns ``{"enabled": bool, "events": [chrome-trace-event, ...]}``
-        (empty when the service runs with tracing off).
+        Returns ``{"enabled", "events", "proc", "origin_unix_s",
+        "tracer_id", "flight"}`` — the origin/tracer identity is what
+        :func:`~repro.obs.context.merge_process_traces` needs to rebase
+        this process's events onto a shared clock, and ``flight`` is
+        the node's flight-recorder exemplars.  Events are empty when
+        the service runs with tracing off.
         """
         reply = await self._roundtrip({"op": "trace"})
         return {"enabled": reply.get("enabled", False),
-                "events": reply.get("events", [])}
+                "events": reply.get("events", []),
+                "proc": reply.get("proc"),
+                "origin_unix_s": reply.get("origin_unix_s"),
+                "tracer_id": reply.get("tracer_id"),
+                "flight": reply.get("flight")}
 
     async def ping(self) -> dict:
         """Liveness probe; returns the pong message (with version)."""

@@ -65,6 +65,11 @@ class SimRequest:
         deadline_s: soft deadline in seconds; orders requests within a
             priority band and bounds how long the submitter waits
             (``None`` falls back to the service default timeout).
+        trace_id: distributed-trace identity (see
+            :mod:`repro.obs.context`); minted by the first traced tier
+            when absent, forwarded verbatim through every hop.
+        parent_span: the span id of the tier that dispatched this
+            request — what the receiving tier's span parents on.
     """
 
     cpu: str
@@ -75,6 +80,8 @@ class SimRequest:
     n_cores: int = 1
     priority: int = PRIORITY_NORMAL
     deadline_s: Optional[float] = None
+    trace_id: Optional[str] = None
+    parent_span: Optional[str] = None
 
     def validate(self) -> None:
         """Check the statically checkable fields; raises :class:`InvalidRequestError`."""
@@ -101,6 +108,12 @@ class SimRequest:
                 not isinstance(self.deadline_s, (int, float))
                 or self.deadline_s <= 0):
             raise InvalidRequestError("deadline_s must be positive when set")
+        for name in ("trace_id", "parent_span"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, str)
+                                      or not value):
+                raise InvalidRequestError(
+                    f"{name} must be a non-empty string when set")
 
     @property
     def shard_key(self) -> str:
@@ -115,9 +128,10 @@ class SimRequest:
     def canonical_dict(self) -> dict:
         """The identity-defining fields, as a plain dict.
 
-        Excludes ``priority`` and ``deadline_s``: scheduling hints do
-        not change the answer, so they must not split the dedup/cache
-        identity.
+        Excludes ``priority`` / ``deadline_s`` (scheduling hints) and
+        ``trace_id`` / ``parent_span`` (observability identity): none
+        of them change the answer, so they must not split the
+        dedup/cache identity.
         """
         return {
             "cpu": self.cpu,
@@ -137,11 +151,17 @@ class SimRequest:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> dict:
-        """Full wire form, scheduling hints included."""
+        """Full wire form: scheduling hints included, trace context
+        included only when set (an untraced request's frame is
+        byte-identical to the pre-tracing protocol)."""
         entry = self.canonical_dict()
         entry["priority"] = int(self.priority)
         entry["deadline_s"] = (None if self.deadline_s is None
                                else float(self.deadline_s))
+        if self.trace_id is not None:
+            entry["trace_id"] = self.trace_id
+        if self.parent_span is not None:
+            entry["parent_span"] = self.parent_span
         return entry
 
     @classmethod
@@ -150,7 +170,8 @@ class SimRequest:
         if not isinstance(payload, dict):
             raise InvalidRequestError("request payload must be an object")
         known = {"cpu", "workload", "strategy", "voltage_offset", "seed",
-                 "n_cores", "priority", "deadline_s"}
+                 "n_cores", "priority", "deadline_s", "trace_id",
+                 "parent_span"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise InvalidRequestError(

@@ -56,6 +56,8 @@ class ScheduledEntry:
         cache_key: result-cache address, or None when caching is off.
         enqueued_at: ``time.monotonic()`` at admission.
         due: absolute deadline (monotonic seconds; ``inf`` when none).
+        span_id: the submitting tier's span id when tracing — what the
+            worker-side execution span parents on.
     """
 
     request: SimRequest
@@ -64,6 +66,7 @@ class ScheduledEntry:
     cache_key: Optional[str] = None
     enqueued_at: float = field(default_factory=time.monotonic)
     due: float = math.inf
+    span_id: Optional[str] = None
 
     def sort_key(self, seq: int) -> Tuple[int, float, int]:
         """Heap ordering: priority band, then deadline, then FIFO."""

@@ -29,11 +29,14 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional, Set
 
 from repro import __version__ as REPRO_VERSION
+from repro.obs.context import TraceContext
+from repro.obs.slo import FlightRecorder
 from repro.obs.tracer import get_tracer
 from repro.runtime.cache import ResultCache, default_cache_dir, package_digest
 from repro.service.batcher import Batch, MicroBatcher
@@ -179,6 +182,13 @@ class SimulationService:
             retry_backoff_s=self.config.retry_backoff_s,
             metrics=self.metrics,
             clock=clock)
+        #: Chrome-trace lane label of this service's spans; the fleet
+        #: supervisor overwrites it with the node name so an in-process
+        #: fleet's shared tracer still yields one lane per node.
+        self.proc_name = f"service-{os.getpid()}"
+        #: Exemplar keeper: the slowest and failed requests' trace ids,
+        #: served by the ``trace`` verb for alert/dashboard links.
+        self.flight = FlightRecorder()
         self._inflight: dict = {}
         self._batch_tasks: Set["asyncio.Task"] = set()
         self._dispatcher: Optional["asyncio.Task"] = None
@@ -230,7 +240,34 @@ class SimulationService:
         """Answer one request (however long that takes, bounded by its
         deadline); never raises for per-request problems — bad input,
         backpressure, timeouts and failures all come back as statuses.
+
+        When tracing is on, the whole submission becomes one
+        ``service.submit`` span: continuing the request's ``trace_id``
+        if a gateway already minted one (the incoming ``parent_span``
+        becomes this span's parent), minting a fresh trace otherwise.
+        The span id rides to the worker tier via the scheduler entry,
+        and the finished request lands in the flight recorder.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._submit_inner(request, ctx=None)
+        ctx = TraceContext.from_request(request.trace_id,
+                                        request.parent_span)
+        request = replace(request, trace_id=ctx.trace_id)
+        start_s = tracer.now_s()
+        response = await self._submit_inner(request, ctx=ctx)
+        tracer.complete(
+            "service.submit", "service", ts_s=start_s,
+            dur_s=tracer.now_s() - start_s,
+            args=ctx.args(proc=self.proc_name, status=response.status,
+                          source=response.source))
+        self.flight.record(ctx.trace_id, response.latency_s,
+                           response.status, source=response.source)
+        return response
+
+    async def _submit_inner(self, request: SimRequest,
+                            ctx: Optional[TraceContext]) -> SimResponse:
+        """The untraced submission path (see :meth:`submit`)."""
         arrival = self.clock.monotonic()
         self.metrics.inc("requests_submitted")
         if self._closed:
@@ -269,7 +306,8 @@ class SimulationService:
             asyncio.get_running_loop().create_future()
         entry = ScheduledEntry(request=request, future=future, key=key,
                                cache_key=cache_key,
-                               due=absolute_deadline(request, now=arrival))
+                               due=absolute_deadline(request, now=arrival),
+                               span_id=ctx.span_id if ctx else None)
         try:
             inject("server.admission", depth=self.scheduler.depth)
             self.scheduler.push(entry)
@@ -339,8 +377,23 @@ class SimulationService:
             task.add_done_callback(self._batch_tasks.discard)
 
     async def _run_batch(self, batch: Batch) -> None:
-        """Execute one batch on the tier and resolve its futures."""
-        requests = [entry.request.to_dict() for entry in batch.entries]
+        """Execute one batch on the tier and resolve its futures.
+
+        Traced entries dispatch with ``parent_span`` rewritten to the
+        submission span's id, so the worker-side ``worker.execute``
+        span parents on it.  Thread-tier workers record that span
+        themselves (shared tracer); for process-pool workers — whose
+        tracer lives in another process — it is synthesized here from
+        the outcome's ``wall_time_s``, anchored at batch dispatch.
+        """
+        tracer = get_tracer()
+        batch_start = tracer.now_s() if tracer.enabled else 0.0
+        requests = []
+        for entry in batch.entries:
+            req = entry.request.to_dict()
+            if entry.span_id is not None:
+                req["parent_span"] = entry.span_id
+            requests.append(req)
         try:
             outcomes, retries = await self.tier.run_batch(
                 batch.shard_key, requests,
@@ -355,13 +408,22 @@ class SimulationService:
                 self._batch_slots.release()
         if retries:
             self.metrics.inc("batch_retries", retries)
-            tracer = get_tracer()
             if tracer.enabled:
                 tracer.instant("worker retry", "service",
                                args={"shard": batch.shard_key,
                                      "retries": retries})
         for entry, outcome in zip(batch.entries, outcomes):
             self.metrics.inc("simulations_executed")
+            if (tracer.enabled and entry.request.trace_id
+                    and not outcome.get("span_recorded")):
+                ctx = TraceContext.from_request(entry.request.trace_id,
+                                                entry.span_id)
+                tracer.complete(
+                    "worker.execute", "service", ts_s=batch_start,
+                    dur_s=float(outcome.get("wall_time_s") or 0.0),
+                    args=ctx.args(
+                        proc=f"worker:{outcome.get('worker', '?')}",
+                        status=outcome.get("status"), synthesized=True))
             if (self.cache is not None and entry.cache_key is not None
                     and outcome.get("status") == "ok"
                     and outcome.get("payload") is not None):
@@ -449,7 +511,11 @@ async def _handle_message(service: SimulationService, message: dict,
     elif op == "trace":
         tracer = get_tracer()
         out = {"op": "trace", "enabled": tracer.enabled,
-               "events": [event.to_chrome() for event in tracer.events()]}
+               "proc": service.proc_name,
+               "origin_unix_s": tracer.origin_unix_s,
+               "tracer_id": tracer.tracer_id,
+               "events": [event.to_chrome() for event in tracer.events()],
+               "flight": service.flight.to_json_dict()}
     elif op == "health":
         # The cheap control-plane signals: what a fleet supervisor or
         # autoscaler polls without paying for a full metrics snapshot.

@@ -28,6 +28,7 @@ import asyncio
 import hashlib
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import BrokenExecutor, Executor, Future
@@ -35,6 +36,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.context import TraceContext
+from repro.obs.tracer import get_tracer
 from repro.service.metrics import ServiceMetrics
 from repro.testkit.chaos import CRASH_EXIT_CODE, inject
 from repro.testkit.clock import SYSTEM_CLOCK
@@ -94,15 +97,32 @@ def _simulate(req: dict) -> dict:
     return payload
 
 
+def _worker_name() -> str:
+    """The executing worker's identity: the pool process's name, or the
+    pool thread's name when running in the thread tier (where every
+    "process" is MainProcess and the thread is the useful label)."""
+    name = multiprocessing.current_process().name
+    if name == "MainProcess":
+        return threading.current_thread().name
+    return name
+
+
 def execute_request(req: dict) -> dict:
     """Execute one request dict; never raises (failures become outcomes).
 
     Returns an outcome dict: ``{"status", "payload", "error",
     "wall_time_s", "worker"}`` — the same shape the engine's pool
     workers return, so the server can treat both uniformly.
+
+    When the process-wide tracer is recording and the request carries a
+    ``trace_id``, the execution is recorded as a ``worker.execute``
+    span parented on the dispatcher's span, and the outcome is marked
+    ``span_recorded`` so the server does not synthesize a duplicate.
+    (Process-pool workers have their own disabled tracer, so there the
+    mark stays absent and the server synthesizes the span instead.)
     """
     start = time.perf_counter()
-    worker = multiprocessing.current_process().name
+    worker = _worker_name()
     try:
         inject("workers.request", workload=req.get("workload"))
         payload: Optional[dict] = _simulate(req)
@@ -110,8 +130,20 @@ def execute_request(req: dict) -> dict:
     except BaseException:  # noqa: BLE001 - the traceback is the answer
         payload, status = None, "failed"
         error = traceback.format_exc()
-    return {"status": status, "payload": payload, "error": error,
-            "wall_time_s": time.perf_counter() - start, "worker": worker}
+    wall = time.perf_counter() - start
+    outcome = {"status": status, "payload": payload, "error": error,
+               "wall_time_s": wall, "worker": worker}
+    tracer = get_tracer()
+    if tracer.enabled and req.get("trace_id"):
+        ctx = TraceContext.from_request(req.get("trace_id"),
+                                        req.get("parent_span"))
+        tracer.complete(
+            "worker.execute", "service",
+            ts_s=tracer.now_s() - wall, dur_s=wall,
+            args=ctx.args(proc=f"worker:{worker}", status=status,
+                          workload=req.get("workload")))
+        outcome["span_recorded"] = True
+    return outcome
 
 
 def _simulate_group(requests: List[dict]) -> List[dict]:
@@ -190,7 +222,7 @@ def execute_batch(requests: List[dict]) -> List[dict]:
             groups.setdefault(key, []).append(i)
     for members in groups.values():
         start = time.perf_counter()
-        worker = multiprocessing.current_process().name
+        worker = _worker_name()
         try:
             payloads = _simulate_group([requests[i] for i in members])
         except BaseException:  # noqa: BLE001 - fall back to isolation

@@ -1,0 +1,211 @@
+"""End-to-end distributed tracing: one request, one stitched span tree.
+
+Drives real requests through the service and the fleet with tracing on
+and asserts the propagation contract at each tier:
+
+* the wire protocol carries ``trace_id``/``parent_span`` without
+  changing request identity (dedup/cache keys) or the untraced frame;
+* a service submit yields a ``service.submit`` span with a
+  ``worker.execute`` child in the same trace;
+* a gateway submit yields a three-tier tree (gateway -> node ->
+  worker) whose merged Chrome trace is time-aligned and orphan-free;
+* a killed node mid-soak still leaves every trace connected, with the
+  rerouted trace ids attached to ``fleet_reroutes_total`` as exemplars
+  (the chaos half of the contract).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.context import (
+    assert_span_containment,
+    orphan_spans,
+    span_index,
+    span_tree,
+    trace_ids_in,
+)
+from repro.obs.tracer import disable_tracing, enable_tracing
+from repro.service import (
+    ServiceConfig,
+    SimRequest,
+    SimulationService,
+)
+from repro.service.request import InvalidRequestError
+
+THREAD_CONFIG = dict(use_processes=False, n_shards=1, workers_per_shard=2,
+                     batch_window_s=0.002, default_timeout_s=30.0)
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def tracer():
+    recording = enable_tracing(capacity=100_000)
+    yield recording
+    disable_tracing()
+
+
+class TestRequestTraceFields:
+    def test_round_trip(self):
+        request = SimRequest("C", "557.xz", trace_id="ab" * 8,
+                             parent_span="cd" * 4)
+        clone = SimRequest.from_dict(request.to_dict())
+        assert clone.trace_id == "ab" * 8
+        assert clone.parent_span == "cd" * 4
+
+    def test_identity_excludes_trace_context(self):
+        plain = SimRequest("C", "557.xz", seed=7)
+        traced = SimRequest("C", "557.xz", seed=7, trace_id="ab" * 8,
+                            parent_span="cd" * 4)
+        assert plain.canonical_key() == traced.canonical_key()
+        assert "trace_id" not in traced.canonical_dict()
+
+    def test_untraced_frame_is_byte_identical(self):
+        # Tracing must not change the wire protocol for untraced
+        # requests: the fields only appear when set.
+        untraced = SimRequest("C", "557.xz").to_dict()
+        assert "trace_id" not in untraced
+        assert "parent_span" not in untraced
+
+    def test_invalid_trace_fields_rejected(self):
+        for bad in ({"trace_id": ""}, {"parent_span": 7}):
+            with pytest.raises(InvalidRequestError):
+                SimRequest("C", "557.xz", **bad).validate()
+
+
+class TestServiceSpans:
+    def test_submit_records_service_and_worker_spans(self, tracer):
+        async def scenario():
+            async with SimulationService(
+                    ServiceConfig(**THREAD_CONFIG)) as service:
+                request = SimRequest("C", "__sleep__:0.01",
+                                     trace_id="ee" * 8,
+                                     parent_span="ff" * 4)
+                response = await service.submit(request)
+                return response
+
+        response = run(scenario())
+        assert response.ok
+        events = tracer.to_chrome_trace()["traceEvents"]
+        spans = span_index(events, "ee" * 8)
+        by_name = {e["name"]: e for e in spans.values()}
+        assert set(by_name) == {"service.submit", "worker.execute"}
+        submit_args = by_name["service.submit"]["args"]
+        worker_args = by_name["worker.execute"]["args"]
+        # The caller's span parents the submit; the submit's span
+        # parents the worker's execution.
+        assert submit_args["parent_span"] == "ff" * 4
+        assert worker_args["parent_span"] == submit_args["span_id"]
+        assert worker_args["proc"].startswith("worker:")
+        # The fabricated caller span was never recorded here, so the
+        # submit span itself reads as the (expected) orphan; the
+        # worker span must NOT — its parent is in this trace.
+        orphans = orphan_spans(events, "ee" * 8)
+        assert [e["name"] for e in orphans] == ["service.submit"]
+
+    def test_untraced_request_gets_a_minted_root(self, tracer):
+        # With a recording tracer the service is the trace's entry
+        # tier: it mints the trace id and roots the tree itself.
+        async def scenario():
+            async with SimulationService(
+                    ServiceConfig(**THREAD_CONFIG)) as service:
+                return await service.submit(SimRequest("C",
+                                                       "__sleep__:0.01"))
+
+        response = run(scenario())
+        assert response.ok
+        events = tracer.to_chrome_trace()["traceEvents"]
+        traces = trace_ids_in(events)
+        assert len(traces) == 1
+        tree = span_tree(events, traces[0])
+        assert [e["name"] for e in tree["roots"]] == ["service.submit"]
+        assert tree["orphans"] == []
+
+    def test_disabled_tracer_records_nothing(self):
+        disable_tracing()
+
+        async def scenario():
+            async with SimulationService(
+                    ServiceConfig(**THREAD_CONFIG)) as service:
+                return await service.submit(
+                    SimRequest("C", "__sleep__:0.01", trace_id="aa" * 8))
+
+        response = run(scenario())
+        assert response.ok
+        from repro.obs.tracer import get_tracer
+        assert get_tracer().enabled is False
+
+
+class TestFleetSpans:
+    def test_gateway_trace_merges_three_tiers(self, tracer):
+        from repro.fleet.gateway import FleetGateway, GatewayConfig
+        from repro.fleet.node import NodeConfig, NodeSupervisor
+
+        async def scenario():
+            supervisor = NodeSupervisor(NodeConfig(in_process=True,
+                                                   use_processes=False))
+            gateway = FleetGateway(GatewayConfig(health_interval_s=0.05))
+            try:
+                for _ in range(2):
+                    handle = await supervisor.spawn()
+                    gateway.add_node(handle.name, handle.host,
+                                     handle.port)
+                await gateway.start()
+                responses = await asyncio.gather(*(
+                    gateway.submit(SimRequest("C", "__sleep__:0.01",
+                                              seed=i))
+                    for i in range(4)))
+                trace = await gateway.trace()
+                return responses, trace
+            finally:
+                await gateway.close()
+                await supervisor.stop_all(drain=True)
+
+        responses, trace = run(scenario())
+        assert all(r.ok for r in responses)
+        events = trace["merged"]["traceEvents"]
+        traces = trace_ids_in(events)
+        assert len(traces) == 4
+        for trace_id in traces:
+            spans = span_index(events, trace_id)
+            names = sorted(e["name"] for e in spans.values())
+            assert names == ["gateway.submit", "service.submit",
+                             "worker.execute"]
+            lanes = {e["pid"] for e in spans.values()}
+            assert len(lanes) == 3  # gateway / node / worker lanes
+            tree = span_tree(events, trace_id)
+            assert [e["name"] for e in tree["roots"]] == ["gateway.submit"]
+            assert tree["orphans"] == []
+            assert assert_span_containment(events, trace_id) == 2
+        # The flight recorder saw each request once, by trace id.
+        flight = trace["flight"]
+        assert {e["trace_id"] for e in flight["slowest"]} <= set(traces)
+
+
+class TestChaosTracePropagation:
+    def test_node_kill_leaves_no_orphan_spans(self, tracer):
+        # The soak kills a node mid-burst: rerouted requests must
+        # still stitch into single connected trees, and the reroute
+        # counter must carry their trace ids as exemplars.
+        from repro.fleet.soak import FleetSoak, FleetSoakConfig
+
+        result = run(FleetSoak(FleetSoakConfig(
+            seed=7, n_nodes=3, n_requests=6, bursts=3,
+            kill_node=True, kill_burst=1)).run())
+        assert result.passed
+        assert result.killed_node is not None
+        events = tracer.to_chrome_trace()["traceEvents"]
+        traces = trace_ids_in(events)
+        assert traces
+        for trace_id in traces:
+            assert orphan_spans(events, trace_id) == [], trace_id
+            roots = span_tree(events, trace_id)["roots"]
+            assert [e["name"] for e in roots] == ["gateway.submit"]
+        if sum(result.reroutes.values()):
+            assert result.reroute_exemplars
+            for reason, trace_id in result.reroute_exemplars.items():
+                assert trace_id in traces, reason

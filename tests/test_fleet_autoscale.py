@@ -273,3 +273,53 @@ class TestScaleDownMechanics:
         event, size = run(scenario())
         assert event.action == "scale_up"  # the live node's signal rules
         assert size == 3
+
+
+class TestWindowedLatencySignal:
+    """The warm-up fix: scaling reads the *windowed* p95 when present."""
+
+    def test_cold_warm_up_no_longer_reads_as_hot(self):
+        # A fresh node's cumulative p95 remembers its slow first
+        # requests forever; once the gateway reports the windowed key
+        # and the warm-up has left the window (windowed None = no
+        # recent traffic), the fleet must not scale on the stale
+        # cumulative value.
+        async def scenario():
+            async with _Rig(n=1, min_nodes=1, max_nodes=4,
+                            up_breaches=1) as rig:
+                rig.signals = {"queue_depth": 0.0, "inflight": 0.0,
+                               "draining": False,
+                               "p95_latency_s": 50.0,       # stale
+                               "windowed_p95_latency_s": None}
+                events = [await rig.scaler.step() for _ in range(3)]
+                return events, rig.size
+
+        events, size = run(scenario())
+        assert events == [None, None, None]
+        assert size == 1
+
+    def test_windowed_breach_still_scales(self):
+        async def scenario():
+            async with _Rig(n=1, min_nodes=1, max_nodes=4,
+                            up_breaches=1) as rig:
+                rig.signals = {"queue_depth": 0.0, "inflight": 1.0,
+                               "draining": False,
+                               "p95_latency_s": 0.01,
+                               "windowed_p95_latency_s": 5.0}
+                return await rig.scaler.step()
+
+        event = run(scenario())
+        assert event.action == "scale_up"
+        assert "p95" in event.reason
+
+    def test_cumulative_fallback_without_windowed_key(self):
+        # Canned signals (and older nodes) without the windowed key
+        # keep the original cumulative behaviour.
+        async def scenario():
+            async with _Rig(n=1, min_nodes=1, max_nodes=4,
+                            up_breaches=1) as rig:
+                rig.signals = dict(HOT)
+                return await rig.scaler.step()
+
+        event = run(scenario())
+        assert event.action == "scale_up"

@@ -404,3 +404,80 @@ class TestTraceCli:
 
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["trace", "not_an_experiment", "--out", "/tmp/x.json"])
+
+
+class TestHistogramWindow:
+    def test_window_forgets_the_warm_up(self):
+        from repro.obs.registry import latency_bounds
+
+        histogram = Histogram(latency_bounds())
+        for _ in range(10):
+            histogram.observe(3.0)        # cold warm-up
+        since = histogram.snapshot()
+        for _ in range(90):
+            histogram.observe(0.002)      # steady state
+        assert histogram.percentile(0.95) >= 3.0    # cumulative remembers
+        windowed = histogram.window(since)
+        assert windowed.n == 90
+        assert windowed.percentile(0.95) < 0.01     # window forgets
+
+    def test_none_or_stale_snapshot_returns_cumulative(self):
+        histogram = Histogram([1.0])
+        histogram.observe(0.5)
+        assert histogram.window(None).n == 1
+        other = Histogram([1.0, 2.0])     # mismatched bounds
+        assert histogram.window(other.snapshot()).n == 1
+
+
+class TestCardinalityGuard:
+    def test_new_series_collapse_onto_overflow(self):
+        from repro.obs.registry import (
+            OVERFLOW_COUNTER,
+            OVERFLOW_LABEL_VALUE,
+        )
+
+        registry = MetricsRegistry(max_series_per_metric=3)
+        counter = registry.counter("rpc_total", "rpcs",
+                                   label_names=("peer",))
+        for i in range(10):
+            counter.inc(peer=f"peer-{i}")
+        series = counter.series()
+        assert len(series) <= 4  # 3 real + the overflow sentinel
+        assert series[(OVERFLOW_LABEL_VALUE,)] == 7
+        # Established series keep incrementing normally.
+        counter.inc(peer="peer-0")
+        assert counter.series()[("peer-0",)] == 2
+        # ... and the overflow is observable as a metric itself.
+        snapshot = registry.snapshot()
+        overflow = [(k, v) for k, v in snapshot["counters"].items()
+                    if k.startswith(OVERFLOW_COUNTER)]
+        assert sum(v for _, v in overflow) == 7
+
+    def test_unlabelled_metrics_unaffected(self):
+        registry = MetricsRegistry(max_series_per_metric=1)
+        counter = registry.counter("plain_total", "plain")
+        for _ in range(5):
+            counter.inc()
+        assert counter.value() == 5
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series_per_metric=0)
+
+
+class TestCounterExemplars:
+    def test_latest_exemplar_per_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reroutes_total", "reroutes",
+                                   label_names=("reason",))
+        counter.inc(reason="timeout", exemplar="aaaa")
+        counter.inc(reason="timeout", exemplar="bbbb")
+        counter.inc(reason="connection")
+        assert counter.exemplars()[("timeout",)] == "bbbb"
+        assert ("connection",) not in counter.exemplars()
+
+    def test_exemplars_in_snapshot(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "x", label_names=("k",))
+        counter.inc(k="v", exemplar="cafe")
+        assert "exemplars" in registry.snapshot()

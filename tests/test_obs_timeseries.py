@@ -1,0 +1,171 @@
+"""Windowed time-series over registry snapshots (``repro.obs.timeseries``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import (
+    MetricsScraper,
+    histogram_delta,
+    percentile_of,
+)
+from repro.testkit.clock import FakeClock
+
+
+def hist(counts, bounds=(0.01, 0.1, 1.0), max_seen=None):
+    """A histogram JSON dict with *counts* per bucket (last = overflow)."""
+    les = list(bounds) + [None]
+    assert len(counts) == len(les)
+    n = sum(counts)
+    return {"n": n, "mean": 0.05 if n else None, "max": max_seen,
+            "buckets": [{"le": le, "count": c}
+                        for le, c in zip(les, counts)]}
+
+
+def snap(counters=None, gauges=None, histograms=None):
+    return {"counters": dict(counters or {}), "gauges": dict(gauges or {}),
+            "histograms": dict(histograms or {})}
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(start=100.0)
+
+
+@pytest.fixture
+def scraper(clock):
+    return MetricsScraper(interval_s=1.0, capacity=16, clock=clock)
+
+
+class TestPercentileOf:
+    def test_empty_and_missing_return_none(self):
+        assert percentile_of(None, 0.95) is None
+        assert percentile_of(hist([0, 0, 0, 0]), 0.95) is None
+
+    def test_bucket_upper_bound(self):
+        h = hist([90, 9, 1, 0])
+        assert percentile_of(h, 0.50) == 0.01
+        assert percentile_of(h, 0.95) == 0.1
+
+    def test_overflow_bucket_reports_max(self):
+        h = hist([0, 0, 0, 10], max_seen=42.0)
+        assert percentile_of(h, 0.95) == 42.0
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile_of(hist([1, 0, 0, 0]), 1.5)
+
+
+class TestHistogramDelta:
+    def test_windowed_counts_are_subtracted(self):
+        prev = hist([10, 5, 0, 0])
+        cur = hist([10, 25, 0, 0])
+        delta = histogram_delta(cur, prev)
+        assert [b["count"] for b in delta["buckets"]] == [0, 20, 0, 0]
+        assert delta["n"] == 20
+        assert delta["p95"] == 0.1
+
+    def test_missing_previous_falls_back_to_current(self):
+        cur = hist([3, 0, 0, 0])
+        delta = histogram_delta(cur, None)
+        assert [b["count"] for b in delta["buckets"]] == [3, 0, 0, 0]
+
+    def test_reset_falls_back_to_current(self):
+        # A restarted process reports smaller counts; over-reporting
+        # (the cumulative view) beats negative nonsense.
+        prev = hist([10, 5, 0, 0])
+        cur = hist([2, 0, 0, 0])
+        delta = histogram_delta(cur, prev)
+        assert [b["count"] for b in delta["buckets"]] == [2, 0, 0, 0]
+
+    def test_bounds_mismatch_falls_back_to_current(self):
+        prev = hist([1, 1, 1, 0], bounds=(0.5, 5.0, 50.0))
+        cur = hist([2, 2, 2, 0])
+        delta = histogram_delta(cur, prev)
+        assert [b["count"] for b in delta["buckets"]] == [2, 2, 2, 0]
+
+    def test_missing_current_is_none(self):
+        assert histogram_delta(None, hist([1, 0, 0, 0])) is None
+
+
+class TestScraperWindows:
+    def test_needs_two_samples(self, scraper):
+        assert scraper.delta("requests_total") is None
+        scraper.ingest(snap(counters={"requests_total": 5}))
+        assert scraper.delta("requests_total") is None
+
+    def test_delta_and_rate_over_window(self, scraper, clock):
+        scraper.ingest(snap(counters={"requests_total": 10}))
+        clock.advance(2.0)
+        scraper.ingest(snap(counters={"requests_total": 30}))
+        assert scraper.delta("requests_total", window_s=5.0) == 20
+        assert scraper.rate("requests_total", window_s=5.0) == 10.0
+
+    def test_window_picks_newest_base_outside_window(self, scraper, clock):
+        for value in (10, 20, 40, 80):
+            scraper.ingest(snap(counters={"c": value}))
+            clock.advance(1.0)
+        # Window 1.5s back from the newest sample (t=103): the base is
+        # the newest sample older than the cutoff, t=101 (value 20).
+        assert scraper.delta("c", window_s=1.5) == 80 - 20
+
+    def test_window_predating_history_uses_oldest(self, scraper, clock):
+        scraper.ingest(snap(counters={"c": 1}))
+        clock.advance(1.0)
+        scraper.ingest(snap(counters={"c": 7}))
+        assert scraper.delta("c", window_s=9999.0) == 6
+
+    def test_counter_reset_clamps_to_newest(self, scraper, clock):
+        scraper.ingest(snap(counters={"c": 50}))
+        clock.advance(1.0)
+        scraper.ingest(snap(counters={"c": 3}))
+        assert scraper.delta("c", window_s=10.0) == 3
+
+    def test_windowed_percentile(self, scraper, clock):
+        scraper.ingest(snap(histograms={"latency_s": hist([100, 0, 0, 0])}))
+        clock.advance(1.0)
+        # Only slow observations landed inside the window.
+        scraper.ingest(snap(histograms={"latency_s": hist([100, 0, 4, 0])}))
+        assert scraper.windowed_percentile("latency_s", 0.95, 10.0) == 1.0
+        # ... while the cumulative histogram's p95 stays fast.
+        cumulative = scraper.samples[-1].histograms["latency_s"]
+        assert percentile_of(cumulative, 0.95) == 0.01
+
+    def test_no_traffic_window_is_none(self, scraper, clock):
+        h = hist([5, 0, 0, 0])
+        scraper.ingest(snap(histograms={"latency_s": h}))
+        clock.advance(1.0)
+        scraper.ingest(snap(histograms={"latency_s": h}))
+        assert scraper.windowed_percentile("latency_s", 0.95, 10.0) is None
+
+    def test_ring_buffer_drops_oldest(self, clock):
+        scraper = MetricsScraper(interval_s=1.0, capacity=3, clock=clock)
+        for value in range(10):
+            scraper.ingest(snap(counters={"c": value}))
+            clock.advance(1.0)
+        assert len(scraper) == 3
+        assert scraper.samples[0].counters["c"] == 7
+
+    def test_series_for_sparklines(self, scraper, clock):
+        for t, (depth, total) in enumerate([(1.0, 0), (3.0, 10), (2.0, 30)]):
+            scraper.ingest(snap(gauges={"queue_depth": depth},
+                                counters={"done": total}))
+            if t < 2:
+                clock.advance(1.0)
+        gauge = scraper.gauge_series("queue_depth")
+        assert [v for _, v in gauge] == [1.0, 3.0, 2.0]
+        rates = scraper.rate_series("done")
+        assert [v for _, v in rates] == [10.0, 20.0]
+
+    def test_scrape_reads_registry(self, scraper):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "hits").inc(3)
+        sample = scraper.scrape(registry)
+        assert sample.counters["hits_total"] == 3
+
+    def test_invalid_construction_rejected(self, clock):
+        with pytest.raises(ValueError):
+            MetricsScraper(interval_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            MetricsScraper(capacity=1, clock=clock)
