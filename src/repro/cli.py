@@ -22,6 +22,10 @@ Subcommands:
   N worker nodes, autoscaled), ``bench`` (breaking-point ramp,
   writes ``BENCH_fleet.json``), ``status``, ``soak`` (kill a node
   mid-load; zero wrong answers or exit 1).
+* ``dse``       — evolutionary design-space exploration over SUIT
+  operating points (run / resume / report / recommend / list):
+  NSGA-II over (performance, energy, security headroom), Pareto
+  frontier, MCDM-ranked recommendation and an HTML dashboard.
 
 Examples:
     python -m repro simulate --cpu C --workload 557.xz --strategy fV
@@ -36,6 +40,8 @@ Examples:
     python -m repro chaos --seed 7 --duration 30 --kill-rate 0.1
     python -m repro campaign run --spec msr_bitflip_nginx --seed 7 --out out/
     python -m repro campaign resume --out out/
+    python -m repro dse run --search nginx_pareto --out out/dse/
+    python -m repro dse recommend --out out/dse/
     python -m repro fleet serve --nodes 3 --port 8643
     python -m repro fleet bench --nodes 3 --out BENCH_fleet.json
     python -m repro fleet status --port 8643
@@ -609,6 +615,94 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Run / resume / report / recommend a design-space exploration."""
+    import json
+    from pathlib import Path
+
+    from repro.dse import (CANNED_SEARCHES, CheckpointMismatchError,
+                           DseRunner, ReportBuilder, ServiceEvalBackend,
+                           load_checkpoint_spec, resolve_search)
+    from repro.dse.runner import HTML_NAME, REPORT_NAME
+
+    if args.dse_cmd == "list":
+        for name, spec in sorted(CANNED_SEARCHES.items()):
+            print(f"{name:<16} cpu={spec.cpu} workload={spec.workload:<8} "
+                  f"{spec.generations} gen x {spec.population} genomes")
+        return 0
+
+    if args.dse_cmd in ("report", "recommend"):
+        out = Path(args.out)
+        report_path = out / REPORT_NAME
+        if not report_path.exists():
+            raise SystemExit(f"no {REPORT_NAME} in {out}; run the search "
+                             "first (dse run --out ...)")
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        if args.dse_cmd == "report":
+            html_path = out / HTML_NAME
+            html_path.write_text(ReportBuilder(report).render(),
+                                 encoding="utf-8")
+            print(f"wrote {html_path}")
+            return 0
+        rec = report.get("recommendation")
+        if not rec:
+            raise SystemExit("no recommendation yet: the search has not "
+                             "completed a generation")
+        print(json.dumps(rec, indent=2, sort_keys=True))
+        return 0
+
+    # run / resume
+    try:
+        if args.dse_cmd == "resume" and args.search is None:
+            spec = load_checkpoint_spec(Path(args.out))
+        else:
+            spec = resolve_search(args.search)
+    except (ValueError, FileNotFoundError, CheckpointMismatchError) as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    for field in ("seed", "generations", "population"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    backend = None
+    if args.service:
+        host, _, port = args.service.rpartition(":")
+        backend = ServiceEvalBackend(spec, host=host or "127.0.0.1",
+                                     port=int(port))
+    out_dir = Path(args.out) if args.out else None
+    runner = DseRunner(spec, out_dir=out_dir, jobs=args.jobs,
+                       backend=backend)
+    try:
+        report = runner.run(resume=args.dse_cmd == "resume",
+                            stop_after_generations=args.max_generations)
+    except CheckpointMismatchError as exc:
+        raise SystemExit(str(exc))
+    if out_dir is not None:
+        report = runner.write_outputs(html=not args.no_html)
+
+    print(f"search     : {report['search']}  "
+          f"({report['n_generations']}/{report['generations_requested']} "
+          "generations)")
+    print(f"frontier   : {len(report['front'])} points, "
+          f"{report['front_violations']} security violations")
+    rec = report.get("recommendation")
+    if rec:
+        print(f"recommended: {rec['describe']}")
+        print(f"  perf {rec['perf_change_pct']:+.2f}%  "
+              f"power {rec['power_change_pct']:+.2f}%  "
+              f"efficiency {rec['efficiency_change_pct']:+.2f}%  "
+              f"headroom {rec['objectives']['security_headroom_mv']:.1f} mV")
+    if out_dir is not None:
+        print(f"artifacts  : {out_dir / REPORT_NAME}"
+              + ("" if args.no_html else f", {out_dir / HTML_NAME}"))
+    if report["n_generations"] < report["generations_requested"]:
+        print("incomplete : dse resume --out ... continues")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Render the regenerated figures as terminal plots."""
     from repro.experiments.figures import render, render_all
@@ -967,6 +1061,70 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(func=cmd_campaign)
     cl = camp_sub.add_parser("list", help="list the canned campaigns")
     cl.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("dse",
+                       help="evolutionary design-space exploration")
+    dse_sub = p.add_subparsers(dest="dse_cmd", required=True)
+    dr = dse_sub.add_parser(
+        "run", help="run a search's full generation schedule")
+    dr.add_argument("--search", required=True,
+                    help="canned search name (see `dse list`) or a JSON "
+                         "spec file path")
+    dr.add_argument("--seed", type=int, default=None,
+                    help="override the search's master seed")
+    dr.add_argument("--generations", type=_positive_int, default=None,
+                    help="override the generation count")
+    dr.add_argument("--population", type=_positive_int, default=None,
+                    help="override the population size")
+    dr.add_argument("--out", default=None,
+                    help="artifact directory (checkpoint, JSON report, "
+                         "HTML dashboard); omit to run in memory")
+    dr.add_argument("--jobs", type=_positive_int, default=1,
+                    help="parallel worker processes per generation")
+    dr.add_argument("--service", default=None, metavar="HOST:PORT",
+                    help="evaluate generations on a running simulation "
+                         "service instead of in-process")
+    dr.add_argument("--max-generations", type=_positive_int, default=None,
+                    help="stop after N generations (checkpoint stays "
+                         "resumable)")
+    dr.add_argument("--no-html", action="store_true",
+                    help="skip the HTML dashboard")
+    dr.set_defaults(func=cmd_dse)
+    ds = dse_sub.add_parser(
+        "resume", help="continue an interrupted search from its checkpoint")
+    ds.add_argument("--out", required=True,
+                    help="artifact directory holding dse.ckpt.json")
+    ds.add_argument("--search", default=None,
+                    help="search name/path (default: the checkpoint's spec)")
+    ds.add_argument("--seed", type=int, default=None,
+                    help="override the search's master seed")
+    ds.add_argument("--generations", type=_positive_int, default=None,
+                    help="override the generation count")
+    ds.add_argument("--population", type=_positive_int, default=None,
+                    help="override the population size")
+    ds.add_argument("--jobs", type=_positive_int, default=1,
+                    help="parallel worker processes per generation")
+    ds.add_argument("--service", default=None, metavar="HOST:PORT",
+                    help="evaluate generations on a running simulation "
+                         "service instead of in-process")
+    ds.add_argument("--max-generations", type=_positive_int, default=None,
+                    help="stop after N further generations")
+    ds.add_argument("--no-html", action="store_true",
+                    help="skip the HTML dashboard")
+    ds.set_defaults(func=cmd_dse)
+    dp = dse_sub.add_parser(
+        "report", help="re-render the HTML dashboard from a written "
+                       "dse_report.json")
+    dp.add_argument("--out", required=True,
+                    help="artifact directory holding dse_report.json")
+    dp.set_defaults(func=cmd_dse)
+    dc = dse_sub.add_parser(
+        "recommend", help="print the recommended operating point as JSON")
+    dc.add_argument("--out", required=True,
+                    help="artifact directory holding dse_report.json")
+    dc.set_defaults(func=cmd_dse)
+    dl = dse_sub.add_parser("list", help="list the canned searches")
+    dl.set_defaults(func=cmd_dse)
 
     p = sub.add_parser("metrics",
                        help="fetch a running service's metrics")

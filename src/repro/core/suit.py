@@ -79,8 +79,14 @@ class SuitSystem:
         return strategy_for(self.strategy_name, self.params)
 
     def run_trace(self, profile: WorkloadProfile, trace: FaultableTrace,
-                  record_timeline: bool = False) -> SimResult:
-        """Simulate *trace* under this configuration."""
+                  record_timeline: bool = False,
+                  harden_imul: bool = True) -> SimResult:
+        """Simulate *trace* under this configuration.
+
+        ``harden_imul=False`` skips the built-in +1-cycle IMUL tax so
+        callers exploring other pipeline depths can post-apply their
+        own via :func:`repro.core.metrics.apply_imul_tax`.
+        """
         if self.n_cores > 1 and not self.cpu.topology.per_core_frequency:
             trace = merged_multicore_trace(trace, self.n_cores)
         sim = TraceSimulator(
@@ -91,16 +97,19 @@ class SuitSystem:
             voltage_offset=self.voltage_offset,
             seed=self.seed,
             record_timeline=record_timeline,
+            harden_imul=harden_imul,
         )
         return sim.run()
 
     def run_profile(self, profile: WorkloadProfile,
-                    record_timeline: bool = False) -> SimResult:
+                    record_timeline: bool = False,
+                    harden_imul: bool = True) -> SimResult:
         """Synthesise the profile's trace (cached) and simulate it.
 
         The emulation strategy uses the paper's closed-form estimate
         (section 6.2) rather than per-event simulation, matching the
-        evaluation methodology.
+        evaluation methodology (``harden_imul`` is ignored there: the
+        estimate always carries the paper's +1-cycle hardening).
         """
         trace = self._trace(profile)
         if self.strategy_name == "e":
@@ -110,7 +119,8 @@ class SuitSystem:
                     "emulation is not possible for enclaves (section 4.3) — "
                     "use a curve-switching strategy")
             return emulation_estimate(self.cpu, profile, trace, self.voltage_offset)
-        return self.run_trace(profile, trace, record_timeline)
+        return self.run_trace(profile, trace, record_timeline,
+                              harden_imul=harden_imul)
 
     def run_sweep(self, profile: WorkloadProfile,
                   configs: Iterable[SweepConfig]) -> List[SimResult]:

@@ -1,0 +1,112 @@
+"""Multi-criteria decision making over a Pareto frontier.
+
+A Pareto front answers "what is achievable"; it does not answer "which
+point do I deploy".  This module ranks frontier members into a single
+recommended operating point two classic ways (DAVOS-style decision
+support):
+
+* **weighted sum** — min-max normalize each objective column to
+  ``[0, 1]`` and score each row by the weighted mean of its normalized
+  (minimized) objectives; lowest score wins.
+* **TOPSIS** — on the same normalized matrix, measure each row's
+  weighted Euclidean distance to the ideal (all zeros) and anti-ideal
+  (all ones) corner and rank by relative closeness
+  ``d- / (d+ + d-)``; highest closeness wins.
+
+Both methods normalize with **min-max scaling**, which is invariant
+under any positive affine rescaling of an objective column (volts vs
+millivolts, ratios vs percentages) — the rank-stability property pinned
+by ``tests/test_dse_properties.py``.  Ties break by row index, so
+callers pass rows in canonical (sorted-key) order for deterministic
+output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def minmax_normalize(matrix: Sequence[Sequence[float]]) -> List[List[float]]:
+    """Min-max normalize each column of *matrix* to ``[0, 1]``.
+
+    A degenerate column (every value equal) maps to all zeros: the
+    criterion distinguishes nothing, so it contributes nothing.
+    """
+    if not matrix:
+        return []
+    n_obj = len(matrix[0])
+    if any(len(row) != n_obj for row in matrix):
+        raise ValueError("rows must share one objective count")
+    lows = [min(row[m] for row in matrix) for m in range(n_obj)]
+    highs = [max(row[m] for row in matrix) for m in range(n_obj)]
+    normalized: List[List[float]] = []
+    for row in matrix:
+        out = []
+        for m in range(n_obj):
+            span = highs[m] - lows[m]
+            out.append((row[m] - lows[m]) / span if span > 0.0 else 0.0)
+        normalized.append(out)
+    return normalized
+
+
+def _check_weights(weights: Sequence[float], n_obj: int) -> List[float]:
+    """Validate and L1-normalize a weight vector."""
+    if len(weights) != n_obj:
+        raise ValueError(f"need {n_obj} weights, got {len(weights)}")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weights must not all be zero")
+    return [w / total for w in weights]
+
+
+def weighted_sum_scores(matrix: Sequence[Sequence[float]],
+                        weights: Sequence[float]) -> List[float]:
+    """Weighted-sum score per row (lower is better; minimized inputs)."""
+    if not matrix:
+        return []
+    w = _check_weights(weights, len(matrix[0]))
+    return [sum(wm * x for wm, x in zip(w, row))
+            for row in minmax_normalize(matrix)]
+
+
+def topsis_closeness(matrix: Sequence[Sequence[float]],
+                     weights: Sequence[float]) -> List[float]:
+    """TOPSIS relative closeness per row (higher is better).
+
+    On the min-max normalized matrix the ideal point is the zero vector
+    and the anti-ideal the all-ones vector; both distances use weighted
+    Euclidean geometry.  A row equal to the ideal *and* the anti-ideal
+    (possible only when every column is degenerate) scores 0.5.
+    """
+    if not matrix:
+        return []
+    w = _check_weights(weights, len(matrix[0]))
+    closeness: List[float] = []
+    for row in minmax_normalize(matrix):
+        d_ideal = math.sqrt(sum((wm * x) ** 2 for wm, x in zip(w, row)))
+        d_anti = math.sqrt(sum((wm * (1.0 - x)) ** 2
+                               for wm, x in zip(w, row)))
+        total = d_ideal + d_anti
+        closeness.append(d_anti / total if total > 0.0 else 0.5)
+    return closeness
+
+
+def rank_rows(scores: Sequence[float], descending: bool = False) -> List[int]:
+    """Rank (0 = best) per row from per-row scores.
+
+    Args:
+        scores: one score per row.
+        descending: ``True`` when a higher score is better (TOPSIS).
+
+    Ties resolve toward the earlier row, so ranks are a permutation and
+    deterministic for a fixed row order.
+    """
+    order = sorted(range(len(scores)),
+                   key=lambda i: (-scores[i] if descending else scores[i], i))
+    ranks = [0] * len(scores)
+    for rank, i in enumerate(order):
+        ranks[i] = rank
+    return ranks

@@ -1,0 +1,200 @@
+"""Multi-objective dominance machinery (NSGA-II building blocks).
+
+Everything in this module operates on plain objective vectors —
+sequences of floats to be **minimized** — optionally paired with a
+non-negative *constraint violation* value.  The DSE layer maps SUIT's
+three objectives (duration ratio, relative energy, negated security
+margin) onto this representation; nothing here knows about genomes or
+simulations, which keeps the algebra property-testable in isolation
+(``tests/test_dse_properties.py``).
+
+Constrained domination follows Deb's rules: a feasible point dominates
+any infeasible one; between two infeasible points the smaller violation
+dominates; between two feasible points ordinary Pareto dominance
+applies.  With every violation at zero this degrades to the textbook
+definition, so the unconstrained properties hold as a special case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: Comparisons treat objective differences below this as ties, so the
+#: front is stable against last-ulp float noise without hiding real
+#: differences (simulation objectives differ at the 1e-3 level).
+DOMINANCE_EPS = 0.0
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              violation_a: float = 0.0, violation_b: float = 0.0) -> bool:
+    """True when *a* constrained-dominates *b* (all objectives minimized).
+
+    Args:
+        a: objective vector of the candidate dominator.
+        b: objective vector of the candidate dominated point.
+        violation_a: non-negative constraint violation of *a* (0 = feasible).
+        violation_b: non-negative constraint violation of *b*.
+    """
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    if violation_a < 0 or violation_b < 0:
+        raise ValueError("constraint violations are non-negative")
+    if violation_a == 0.0 and violation_b > 0.0:
+        return True
+    if violation_a > 0.0 and violation_b == 0.0:
+        return False
+    if violation_a > 0.0 and violation_b > 0.0:
+        return violation_a < violation_b
+    better_somewhere = False
+    for x, y in zip(a, b):
+        if x > y + DOMINANCE_EPS:
+            return False
+        if x < y - DOMINANCE_EPS:
+            better_somewhere = True
+    return better_somewhere
+
+
+def non_dominated_sort(points: Sequence[Sequence[float]],
+                       violations: Optional[Sequence[float]] = None
+                       ) -> List[List[int]]:
+    """Fast non-dominated sort (NSGA-II): indices grouped into fronts.
+
+    Returns a list of fronts; front 0 is the Pareto-optimal set, front 1
+    is optimal once front 0 is removed, and so on.  Indices within each
+    front preserve input order, so the result is deterministic for a
+    given input ordering (callers wanting order-independence sort the
+    points by a canonical key first).
+    """
+    n = len(points)
+    if violations is None:
+        violations = [0.0] * n
+    if len(violations) != n:
+        raise ValueError("need one violation value per point")
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j], violations[i], violations[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i], violations[j], violations[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        nxt.sort()
+        current = nxt
+    return fronts
+
+
+def pareto_front_indices(points: Sequence[Sequence[float]],
+                         violations: Optional[Sequence[float]] = None
+                         ) -> List[int]:
+    """Indices of the non-dominated points (front 0), in input order."""
+    if not points:
+        return []
+    return non_dominated_sort(points, violations)[0]
+
+
+def crowding_distance(points: Sequence[Sequence[float]]) -> List[float]:
+    """NSGA-II crowding distance of each point within one front.
+
+    Boundary points of every objective get ``inf`` (they must survive
+    truncation); interior points accumulate the normalized span of
+    their neighbours per objective.  A degenerate objective (all values
+    equal) contributes nothing.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    n_obj = len(points[0])
+    distance = [0.0] * n
+    for m in range(n_obj):
+        order = sorted(range(n), key=lambda i: (points[i][m], i))
+        lo, hi = points[order[0]][m], points[order[-1]][m]
+        distance[order[0]] = float("inf")
+        distance[order[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0.0:
+            continue
+        for rank in range(1, n - 1):
+            i = order[rank]
+            if distance[i] == float("inf"):
+                continue
+            gap = points[order[rank + 1]][m] - points[order[rank - 1]][m]
+            distance[i] += gap / span
+    return distance
+
+
+def _rectangle_union_area(rects: List[Tuple[float, float]]) -> float:
+    """Area of the union of corner-anchored 2-D rectangles.
+
+    Each ``(w, h)`` rectangle spans ``[0, w] x [0, h]``; the union of
+    such rectangles is a staircase whose area one sweep computes after
+    sorting by width.
+    """
+    best: List[Tuple[float, float]] = []
+    for w, h in sorted(rects, key=lambda r: (-r[0], -r[1])):
+        if not best or h > best[-1][1]:
+            best.append((w, h))
+    area = 0.0
+    prev_h = 0.0
+    for w, h in best:  # widest (shortest) stair first, climbing
+        area += w * (h - prev_h)
+        prev_h = h
+    return area
+
+
+def hypervolume(points: Sequence[Sequence[float]],
+                reference: Sequence[float]) -> float:
+    """Exact hypervolume dominated by *points* w.r.t. *reference*.
+
+    All objectives are minimized and the reference point must be weakly
+    worse than every point; points beyond the reference are clipped
+    out.  Supports 1, 2 and 3 objectives (the DSE uses 3); the
+    3-D case sweeps the third axis and accumulates 2-D union areas.
+    """
+    n_obj = len(reference)
+    clipped = [tuple(p) for p in points
+               if len(p) == n_obj and all(x <= r for x, r in
+                                          zip(p, reference))]
+    if not clipped:
+        return 0.0
+    front = [clipped[i] for i in pareto_front_indices(clipped)]
+    if n_obj == 1:
+        return reference[0] - min(p[0] for p in front)
+    if n_obj == 2:
+        area = 0.0
+        prev_y = reference[1]
+        for x, y in sorted(front):
+            if y < prev_y:
+                area += (reference[0] - x) * (prev_y - y)
+                prev_y = y
+        return area
+    if n_obj == 3:
+        # Sweep z from best to worst; between consecutive z levels the
+        # dominated cross-section is a union of 2-D rectangles.
+        volume = 0.0
+        ordered = sorted(front, key=lambda p: p[2])
+        levels = sorted({p[2] for p in ordered})
+        levels.append(reference[2])
+        active: List[Tuple[float, float]] = []
+        idx = 0
+        for level_i, z in enumerate(levels[:-1]):
+            while idx < len(ordered) and ordered[idx][2] <= z:
+                p = ordered[idx]
+                active.append((reference[0] - p[0], reference[1] - p[1]))
+                idx += 1
+            dz = levels[level_i + 1] - z
+            if dz > 0 and active:
+                volume += _rectangle_union_area(active) * dz
+        return volume
+    raise ValueError(f"hypervolume supports 1-3 objectives, got {n_obj}")

@@ -74,6 +74,7 @@ EXPERIMENT_MODULES = (
     "ext_percore",
     "ext_campaign_msr",
     "ext_campaign_vmin",
+    "ext_dse_nginx",
 )
 
 

@@ -105,6 +105,43 @@ class FaultModel:
             exhibits_variation=exhibits,
         )
 
+    def corner_chip(self, curve: DVFSCurve, shift_sigmas: float,
+                    n_cores: int = 1,
+                    exhibits: bool = True) -> "CpuInstanceFaults":
+        """A deterministic process-variation *corner* of this model.
+
+        Unlike :meth:`sample_chip` there is no randomness: every margin
+        shifts uniformly by ``shift_sigmas * chip_sigma_v`` — negative
+        sigmas model strong silicon (margins move away from the curve),
+        positive sigmas weak silicon — with no per-core or
+        per-instruction noise.  Corners are what design-space
+        exploration audits: a security margin that holds at the slow
+        corner holds for the population the corner bounds.
+
+        Args:
+            curve: the chip's conservative DVFS curve.
+            shift_sigmas: uniform margin shift in units of
+                ``chip_sigma_v`` (e.g. -1.5 fast, 0 typical, +3 worst).
+            n_cores: cores on the die (margins are identical per core).
+            exhibits: whether the corner exhibits the
+                instruction-variation effect.
+        """
+        if n_cores < 1:
+            raise ValueError("chips need at least one core")
+        shift = shift_sigmas * self.chip_sigma_v
+        margins: Dict[Opcode, np.ndarray] = {}
+        for op in Opcode:
+            base = BASE_VMIN_MARGINS.get(op, NON_FAULTABLE_MARGIN_V)
+            if not exhibits and op in FAULTABLE_OPCODES and op is not Opcode.IMUL:
+                base = NON_FAULTABLE_MARGIN_V
+            margins[op] = np.full(n_cores, base + shift)
+        return CpuInstanceFaults(
+            curve=curve,
+            margins=margins,
+            frequency_slope_v_per_hz=self.frequency_slope_v_per_hz,
+            exhibits_variation=exhibits,
+        )
+
 
 @dataclass
 class CpuInstanceFaults:

@@ -92,6 +92,29 @@ def experiment_cache_key(*, module: str, module_sha256: str,
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def domain_cache_key(*, domain: str, payload: dict,
+                     package_digest: str) -> str:
+    """Content-address (64 hex chars) of an arbitrary cacheable payload.
+
+    Generalizes :func:`experiment_cache_key` for subsystems that cache
+    something other than whole experiment invocations (the DSE caches
+    per-genome simulation batches).  *domain* separates key spaces so
+    two subsystems can never collide even on identical payloads;
+    *payload* must be a plain-JSON dict (the canonical material is
+    ``json.dumps(..., sort_keys=True)``, so dict insertion order and
+    ``PYTHONHASHSEED`` never leak into the key); *package_digest* ties
+    the entry to the simulator sources that produced it.
+    """
+    material = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "domain": str(domain),
+        "package_digest": str(package_digest),
+        "payload": payload,
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def source_sha256(path: Path) -> str:
     """SHA-256 of one source file's bytes."""
     return hashlib.sha256(Path(path).read_bytes()).hexdigest()

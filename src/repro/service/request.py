@@ -60,6 +60,18 @@ class SimRequest:
         voltage_offset: efficient-curve offset in volts (<= 0).
         seed: RNG seed for trace synthesis and sampled delays.
         n_cores: active cores sharing the workload.
+        deadline_us: SUIT deadline parameter ``p_dl`` in microseconds;
+            ``None`` uses the vendor's Table 7 default.  Part of the
+            canonical identity when set (a different deadline is a
+            different simulation) but omitted when ``None`` so legacy
+            requests keep their exact cache keys and wire frames.
+        imul_extra_cycles: extra IMUL pipeline cycles over the
+            unhardened 3-cycle baseline; ``None`` uses the simulator's
+            built-in +1-cycle hardening, ``0`` disables hardening.
+            Identity-bearing when set, omitted when ``None`` (same
+            compatibility rule as ``deadline_us``).  Ignored by the
+            ``e`` strategy, whose closed-form estimate always carries
+            the paper's +1-cycle hardening.
         priority: scheduling priority; lower runs first
             (:data:`PRIORITY_INTERACTIVE` preempts :data:`PRIORITY_BULK`).
         deadline_s: soft deadline in seconds; orders requests within a
@@ -82,6 +94,8 @@ class SimRequest:
     deadline_s: Optional[float] = None
     trace_id: Optional[str] = None
     parent_span: Optional[str] = None
+    deadline_us: Optional[float] = None
+    imul_extra_cycles: Optional[int] = None
 
     def validate(self) -> None:
         """Check the statically checkable fields; raises :class:`InvalidRequestError`."""
@@ -114,6 +128,17 @@ class SimRequest:
                                       or not value):
                 raise InvalidRequestError(
                     f"{name} must be a non-empty string when set")
+        if self.deadline_us is not None and (
+                not isinstance(self.deadline_us, (int, float))
+                or isinstance(self.deadline_us, bool)
+                or self.deadline_us <= 0):
+            raise InvalidRequestError("deadline_us must be positive when set")
+        if self.imul_extra_cycles is not None and (
+                not isinstance(self.imul_extra_cycles, int)
+                or isinstance(self.imul_extra_cycles, bool)
+                or self.imul_extra_cycles < 0):
+            raise InvalidRequestError(
+                "imul_extra_cycles must be a non-negative integer when set")
 
     @property
     def shard_key(self) -> str:
@@ -131,9 +156,12 @@ class SimRequest:
         Excludes ``priority`` / ``deadline_s`` (scheduling hints) and
         ``trace_id`` / ``parent_span`` (observability identity): none
         of them change the answer, so they must not split the
-        dedup/cache identity.
+        dedup/cache identity.  ``deadline_us`` and ``imul_extra_cycles``
+        *do* change the answer, so they join the identity — but only
+        when set, keeping every pre-existing request's key (and wire
+        frame) byte-identical.
         """
-        return {
+        entry = {
             "cpu": self.cpu,
             "workload": self.workload,
             "strategy": self.strategy,
@@ -141,6 +169,11 @@ class SimRequest:
             "seed": int(self.seed),
             "n_cores": int(self.n_cores),
         }
+        if self.deadline_us is not None:
+            entry["deadline_us"] = float(self.deadline_us)
+        if self.imul_extra_cycles is not None:
+            entry["imul_extra_cycles"] = int(self.imul_extra_cycles)
+        return entry
 
     def canonical_key(self) -> str:
         """SHA-256 content address of the canonical identity (64 hex chars)."""
@@ -171,7 +204,7 @@ class SimRequest:
             raise InvalidRequestError("request payload must be an object")
         known = {"cpu", "workload", "strategy", "voltage_offset", "seed",
                  "n_cores", "priority", "deadline_s", "trace_id",
-                 "parent_span"}
+                 "parent_span", "deadline_us", "imul_extra_cycles"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise InvalidRequestError(

@@ -49,7 +49,8 @@ SLEEP_PREFIX = "__sleep__:"
 #: Per-process cache of configured systems, keyed by the request fields
 #: that define one (everything but the workload).  Keeps per-CPU trace
 #: synthesis warm across the batches a shard receives.
-_SYSTEM_CACHE: Dict[Tuple[str, str, float, int, int], object] = {}
+_SYSTEM_CACHE: Dict[Tuple[str, str, float, int, int, Optional[float]],
+                    object] = {}
 _SYSTEM_CACHE_MAX = 16
 
 
@@ -58,11 +59,20 @@ class BatchExecutionError(RuntimeError):
 
 
 def _system_for(req: dict):
-    """A (cached) configured :class:`~repro.core.suit.SuitSystem`."""
+    """A (cached) configured :class:`~repro.core.suit.SuitSystem`.
+
+    A request carrying ``deadline_us`` gets the vendor's default
+    parameters with ``p_dl`` replaced — a distinct cache slot, since
+    the deadline changes every curve-switching simulation.
+    """
+    from dataclasses import replace
+
     from repro.core.suit import SuitSystem
 
+    deadline_us = req.get("deadline_us")
     key = (req["cpu"], req["strategy"], float(req["voltage_offset"]),
-           int(req["seed"]), int(req["n_cores"]))
+           int(req["seed"]), int(req["n_cores"]),
+           None if deadline_us is None else float(deadline_us))
     system = _SYSTEM_CACHE.get(key)
     if system is None:
         if len(_SYSTEM_CACHE) >= _SYSTEM_CACHE_MAX:
@@ -71,6 +81,9 @@ def _system_for(req: dict):
             req["cpu"], strategy_name=req["strategy"],
             voltage_offset=float(req["voltage_offset"]),
             n_cores=int(req["n_cores"]), seed=int(req["seed"]))
+        if deadline_us is not None:
+            system.params = replace(system.params,
+                                    deadline_s=float(deadline_us) * 1e-6)
         _SYSTEM_CACHE[key] = system
     return system
 
@@ -88,10 +101,17 @@ def _simulate(req: dict) -> dict:
         seconds = float(workload[len(SLEEP_PREFIX):])
         time.sleep(seconds)
         return {"workload": workload, "slept_s": seconds}
+    from repro.core.metrics import apply_imul_tax
     from repro.runtime.serialization import jsonify
     from repro.workloads import resolve_profile
 
-    result = _system_for(req).run_profile(resolve_profile(workload))
+    profile = resolve_profile(workload)
+    extra = req.get("imul_extra_cycles")
+    if extra is None or req["strategy"] == "e":
+        result = _system_for(req).run_profile(profile)
+    else:
+        result = _system_for(req).run_profile(profile, harden_imul=False)
+        result = apply_imul_tax(result, profile, int(extra))
     payload = jsonify(result)
     assert isinstance(payload, dict)
     return payload
@@ -158,6 +178,7 @@ def _simulate_group(requests: List[dict]) -> List[dict]:
     caller falls back to per-request execution).
     """
     from repro.core.batchsim import SweepConfig
+    from repro.core.metrics import apply_imul_tax
     from repro.runtime.serialization import jsonify
     from repro.workloads import resolve_profile
 
@@ -166,10 +187,14 @@ def _simulate_group(requests: List[dict]) -> List[dict]:
     profile = resolve_profile(first["workload"])
     configs = [SweepConfig(strategy=req["strategy"],
                            voltage_offset=float(req["voltage_offset"]),
-                           seed=int(req["seed"]))
+                           seed=int(req["seed"]),
+                           harden_imul=req.get("imul_extra_cycles") is None)
                for req in requests]
     payloads = []
-    for result in system.run_sweep(profile, configs):
+    for req, result in zip(requests, system.run_sweep(profile, configs)):
+        extra = req.get("imul_extra_cycles")
+        if extra is not None and req["strategy"] != "e":
+            result = apply_imul_tax(result, profile, int(extra))
         payload = jsonify(result)
         assert isinstance(payload, dict)
         payloads.append(payload)
@@ -181,7 +206,10 @@ def _group_key(req: dict) -> Optional[tuple]:
 
     Requests agreeing on this key replay the same synthesized trace
     (strategy and voltage offset only steer the simulation, not the
-    trace), so they can share one compiled episode.  Fault-injection
+    trace), so they can share one compiled episode.  A custom
+    ``deadline_us`` splits the group — a sweep call carries one
+    parameter set — while ``imul_extra_cycles`` does not: the hardening
+    tax is applied per config after the shared replay.  Fault-injection
     hooks and malformed requests are excluded — they take the
     per-request path, whose error isolation is the answer for them.
     """
@@ -190,9 +218,11 @@ def _group_key(req: dict) -> Optional[tuple]:
             or workload.startswith((CRASH_PREFIX, SLEEP_PREFIX))):
         return None
     try:
+        deadline_us = req.get("deadline_us")
         if req["strategy"] not in ("fV", "f", "V", "e"):
             return None
-        return (req["cpu"], workload, int(req["seed"]), int(req["n_cores"]))
+        return (req["cpu"], workload, int(req["seed"]), int(req["n_cores"]),
+                None if deadline_us is None else float(deadline_us))
     except (KeyError, TypeError, ValueError):
         return None
 
@@ -201,7 +231,7 @@ def execute_batch(requests: List[dict]) -> List[dict]:
     """Execute a batch of request dicts in submission order.
 
     Runs inside a pool worker.  Requests sharing a trace — same
-    ``(cpu, workload, seed, n_cores)`` — are dispatched as **one**
+    ``(cpu, workload, seed, n_cores, deadline_us)`` — are dispatched as **one**
     vectorized sweep over the shared compiled episode
     (:mod:`repro.core.batchsim`) instead of simulating each from
     scratch; the trace arrays are never serialized per request.  If a

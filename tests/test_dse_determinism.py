@@ -1,0 +1,123 @@
+"""Property suite: a DSE search is a pure function of (spec, seed).
+
+The issue's contract, mirroring ``test_campaigns_determinism.py``:
+same seed ⇒ byte-identical ``dse_report.json`` across double runs,
+across serial vs ``--jobs`` pool evaluation, and across an
+interrupt-plus-resume from ``dse.ckpt.json``; a different seed ⇒ a
+different search trajectory.  Plus the hash-discipline regression: the
+report must not depend on ``PYTHONHASHSEED`` (all genome and job keys
+are sha256 content addresses, never ``hash()``, and every iteration
+order is explicitly sorted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.dse import CheckpointMismatchError, DseRunner, DseSpec
+
+#: Small enough to evaluate in well under a second per generation.
+SMALL = DseSpec(name="det", generations=2, population=6, seed=13,
+                deadlines_us=(20.0, 50.0), offsets_mv=(-70.0, -97.0, -125.0),
+                imul_latencies=(3, 4, 5))
+
+
+def report_json(spec: DseSpec, **kwargs) -> str:
+    """Run *spec* in memory and serialize its report canonically."""
+    return json.dumps(DseRunner(spec, **kwargs).run(), sort_keys=True)
+
+
+class TestReportDeterminism:
+    def test_double_run_reports_are_byte_identical(self):
+        assert report_json(SMALL) == report_json(SMALL)
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_seeds_reproduce_and_differ(self, seed):
+        spec = SMALL.with_overrides(seed=seed)
+        bumped = SMALL.with_overrides(seed=seed + 1)
+        assert report_json(spec) == report_json(spec)
+        first = json.loads(report_json(spec))
+        second = json.loads(report_json(bumped))
+        # A reseeded search explores a different trajectory (the spec
+        # digest differs by construction; the evaluated set must too).
+        assert first["spec_digest"] != second["spec_digest"]
+        assert [r["key"] for r in first["all_evaluated"]] != \
+            [r["key"] for r in second["all_evaluated"]]
+
+    def test_pool_and_serial_reports_are_byte_identical(self, tmp_path):
+        serial = DseRunner(SMALL, out_dir=tmp_path / "s", jobs=1)
+        serial.run()
+        serial.write_outputs(html=False)
+        pooled = DseRunner(SMALL, out_dir=tmp_path / "p", jobs=2)
+        pooled.run()
+        pooled.write_outputs(html=False)
+        assert (tmp_path / "s" / "dse_report.json").read_bytes() == \
+            (tmp_path / "p" / "dse_report.json").read_bytes()
+
+    def test_interrupted_and_resumed_equals_uninterrupted(self, tmp_path):
+        straight = DseRunner(SMALL, out_dir=tmp_path / "a")
+        straight.run()
+        straight.write_outputs(html=False)
+
+        # Interrupt after one generation (the checkpoint survives any
+        # kill because it is rewritten atomically), then resume.
+        broken = DseRunner(SMALL, out_dir=tmp_path / "b")
+        partial = broken.run(stop_after_generations=1)
+        assert partial["n_generations"] == 1
+        assert (tmp_path / "b" / "dse.ckpt.json").exists()
+        resumed = DseRunner(SMALL, out_dir=tmp_path / "b")
+        resumed.run(resume=True)
+        resumed.write_outputs(html=False)
+
+        assert (tmp_path / "a" / "dse_report.json").read_bytes() == \
+            (tmp_path / "b" / "dse_report.json").read_bytes()
+
+    def test_resume_of_a_finished_search_is_a_no_op(self, tmp_path):
+        runner = DseRunner(SMALL, out_dir=tmp_path)
+        first = json.dumps(runner.run(), sort_keys=True)
+        again = DseRunner(SMALL, out_dir=tmp_path)
+        second = json.dumps(again.run(resume=True), sort_keys=True)
+        assert first == second
+        # Nothing was re-simulated: the report was rebuilt purely from
+        # the checkpoint's simulation memo.
+        assert again.backend.sims
+        assert again.backend.memo_hits == 0
+
+    def test_resume_refuses_a_different_spec(self, tmp_path):
+        DseRunner(SMALL, out_dir=tmp_path).run(stop_after_generations=1)
+        reseeded = SMALL.with_overrides(seed=SMALL.seed + 1)
+        with pytest.raises(CheckpointMismatchError):
+            DseRunner(reseeded, out_dir=tmp_path).run(resume=True)
+
+
+class TestHashSeedIndependence:
+    """The ``hash()``/dict-order regression (issue satellite #4)."""
+
+    SCRIPT = """
+import json, sys
+from repro.dse import DseRunner, DseSpec
+spec = DseSpec(name="hashseed", generations=1, population=6, seed=3,
+               deadlines_us=(20.0, 50.0), offsets_mv=(-70.0, -97.0))
+report = DseRunner(spec).run()
+sys.stdout.write(json.dumps(report, sort_keys=True))
+"""
+
+    def run_under_hashseed(self, hashseed: str) -> str:
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.run([sys.executable, "-c", self.SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              check=True)
+        return proc.stdout
+
+    def test_report_is_hashseed_independent(self):
+        assert self.run_under_hashseed("0") == self.run_under_hashseed("1")

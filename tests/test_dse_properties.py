@@ -1,0 +1,209 @@
+"""Property suite: the DSE's dominance and decision algebra.
+
+Pinned here, per the issue:
+
+* Pareto-front invariants — no front member dominates another, every
+  excluded point is dominated by some front member, and the front (as
+  a set of points) is invariant under input permutation;
+* crowding distance — per-objective boundary points are infinite;
+* MCDM — weighted-sum and TOPSIS rankings are stable under any
+  positive affine rescaling of an objective column (volts vs
+  millivolts must not change the recommendation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.mcdm import (minmax_normalize, rank_rows, topsis_closeness,
+                            weighted_sum_scores)
+from repro.dse.pareto import (crowding_distance, dominates, hypervolume,
+                              non_dominated_sort, pareto_front_indices)
+
+# Integer-valued floats keep every affine transform exactly
+# representable, so rank comparisons are never at the mercy of
+# last-ulp rounding (the invariance is exact, see test below).
+coords = st.integers(-50, 50).map(float)
+
+
+def point_lists(n_obj: int, min_size: int = 1, max_size: int = 24):
+    """Strategy: a list of *n_obj*-dimensional objective vectors."""
+    return st.lists(st.tuples(*[coords] * n_obj),
+                    min_size=min_size, max_size=max_size)
+
+
+def violation_lists(points):
+    """Strategy: one non-negative violation per point (many zeros)."""
+    return st.lists(st.sampled_from((0.0, 0.0, 0.0, 1.0, 2.5)),
+                    min_size=len(points), max_size=len(points))
+
+
+class TestParetoFrontInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(point_lists(3))
+    def test_no_front_member_dominates_another(self, points):
+        front = pareto_front_indices(points)
+        for i in front:
+            for j in front:
+                assert not dominates(points[i], points[j])
+
+    @settings(max_examples=120, deadline=None)
+    @given(point_lists(3))
+    def test_every_excluded_point_is_dominated(self, points):
+        front = set(pareto_front_indices(points))
+        for j in range(len(points)):
+            if j not in front:
+                assert any(dominates(points[i], points[j]) for i in front)
+
+    @settings(max_examples=80, deadline=None)
+    @given(point_lists(3, max_size=12), st.randoms(use_true_random=False))
+    def test_front_is_permutation_invariant(self, points, rng):
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        original = {tuple(points[i]) for i in pareto_front_indices(points)}
+        permuted = {tuple(shuffled[i])
+                    for i in pareto_front_indices(shuffled)}
+        assert original == permuted
+
+    @settings(max_examples=80, deadline=None)
+    @given(point_lists(2).flatmap(
+        lambda pts: st.tuples(st.just(pts), violation_lists(pts))))
+    def test_constrained_front_has_no_mutual_domination(self, case):
+        points, violations = case
+        front = pareto_front_indices(points, violations)
+        for i in front:
+            for j in front:
+                assert not dominates(points[i], points[j],
+                                     violations[i], violations[j])
+        # Deb's rules: one feasible point anywhere evicts every
+        # infeasible point from the front.
+        if any(v == 0.0 for v in violations):
+            assert all(violations[i] == 0.0 for i in front)
+
+    @settings(max_examples=80, deadline=None)
+    @given(point_lists(3, max_size=16))
+    def test_fronts_partition_the_points(self, points):
+        fronts = non_dominated_sort(points)
+        flat = [i for front in fronts for i in front]
+        assert sorted(flat) == list(range(len(points)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(3, max_size=12))
+    def test_later_fronts_are_dominated_by_earlier_ones(self, points):
+        fronts = non_dominated_sort(points)
+        for rank in range(1, len(fronts)):
+            for j in fronts[rank]:
+                assert any(dominates(points[i], points[j])
+                           for i in fronts[rank - 1])
+
+
+class TestCrowdingDistance:
+    @settings(max_examples=100, deadline=None)
+    @given(point_lists(3, min_size=2))
+    def test_boundary_points_are_infinite(self, points):
+        distance = crowding_distance(points)
+        for m in range(3):
+            lo = min(range(len(points)), key=lambda i: (points[i][m], i))
+            hi = max(range(len(points)), key=lambda i: (points[i][m], i))
+            assert math.isinf(distance[lo])
+            assert math.isinf(distance[hi])
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_lists(3))
+    def test_distances_are_non_negative(self, points):
+        assert all(d >= 0.0 for d in crowding_distance(points))
+
+    def test_single_point_is_boundary_everywhere(self):
+        assert crowding_distance([(1.0, 2.0, 3.0)]) == [float("inf")]
+
+
+class TestHypervolume:
+    REF = (60.0, 60.0, 60.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(point_lists(3, max_size=10))
+    def test_bounded_by_reference_box(self, points):
+        volume = hypervolume(points, self.REF)
+        assert 0.0 <= volume <= 110.0 ** 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(3, max_size=8), st.tuples(coords, coords, coords))
+    def test_adding_a_point_never_shrinks_it(self, points, extra):
+        before = hypervolume(points, self.REF)
+        after = hypervolume(points + [extra], self.REF)
+        assert after >= before - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(3, max_size=10), st.randoms(use_true_random=False))
+    def test_permutation_invariant(self, points, rng):
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert hypervolume(points, self.REF) == \
+            hypervolume(shuffled, self.REF)
+
+    def test_matches_hand_computed_boxes(self):
+        # One point dominates [0,1]x[0,1]x[0,1] against reference 1s.
+        assert hypervolume([(0.0, 0.0, 0.0)], (1.0, 1.0, 1.0)) == 1.0
+        # Two staircase points: union of 2x1 and 1x2 columns = 3,
+        # extruded over dz=1.
+        assert hypervolume([(0.0, 1.0, 0.0), (1.0, 0.0, 0.0)],
+                           (2.0, 2.0, 1.0)) == 3.0
+
+
+# One affine transform per objective column: exact in float arithmetic
+# because scale, shift and the raw coordinates are all small integers.
+affines = st.tuples(st.integers(1, 8).map(float),
+                    st.integers(-30, 30).map(float))
+
+
+def apply_affine(matrix, transforms):
+    """Column-wise ``a * x + b`` with per-column ``(a, b)``."""
+    return [[a * x + b for x, (a, b) in zip(row, transforms)]
+            for row in matrix]
+
+
+class TestMcdmRankStability:
+    WEIGHTS = (0.45, 0.3, 0.25)
+
+    @settings(max_examples=120, deadline=None)
+    @given(point_lists(3, min_size=2, max_size=16),
+           st.tuples(affines, affines, affines))
+    def test_weighted_sum_ranks_survive_affine_rescaling(
+            self, matrix, transforms):
+        original = rank_rows(weighted_sum_scores(matrix, self.WEIGHTS))
+        rescaled = rank_rows(weighted_sum_scores(
+            apply_affine(matrix, transforms), self.WEIGHTS))
+        assert original == rescaled
+
+    @settings(max_examples=120, deadline=None)
+    @given(point_lists(3, min_size=2, max_size=16),
+           st.tuples(affines, affines, affines))
+    def test_topsis_ranks_survive_affine_rescaling(
+            self, matrix, transforms):
+        original = rank_rows(
+            topsis_closeness(matrix, self.WEIGHTS), descending=True)
+        rescaled = rank_rows(
+            topsis_closeness(apply_affine(matrix, transforms),
+                             self.WEIGHTS), descending=True)
+        assert original == rescaled
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_lists(3, min_size=1, max_size=16))
+    def test_normalization_lands_in_unit_box(self, matrix):
+        for row in minmax_normalize(matrix):
+            assert all(0.0 <= x <= 1.0 for x in row)
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_lists(3, min_size=1, max_size=12))
+    def test_ranks_are_a_permutation(self, matrix):
+        ranks = rank_rows(weighted_sum_scores(matrix, self.WEIGHTS))
+        assert sorted(ranks) == list(range(len(matrix)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(3, min_size=2, max_size=10))
+    def test_topsis_closeness_is_a_unit_interval_score(self, matrix):
+        for c in topsis_closeness(matrix, self.WEIGHTS):
+            assert 0.0 <= c <= 1.0

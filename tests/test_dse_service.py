@@ -1,0 +1,229 @@
+"""The DSE's service-tier contract.
+
+Three layers, per the issue:
+
+* :class:`~repro.service.request.SimRequest` carries the new optional
+  ``deadline_us`` / ``imul_extra_cycles`` fields — validated when set,
+  **identity-neutral when absent** (legacy requests keep byte-identical
+  canonical dicts, keys and wire frames);
+* the worker tier honours both fields (including through the grouped
+  vectorized path) with the same bit-exact semantics as the local
+  evaluator;
+* :class:`~repro.dse.evaluate.ServiceEvalBackend` run against a live
+  TCP service produces the same objective records as
+  :class:`~repro.dse.evaluate.LocalEvalBackend`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.dse import DseSpec, Genome, LocalEvalBackend, ServiceEvalBackend
+from repro.service import (ServiceClient, ServiceConfig, SimRequest,
+                           SimulationService, start_tcp_server)
+from repro.service.request import InvalidRequestError
+
+#: Thread-tier config: full semantics, no process-spawn cost.
+THREAD_CONFIG = dict(use_processes=False, n_shards=1, workers_per_shard=2,
+                     batch_window_s=0.002, default_timeout_s=30.0)
+
+
+def run(coro):
+    """Run *coro* on a fresh event loop (the tests' async entry point)."""
+    return asyncio.run(coro)
+
+
+class TestRequestFields:
+    def test_valid_fields_round_trip_the_wire_form(self):
+        request = SimRequest("C", "nginx", strategy="fV", seed=3,
+                             deadline_us=50.0, imul_extra_cycles=2)
+        request.validate()
+        again = SimRequest.from_dict(request.to_dict())
+        assert again == request
+        assert again.deadline_us == 50.0
+        assert again.imul_extra_cycles == 2
+
+    @pytest.mark.parametrize("bad", [0.0, -30.0, True, "soon"])
+    def test_rejects_bad_deadlines(self, bad):
+        with pytest.raises(InvalidRequestError):
+            SimRequest("C", "nginx", deadline_us=bad).validate()
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, True, "one"])
+    def test_rejects_bad_extra_cycles(self, bad):
+        with pytest.raises(InvalidRequestError):
+            SimRequest("C", "nginx", imul_extra_cycles=bad).validate()
+
+    def test_unset_fields_are_identity_neutral(self):
+        """A request not using the new fields must keep the exact
+        pre-extension canonical dict (cache keys, dedup keys and wire
+        frames all derive from it)."""
+        legacy = SimRequest("C", "nginx", strategy="fV",
+                            voltage_offset=-0.097, seed=7)
+        canonical = legacy.canonical_dict()
+        assert "deadline_us" not in canonical
+        assert "imul_extra_cycles" not in canonical
+        explicit = SimRequest("C", "nginx", strategy="fV",
+                              voltage_offset=-0.097, seed=7,
+                              deadline_us=50.0, imul_extra_cycles=1)
+        assert explicit.canonical_key() != legacy.canonical_key()
+
+    def test_set_fields_split_the_dedup_key(self):
+        base = dict(cpu="C", workload="nginx", strategy="fV", seed=7)
+        keys = {
+            SimRequest(**base, deadline_us=20.0).canonical_key(),
+            SimRequest(**base, deadline_us=50.0).canonical_key(),
+            SimRequest(**base, imul_extra_cycles=0).canonical_key(),
+            SimRequest(**base, imul_extra_cycles=2).canonical_key(),
+        }
+        assert len(keys) == 4
+
+
+class TestWorkerHonoursTheFields:
+    def submit_all(self, requests):
+        """Run *requests* through an in-process service; payload list."""
+        async def scenario():
+            async with SimulationService(
+                    ServiceConfig(**THREAD_CONFIG)) as service:
+                responses = [await service.submit(q) for q in requests]
+            for response in responses:
+                assert response.ok, response.error
+            return [response.payload for response in responses]
+
+        return run(scenario())
+
+    def test_deadline_changes_the_simulation(self):
+        tight, loose = self.submit_all([
+            SimRequest("C", "nginx", strategy="fV", seed=5,
+                       deadline_us=10.0),
+            SimRequest("C", "nginx", strategy="fV", seed=5,
+                       deadline_us=700.0),
+        ])
+        assert tight["duration_s"] != loose["duration_s"]
+
+    def test_extra_cycle_one_matches_builtin_hardening(self):
+        default, explicit, unhardened = self.submit_all([
+            SimRequest("C", "nginx", strategy="fV", seed=5),
+            SimRequest("C", "nginx", strategy="fV", seed=5,
+                       imul_extra_cycles=1),
+            SimRequest("C", "nginx", strategy="fV", seed=5,
+                       imul_extra_cycles=0),
+        ])
+        assert explicit["duration_s"] == default["duration_s"]
+        assert explicit["energy_rel"] == default["energy_rel"]
+        assert unhardened["duration_s"] < default["duration_s"]
+
+    def test_grouped_and_single_paths_agree(self):
+        """The batched (vectorized) worker path must reproduce the
+        one-request path bit for bit with the new fields set."""
+        request = SimRequest("C", "nginx", strategy="fV", seed=5,
+                             deadline_us=50.0, imul_extra_cycles=2)
+        # Duplicate keys dedup; vary the offset to force a real group.
+        siblings = [
+            SimRequest("C", "nginx", strategy="fV", seed=5,
+                       voltage_offset=-0.050 - 0.01 * i,
+                       deadline_us=50.0, imul_extra_cycles=2)
+            for i in range(3)
+        ]
+        grouped = self.submit_all(siblings + [request])[-1]
+        single = self.submit_all([request])[0]
+        assert grouped["duration_s"] == single["duration_s"]
+        assert grouped["energy_rel"] == single["energy_rel"]
+
+
+class _ServiceThread:
+    """A TCP simulation service on a background thread (so synchronous
+    clients like :class:`ServiceEvalBackend` can call it)."""
+
+    def __enter__(self) -> "_ServiceThread":
+        self.port = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(20.0), "service did not come up"
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        async with SimulationService(
+                ServiceConfig(**THREAD_CONFIG)) as service:
+            server = await start_tcp_server(service, "127.0.0.1", 0)
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(20.0)
+
+
+class TestServiceEvalBackend:
+    SPEC = DseSpec(name="svc", generations=1, population=4, seed=5,
+                   deadlines_us=(20.0, 50.0), offsets_mv=(-70.0, -97.0))
+    GENOMES = [
+        Genome(deadline_us=20.0, strategy="fV", offset_mv=-97.0,
+               corner="typical", imul_latency=4),
+        Genome(deadline_us=50.0, strategy="f", offset_mv=-70.0,
+               corner="fast", imul_latency=5),
+        Genome(deadline_us=50.0, strategy="e", offset_mv=-97.0,
+               corner="typical", imul_latency=4),
+    ]
+
+    def test_matches_the_local_backend(self):
+        local = LocalEvalBackend(self.SPEC).evaluate(self.GENOMES)
+        with _ServiceThread() as service:
+            backend = ServiceEvalBackend(self.SPEC, port=service.port,
+                                         timeout_s=60.0)
+            remote = backend.evaluate(self.GENOMES)
+            # Second generation over the same genomes: all memo hits,
+            # no further requests.
+            backend.evaluate(self.GENOMES)
+            assert backend.memo_hits == len(self.GENOMES)
+
+        def stripped(records):
+            return json.dumps([{k: v for k, v in r.items() if k != "path"}
+                               for r in records], sort_keys=True)
+
+        # Identical objective records; only the path label differs.
+        assert stripped(local) == stripped(remote)
+        assert {r["path"] for r in remote} == {"service"}
+
+    def test_failed_requests_raise(self):
+        spec = self.SPEC.with_overrides(workload="nginx")
+        backend = ServiceEvalBackend(spec, port=1, timeout_s=1.0)
+        with pytest.raises(OSError):
+            backend.evaluate(self.GENOMES)
+
+
+class TestTcpRoundTripWithNewFields:
+    def test_fields_survive_the_wire(self):
+        async def scenario():
+            async with SimulationService(
+                    ServiceConfig(**THREAD_CONFIG)) as service:
+                server = await start_tcp_server(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                client = await ServiceClient.connect("127.0.0.1", port)
+                try:
+                    responses = await client.submit_many([
+                        SimRequest("C", "nginx", seed=1, deadline_us=50.0,
+                                   imul_extra_cycles=2),
+                    ])
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return responses
+
+        responses = run(scenario())
+        assert responses[0].ok, responses[0].error
+        assert responses[0].request.deadline_us == 50.0
+        assert responses[0].request.imul_extra_cycles == 2
